@@ -1,0 +1,135 @@
+// Ablation: estimator design choices (not a paper figure).
+//
+// DESIGN.md calls out three estimator parameters whose values the paper
+// fixes without exploration; this bench sweeps each and reports its effect
+// on Step-Up/Step-Down settling time and steady-state estimate error,
+// using the Figure 8 methodology.
+//
+//   1. The supply upper-envelope window (this implementation's analogue of
+//      the paper's smoothing choice; it sets downward agility).
+//   2. The bulk-transfer window size (the source of the Step-Down settling
+//      delay: a drop is not recorded until the window in flight ends).
+//   3. The round-trip rise cap (paper: capped; here swept and disabled).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/apps/bitstream_app.h"
+#include "src/metrics/experiment.h"
+
+namespace odyssey {
+namespace {
+
+struct AgilityResult {
+  std::vector<double> step_up_settle;
+  std::vector<double> step_down_settle;
+  std::vector<double> steady_error_pct;
+};
+
+// Runs Step-Up and Step-Down with the given estimator configuration and
+// bitstream window size.
+AgilityResult RunConfig(const SupplyModelConfig& config, double window_bytes) {
+  AgilityResult result;
+  for (int trial = 0; trial < kPaperTrials; ++trial) {
+    for (const Waveform waveform : {Waveform::kStepUp, Waveform::kStepDown}) {
+      // Hand-built rig: the swept estimator configuration replaces the
+      // ExperimentRig default.
+      Simulation sim(static_cast<uint64_t>(trial + 1));
+      Link link(&sim, kHighBandwidth, kOneWayLatency);
+      Modulator modulator(&sim, &link);
+      auto strategy = std::make_unique<CentralizedStrategy>(&sim, config);
+      CentralizedStrategy* centralized = strategy.get();
+      OdysseyClient client(&sim, &link, std::move(strategy));
+      client.InstallWarden(std::make_unique<BitstreamWarden>());
+      BitstreamApp app(&client, "bitstream");
+
+      const ReplayTrace trace = MakeWaveform(waveform).WithPriming(kPrimingPeriod);
+      modulator.Replay(trace);
+      const Time measure = kPrimingPeriod;
+      app.Start(0.0, window_bytes);
+      Sampler sampler(&sim, 100 * kMillisecond, measure, [&] {
+        return centralized->TotalSupply(sim.now());
+      });
+      sim.ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
+      sim.RunUntil(measure + kWaveformLength);
+
+      const double target = waveform == Waveform::kStepUp ? kHighBandwidth : kLowBandwidth;
+      const double settle =
+          SettlingTime(sampler.series(), 30.0, 0.85 * target, 1.15 * target);
+      if (waveform == Waveform::kStepUp) {
+        result.step_up_settle.push_back(settle);
+      } else {
+        result.step_down_settle.push_back(settle);
+      }
+      // Steady-state error over the pre-transition half.
+      double error_sum = 0.0;
+      int error_count = 0;
+      const double pre = waveform == Waveform::kStepUp ? kLowBandwidth : kHighBandwidth;
+      for (const auto& point : sampler.series()) {
+        if (point.t_seconds > 10.0 && point.t_seconds < 29.0) {
+          error_sum += 100.0 * std::abs(point.value - pre) / pre;
+          ++error_count;
+        }
+      }
+      if (error_count > 0) {
+        result.steady_error_pct.push_back(error_sum / error_count);
+      }
+    }
+  }
+  return result;
+}
+
+void PrintRow(Table& table, const std::string& label, const AgilityResult& result) {
+  table.AddRow({label, MeanStd(result.step_up_settle, 2), MeanStd(result.step_down_settle, 2),
+                MeanStd(result.steady_error_pct, 1)});
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main() {
+  using namespace odyssey;
+  PrintBanner("Ablation: Estimator Design Choices",
+              "settling time (s) and steady-state error (%) on Step waveforms; 5 trials");
+
+  {
+    std::cout << "\n[1] Supply upper-envelope window (default 2 s) — the direct control on\n"
+                 "    downward agility: a capacity drop is detected once stale high samples\n"
+                 "    age out of the envelope\n";
+    Table table({"window s", "Step-Up settle s", "Step-Down settle s", "steady error %"});
+    for (const double window_s : {0.5, 1.0, 2.0, 4.0}) {
+      SupplyModelConfig config;
+      config.supply_window = SecondsToDuration(window_s);
+      PrintRow(table, Fmt(window_s, 1), RunConfig(config, kDefaultWindowBytes));
+    }
+    table.Print(std::cout);
+  }
+
+  {
+    std::cout << "\n[2] Bulk-transfer window size (paper artifact: estimates complete at "
+                 "window end)\n";
+    Table table({"window KB", "Step-Up settle s", "Step-Down settle s", "steady error %"});
+    for (const double window_kb : {16.0, 32.0, 64.0, 128.0}) {
+      SupplyModelConfig config;
+      PrintRow(table, Fmt(window_kb, 0), RunConfig(config, window_kb * 1024.0));
+    }
+    table.Print(std::cout);
+  }
+
+  {
+    std::cout << "\n[3] Round-trip rise cap (paper: cap anomalous rises)\n";
+    Table table({"rise cap", "Step-Up settle s", "Step-Down settle s", "steady error %"});
+    for (const double cap : {0.0, 0.25, 0.5, 2.0}) {
+      SupplyModelConfig config;
+      config.estimator.rtt_rise_cap = cap;
+      PrintRow(table, cap <= 0.0 ? "off" : Fmt(cap, 2), RunConfig(config, kDefaultWindowBytes));
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: narrower supply and transfer windows improve Step-Down\n"
+               "settling (stale high samples age out sooner; drops are recorded at window\n"
+               "end) at the cost of steadiness under burstier workloads; the rise cap\n"
+               "trades a small bandwidth underestimate for round-trip outlier immunity.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 11: Web browser performance and fidelity.
+//
+// Netscape (through the cellophane) repeatedly fetches a 22 KB image as
+// fast as possible via the distillation server under four static fidelity
+// levels and Odyssey's adaptive selection, for each reference waveform.
+// The adaptation goal is to display the best quality image fetched within
+// twice the Ethernet time (0.4 s).  Each cell is the mean (stddev) of five
+// trials of the average fetch-and-display seconds.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/apps/web_browser.h"
+#include "src/metrics/experiment.h"
+
+namespace odyssey {
+namespace {
+
+struct CellResult {
+  std::vector<double> seconds;
+  std::vector<double> fidelity;
+};
+
+CellResult RunCell(const ReplayTrace& trace, int fixed_level, bool prime) {
+  CellResult result;
+  for (int trial = 0; trial < kPaperTrials; ++trial) {
+    ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+    WebBrowserOptions options;
+    options.fixed_level = fixed_level;
+    WebBrowser browser(&rig.client(), options);
+    const Time measure = rig.Replay(trace, prime);
+    const Time end = measure + trace.TotalDuration();
+    browser.Start();
+    rig.sim().RunUntil(end);
+    browser.Stop();
+    result.seconds.push_back(browser.MeanSecondsBetween(measure, end));
+    result.fidelity.push_back(browser.MeanFidelityBetween(measure, end));
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main() {
+  using namespace odyssey;
+  PrintBanner("Figure 11: Web Browser Performance and Fidelity",
+              "repeated 22KB image fetch; goal <= 0.4s; mean (stddev) seconds of 5 trials");
+
+  // The private-Ethernet baseline (full quality, fast wired network).
+  const CellResult ethernet = RunCell(MakeEthernetBaseline(kWaveformLength), 0, false);
+  Table table({"Waveform", "JPEG(5) s", "JPEG(25) s", "JPEG(50) s", "Full Quality s",
+               "Odyssey s", "Odyssey fidelity"});
+  table.AddRow({"Ethernet", "-", "-", "-", MeanStd(ethernet.seconds, 2), "-", "-"});
+  for (const Waveform waveform : AllWaveforms()) {
+    const ReplayTrace trace = MakeWaveform(waveform);
+    const CellResult jpeg5 = RunCell(trace, 3, true);
+    const CellResult jpeg25 = RunCell(trace, 2, true);
+    const CellResult jpeg50 = RunCell(trace, 1, true);
+    const CellResult full = RunCell(trace, 0, true);
+    const CellResult adaptive = RunCell(trace, -1, true);
+    table.AddRow({WaveformName(waveform), MeanStd(jpeg5.seconds, 2), MeanStd(jpeg25.seconds, 2),
+                  MeanStd(jpeg50.seconds, 2), MeanStd(full.seconds, 2),
+                  MeanStd(adaptive.seconds, 2), MeanStd(adaptive.fidelity, 2)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nStatic fidelities: JPEG(5)=0.05, JPEG(25)=0.25, JPEG(50)=0.5, Full=1.0.\n"
+            << "Paper reference (seconds; Odyssey fidelity): Ethernet 0.20\n"
+            << "  Step-Up:    0.25  0.30  0.29  0.46  | 0.35 @0.78\n"
+            << "  Step-Down:  0.25  0.30  0.29  0.46  | 0.35 @0.77\n"
+            << "  Impulse-Up: 0.27  0.33  0.34  0.71  | 0.42 @0.63\n"
+            << "  Impulse-Dn: 0.24  0.27  0.29  0.34  | 0.36 @0.99\n"
+            << "Shape to check: the full-quality static strategy only meets the 0.4 s goal\n"
+            << "on Impulse-Down; Odyssey meets it on every waveform at better fidelity\n"
+            << "than any sufficiently fast static strategy.\n";
+  return 0;
+}

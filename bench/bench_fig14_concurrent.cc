@@ -1,0 +1,93 @@
+// Figure 14 (with Figure 13): performance and fidelity of concurrent
+// applications under three resource-management strategies.
+//
+// The video player, Web browser, and speech recognizer run concurrently
+// over the 15-minute synthetic urban trace of Figure 13 under (a) Odyssey's
+// centralized estimation, (b) laissez-faire per-log estimation, and (c)
+// blind-optimism (theoretical bandwidth delivered at transitions).  Each
+// row reports video drops and fidelity, Web seconds and fidelity, and
+// speech seconds — mean (stddev) of five trials.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/apps/speech_frontend.h"
+#include "src/apps/video_player.h"
+#include "src/apps/web_browser.h"
+#include "src/metrics/experiment.h"
+
+namespace odyssey {
+namespace {
+
+struct StrategyResult {
+  std::vector<double> video_drops;
+  std::vector<double> video_fidelity;
+  std::vector<double> web_seconds;
+  std::vector<double> web_fidelity;
+  std::vector<double> speech_seconds;
+};
+
+StrategyResult RunStrategy(StrategyKind strategy) {
+  StrategyResult result;
+  const ReplayTrace trace = MakeUrbanScenario();
+  for (int trial = 0; trial < kPaperTrials; ++trial) {
+    ExperimentRig rig(static_cast<uint64_t>(trial + 1), strategy);
+    VideoPlayerOptions video_options;
+    // 15 minutes at 10 fps plus the priming period; the 600-frame movie
+    // loops continuously.
+    video_options.frames_to_play = 10000;
+    VideoPlayer video(&rig.client(), video_options);
+    WebBrowser web(&rig.client(), WebBrowserOptions{});
+    SpeechFrontEnd speech(&rig.client(), SpeechFrontEndOptions{});
+
+    const Time measure = rig.Replay(trace);
+    const Time end = measure + trace.TotalDuration();
+    video.Start();
+    web.Start();
+    speech.Start();
+    rig.sim().RunUntil(end);
+
+    result.video_drops.push_back(video.DropsBetween(measure, end));
+    result.video_fidelity.push_back(video.MeanFidelityBetween(measure, end));
+    result.web_seconds.push_back(web.MeanSecondsBetween(measure, end));
+    result.web_fidelity.push_back(web.MeanFidelityBetween(measure, end));
+    result.speech_seconds.push_back(speech.MeanSecondsBetween(measure, end));
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace odyssey
+
+int main() {
+  using namespace odyssey;
+  PrintBanner("Figure 14: Concurrent Applications under Three Strategies",
+              "video + web + speech over the Figure 13 urban trace; 5 trials");
+
+  std::cout << "\nFigure 13 trace (15 minutes, H=120 KB/s, L=40 KB/s):\n";
+  const ReplayTrace trace = MakeUrbanScenario();
+  for (const auto& segment : trace.segments()) {
+    std::cout << "  " << Fmt(DurationToSeconds(segment.duration) / 60.0, 0) << " min @ "
+              << Fmt(segment.bandwidth_bps / 1024.0, 0) << " KB/s\n";
+  }
+
+  Table table({"Strategy", "Video drops", "Video fidelity", "Web s", "Web fidelity",
+               "Speech s"});
+  for (const StrategyKind strategy :
+       {StrategyKind::kOdyssey, StrategyKind::kLaissezFaire, StrategyKind::kBlindOptimism}) {
+    const StrategyResult result = RunStrategy(strategy);
+    table.AddRow({StrategyKindName(strategy), MeanStd(result.video_drops, 1),
+                  MeanStd(result.video_fidelity, 2), MeanStd(result.web_seconds, 2),
+                  MeanStd(result.web_fidelity, 2), MeanStd(result.speech_seconds, 2)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPaper reference:\n"
+            << "  Odyssey:        1018 drops @0.25 | web 0.54s @0.47 | speech 1.00s\n"
+            << "  Laissez-Faire:  2249 drops @0.39 | web 0.95s @0.93 | speech 1.21s\n"
+            << "  Blind-Optimism: 5320 drops @0.80 | web 1.20s @1.00 | speech 1.26s\n"
+            << "Shape to check: by degrading fetched video and web fidelity, Odyssey\n"
+            << "comes a factor of 2-5 closer to each application's performance goals;\n"
+            << "the uncoordinated strategies choose higher fidelity and miss them.\n";
+  return 0;
+}

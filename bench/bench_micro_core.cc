@@ -1,0 +1,154 @@
+// Microbenchmarks for the core Odyssey mechanisms (google-benchmark).
+//
+// The paper argues the user-level architecture is cheap enough for agile
+// adaptation; these measure the per-operation costs of the mechanisms on
+// the adaptation path: event scheduling, upcall delivery, request
+// registration, estimator updates, and tsop dispatch.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/odyssey_client.h"
+#include "src/core/request_table.h"
+#include "src/core/tsop_codec.h"
+#include "src/core/upcall.h"
+#include "src/estimator/connection_estimator.h"
+#include "src/estimator/supply_model.h"
+#include "src/net/link.h"
+#include "src/sim/simulation.h"
+#include "src/strategies/laissez_faire.h"
+#include "src/wardens/bitstream_warden.h"
+
+namespace odyssey {
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  Simulation sim;
+  int sink = 0;
+  for (auto _ : state) {
+    sim.Schedule(1, [&] { ++sink; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventScheduleAndRun);
+
+void BM_EventCancel(benchmark::State& state) {
+  Simulation sim;
+  for (auto _ : state) {
+    EventHandle handle = sim.Schedule(1000000, [] {});
+    handle.Cancel();
+  }
+}
+BENCHMARK(BM_EventCancel);
+
+void BM_UpcallPostAndDeliver(benchmark::State& state) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  int sink = 0;
+  UpcallHandler handler = [&](RequestId, ResourceId, double) { ++sink; };
+  for (auto _ : state) {
+    dispatcher.Post(1, 1, ResourceId::kNetworkBandwidth, 0.0, handler);
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_UpcallPostAndDeliver);
+
+void BM_RequestRegisterCancel(benchmark::State& state) {
+  RequestTable table;
+  ResourceDescriptor descriptor{ResourceId::kNetworkBandwidth, 0.0, 1e9, nullptr};
+  for (auto _ : state) {
+    const RequestId id = table.Register(1, descriptor);
+    benchmark::DoNotOptimize(table.Cancel(id));
+  }
+}
+BENCHMARK(BM_RequestRegisterCancel);
+
+void BM_RequestTableTakeViolated(benchmark::State& state) {
+  // A table with many registered windows, one violated per call.
+  for (auto _ : state) {
+    state.PauseTiming();
+    RequestTable table;
+    for (int i = 0; i < state.range(0); ++i) {
+      table.Register(i, ResourceDescriptor{ResourceId::kNetworkBandwidth,
+                                           static_cast<double>(i), 1e12, nullptr});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        table.TakeViolated(ResourceId::kNetworkBandwidth, state.range(0) - 1, 0.0));
+  }
+}
+BENCHMARK(BM_RequestTableTakeViolated)->Arg(16)->Arg(256);
+
+void BM_EstimatorThroughputUpdate(benchmark::State& state) {
+  ConnectionEstimator estimator;
+  ThroughputObservation obs{0, 65536.0, 521 * kMillisecond};
+  for (auto _ : state) {
+    obs.at += 500 * kMillisecond;
+    benchmark::DoNotOptimize(estimator.OnThroughput(obs));
+  }
+}
+BENCHMARK(BM_EstimatorThroughputUpdate);
+
+void BM_SupplyModelObservation(benchmark::State& state) {
+  SupplyModel model;
+  const int connections = static_cast<int>(state.range(0));
+  for (int i = 0; i < connections; ++i) {
+    model.AddConnection(i + 1);
+  }
+  ThroughputObservation obs{0, 65536.0, 521 * kMillisecond};
+  ConnectionId next = 1;
+  for (auto _ : state) {
+    obs.at += 50 * kMillisecond;
+    model.OnThroughput(next, obs);
+    next = next % connections + 1;
+  }
+  benchmark::DoNotOptimize(model.TotalSupply());
+}
+BENCHMARK(BM_SupplyModelObservation)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_AvailabilityQuery(benchmark::State& state) {
+  SupplyModel model;
+  const int connections = static_cast<int>(state.range(0));
+  Time at = 0;
+  for (int i = 0; i < connections; ++i) {
+    model.AddConnection(i + 1);
+    for (int w = 0; w < 8; ++w) {
+      at += 50 * kMillisecond;
+      model.OnThroughput(i + 1, {at, 65536.0, 521 * kMillisecond});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.AvailabilityFor(1, at));
+  }
+}
+BENCHMARK(BM_AvailabilityQuery)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_TsopDispatch(benchmark::State& state) {
+  Simulation sim;
+  Link link(&sim, 1e9, 0);
+  OdysseyClient client(&sim, &link, std::make_unique<LaissezFaireStrategy>());
+  client.InstallWarden(std::make_unique<BitstreamWarden>());
+  const AppId app = client.RegisterApplication("bench");
+  const std::string path = std::string(kOdysseyRoot) + "bitstream/stream";
+  for (auto _ : state) {
+    // An unknown opcode exercises resolution + dispatch + completion.
+    client.Tsop(app, path, 999, "", [](Status, std::string) {});
+  }
+}
+BENCHMARK(BM_TsopDispatch);
+
+void BM_TsopCodecRoundTrip(benchmark::State& state) {
+  BitstreamParams params{1234.0, 65536.0};
+  for (auto _ : state) {
+    const std::string packed = PackStruct(params);
+    BitstreamParams out;
+    benchmark::DoNotOptimize(UnpackStruct(packed, &out));
+  }
+}
+BENCHMARK(BM_TsopCodecRoundTrip);
+
+}  // namespace
+}  // namespace odyssey
+
+BENCHMARK_MAIN();

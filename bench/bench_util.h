@@ -1,0 +1,50 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/metrics/stats.h"
+#include "src/metrics/table.h"
+#include "src/metrics/trial.h"
+
+namespace odyssey {
+
+// Prints a figure banner.
+inline void PrintBanner(const std::string& title, const std::string& subtitle) {
+  std::cout << "\n==============================================================\n"
+            << title << "\n"
+            << subtitle << "\n"
+            << "==============================================================\n";
+}
+
+// Formats a double with fixed precision.
+inline std::string Fmt(double value, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+// Formats "mean (stddev)" from a set of samples, paper style.
+inline std::string MeanStd(const std::vector<double>& samples, int precision = 2) {
+  return Stats(samples).Format(precision);
+}
+
+// Prints a banded series (mean with min/max spread over trials) as table
+// rows downsampled to |stride| points.
+inline void PrintSeriesBand(const SeriesBand& band, const std::string& value_label,
+                            size_t stride) {
+  Table table({"t (s)", value_label + " mean", "min", "max"});
+  for (size_t i = 0; i < band.t_seconds.size(); i += stride) {
+    table.AddRow({Fmt(band.t_seconds[i], 1), Fmt(band.mean[i] / 1024.0, 1),
+                  Fmt(band.min[i] / 1024.0, 1), Fmt(band.max[i] / 1024.0, 1)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace odyssey
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,33 @@
+#include "src/apps/bitstream_app.h"
+
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+
+namespace odyssey {
+
+BitstreamApp::BitstreamApp(OdysseyClient* client, std::string name) : client_(client) {
+  app_ = client_->RegisterApplication(std::move(name));
+}
+
+void BitstreamApp::Start(double target_bps, double window_bytes) {
+  BitstreamParams params{target_bps, window_bytes};
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "bitstream/stream", kBitstreamStart,
+                PackStruct(params), [this](Status status, std::string out) {
+                  if (!status.ok()) {
+                    return;
+                  }
+                  BitstreamStarted started;
+                  if (UnpackStruct(out, &started)) {
+                    connection_ = started.connection;
+                  }
+                  running_ = true;
+                });
+}
+
+void BitstreamApp::Stop() {
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "bitstream/stream", kBitstreamStop, "",
+                [this](Status, std::string) { running_ = false; });
+}
+
+}  // namespace odyssey

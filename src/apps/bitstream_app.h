@@ -1,0 +1,42 @@
+// The bitstream application: the synthetic consumer used by the agility
+// experiments (§6.2.1).
+
+#ifndef SRC_APPS_BITSTREAM_APP_H_
+#define SRC_APPS_BITSTREAM_APP_H_
+
+#include <string>
+
+#include "src/core/odyssey_client.h"
+#include "src/wardens/bitstream_warden.h"
+
+namespace odyssey {
+
+class BitstreamApp {
+ public:
+  // |name| labels this instance ("bitstream-1", "bitstream-2").
+  BitstreamApp(OdysseyClient* client, std::string name);
+
+  BitstreamApp(const BitstreamApp&) = delete;
+  BitstreamApp& operator=(const BitstreamApp&) = delete;
+
+  // Starts consuming.  |target_bps| of zero consumes as fast as possible;
+  // otherwise consumption is paced at the target rate.  |window_bytes| of
+  // zero picks the warden default.
+  void Start(double target_bps = 0.0, double window_bytes = 0.0);
+  void Stop();
+
+  bool running() const { return running_; }
+  AppId app() const { return app_; }
+  // The connection carrying the stream (0 until started).
+  ConnectionId connection() const { return connection_; }
+
+ private:
+  OdysseyClient* client_;
+  AppId app_ = 0;
+  ConnectionId connection_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_APPS_BITSTREAM_APP_H_

@@ -1,0 +1,42 @@
+#include "src/apps/filter_app.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+
+namespace odyssey {
+
+FilterApp::FilterApp(OdysseyClient* client, TelemetryWarden* warden, FilterAppOptions options)
+    : client_(client), warden_(warden), options_(std::move(options)) {
+  app_ = client_->RegisterApplication("filter:" + options_.feed);
+}
+
+void FilterApp::Start() {
+  warden_->SetSampleCallback(app_, [this](const std::string&, const TelemetrySample& sample) {
+    ++samples_seen_;
+    if (!have_baseline_) {
+      have_baseline_ = true;
+      last_alert_value_ = sample.value;
+      return;
+    }
+    if (std::abs(sample.value - last_alert_value_) >= options_.alert_delta) {
+      last_alert_value_ = sample.value;
+      alerts_.push_back(FilterAlert{client_->sim()->now(), sample.produced_at, sample.value});
+    }
+  });
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "telemetry/" + options_.feed,
+                kTelemetrySubscribe, PackStruct(TelemetrySubscribeRequest{options_.fixed_level}),
+                [](Status, std::string) {});
+}
+
+void FilterApp::Stop() {
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "telemetry/" + options_.feed,
+                kTelemetryUnsubscribe, "", [this](Status status, std::string out) {
+                  if (status.ok()) {
+                    UnpackStruct(out, &final_stats_);
+                  }
+                });
+}
+
+}  // namespace odyssey

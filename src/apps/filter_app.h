@@ -1,0 +1,68 @@
+// The background information filter (§2.3).
+//
+// "An information filtering application may run in the background
+// monitoring data such as stock prices or enemy movements, and alert the
+// user as appropriate."  The filter subscribes to a telemetry feed through
+// the telemetry warden and raises an alert whenever the value moves more
+// than a threshold from its last alerted level.  Because it is a
+// *background* application, it is exactly the kind of concurrent consumer
+// the viceroy must arbitrate against the foreground applications.
+
+#ifndef SRC_APPS_FILTER_APP_H_
+#define SRC_APPS_FILTER_APP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/odyssey_client.h"
+#include "src/wardens/telemetry_warden.h"
+
+namespace odyssey {
+
+struct FilterAppOptions {
+  std::string feed = "stocks/ACME";
+  // Alert when the value moves this far from the last alerted value.
+  double alert_delta = 5.0;
+  // -1 adapts; otherwise pins a delivery level.
+  int fixed_level = -1;
+};
+
+struct FilterAlert {
+  Time at = 0;             // delivery (detection) time
+  Time produced_at = 0;    // when the triggering sample was produced
+  double value = 0.0;
+
+  Duration detection_lag() const { return at - produced_at; }
+};
+
+class FilterApp {
+ public:
+  FilterApp(OdysseyClient* client, TelemetryWarden* warden, FilterAppOptions options);
+
+  FilterApp(const FilterApp&) = delete;
+  FilterApp& operator=(const FilterApp&) = delete;
+
+  void Start();
+  // Stops the subscription; final warden stats are captured.
+  void Stop();
+
+  AppId app() const { return app_; }
+  const std::vector<FilterAlert>& alerts() const { return alerts_; }
+  int samples_seen() const { return samples_seen_; }
+  const TelemetryStats& final_stats() const { return final_stats_; }
+
+ private:
+  OdysseyClient* client_;
+  TelemetryWarden* warden_;
+  FilterAppOptions options_;
+  AppId app_ = 0;
+  double last_alert_value_ = 0.0;
+  bool have_baseline_ = false;
+  int samples_seen_ = 0;
+  std::vector<FilterAlert> alerts_;
+  TelemetryStats final_stats_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_APPS_FILTER_APP_H_

@@ -1,0 +1,92 @@
+#include "src/apps/prefetch_agent.h"
+
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+
+namespace odyssey {
+
+PrefetchAgent::PrefetchAgent(OdysseyClient* client, PrefetchAgentOptions options)
+    : client_(client), options_(std::move(options)) {
+  app_ = client_->RegisterApplication("prefetch-agent");
+}
+
+void PrefetchAgent::Start() {
+  if (options_.route.empty()) {
+    finished_ = true;
+    return;
+  }
+  VisitArea(0);
+}
+
+double PrefetchAgent::HitRate() const {
+  if (visits_.size() <= 1) {
+    return 0.0;
+  }
+  int hits = 0;
+  for (size_t i = 1; i < visits_.size(); ++i) {
+    hits += visits_[i].cache_hit ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(visits_.size() - 1);
+}
+
+int PrefetchAgent::ChooseDepth(double bandwidth_bps, double battery_minutes) const {
+  if (options_.min_battery_minutes > 0.0 && battery_minutes < options_.min_battery_minutes) {
+    return 0;  // shed speculative work first when energy is scarce
+  }
+  const int by_bandwidth = static_cast<int>(bandwidth_bps / options_.bandwidth_per_depth);
+  const int depth = by_bandwidth < 1 ? 1 : by_bandwidth;
+  return depth > options_.max_depth ? options_.max_depth : depth;
+}
+
+void PrefetchAgent::VisitArea(size_t index) {
+  if (index >= options_.route.size()) {
+    finished_ = true;
+    return;
+  }
+  const std::string& area = options_.route[index];
+  const Time start = client_->sim()->now();
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "files/" + area, kFileRead, "",
+                [this, index, area, start](Status status, std::string out) {
+                  FileReadReply reply;
+                  if (status.ok()) {
+                    UnpackStruct(out, &reply);
+                  }
+                  visits_.push_back(AreaVisit{start, area, reply.cache_hit,
+                                              client_->sim()->now() - start});
+                });
+  if (next_prefetch_ <= index) {
+    next_prefetch_ = index + 1;
+  }
+  PumpPrefetch(index);
+  client_->sim()->Schedule(options_.advance_period, [this, index] { VisitArea(index + 1); });
+}
+
+void PrefetchAgent::PumpPrefetch(size_t current_index) {
+  if (prefetch_in_flight_ || finished_) {
+    return;
+  }
+  const double bandwidth = client_->CurrentLevel(app_, ResourceId::kNetworkBandwidth);
+  const double battery = client_->CurrentLevel(app_, ResourceId::kBatteryPower);
+  const int depth = ChooseDepth(bandwidth, battery);
+  if (depth == 0) {
+    ++prefetches_suppressed_battery_;
+    // Re-evaluate at the next visit; PumpPrefetch is called from VisitArea.
+    return;
+  }
+  if (next_prefetch_ >= options_.route.size() ||
+      next_prefetch_ > current_index + static_cast<size_t>(depth)) {
+    return;
+  }
+  const size_t target = next_prefetch_++;
+  prefetch_in_flight_ = true;
+  ++prefetches_issued_;
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "files/" + options_.route[target], kFileRead,
+                "", [this](Status, std::string) {
+                  prefetch_in_flight_ = false;
+                  // Continue warming from wherever the user now is.
+                  PumpPrefetch(visits_.empty() ? 0 : visits_.size() - 1);
+                });
+}
+
+}  // namespace odyssey

@@ -1,0 +1,82 @@
+// The route prefetch agent (§2.3).
+//
+// "An application used in emergency response situations may monitor
+// physical location and motion, and prefetch damage-assessment information
+// for the areas to be traversed shortly."  The agent walks a route of
+// areas, each backed by a file on the file server; a background prefetcher
+// warms the file warden's cache for the areas ahead.  Its look-ahead depth
+// adapts to bandwidth availability, and it stops prefetching entirely when
+// battery lifetime falls below a floor — speculative work is the first
+// thing to shed when energy is scarce.
+
+#ifndef SRC_APPS_PREFETCH_AGENT_H_
+#define SRC_APPS_PREFETCH_AGENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/odyssey_client.h"
+#include "src/wardens/file_warden.h"
+
+namespace odyssey {
+
+struct PrefetchAgentOptions {
+  // Area files, in traversal order (paths under /odyssey/files/).
+  std::vector<std::string> route;
+  // The user reaches the next area this often.
+  Duration advance_period = 10 * kSecond;
+  // Maximum areas prefetched ahead of the current position.
+  int max_depth = 3;
+  // Below this remaining battery (minutes), prefetching stops; visits
+  // still fetch on demand.  Zero disables the battery gate.
+  double min_battery_minutes = 0.0;
+  // Bandwidth (bytes/second) needed per unit of look-ahead depth.
+  double bandwidth_per_depth = 24.0 * 1024.0;
+};
+
+struct AreaVisit {
+  Time at = 0;
+  std::string area;
+  bool cache_hit = false;     // the prefetcher had it ready
+  Duration fetch_time = 0;    // how long the visit's read took
+};
+
+class PrefetchAgent {
+ public:
+  PrefetchAgent(OdysseyClient* client, PrefetchAgentOptions options);
+
+  PrefetchAgent(const PrefetchAgent&) = delete;
+  PrefetchAgent& operator=(const PrefetchAgent&) = delete;
+
+  void Start();
+
+  bool finished() const { return finished_; }
+  const std::vector<AreaVisit>& visits() const { return visits_; }
+  int prefetches_issued() const { return prefetches_issued_; }
+  int prefetches_suppressed_battery() const { return prefetches_suppressed_battery_; }
+
+  // Fraction of visits (after the first) that found their area already
+  // cached.
+  double HitRate() const;
+
+  // Look-ahead depth the policy picks at the given levels (for tests).
+  int ChooseDepth(double bandwidth_bps, double battery_minutes) const;
+
+ private:
+  void VisitArea(size_t index);
+  void PumpPrefetch(size_t current_index);
+
+  OdysseyClient* client_;
+  PrefetchAgentOptions options_;
+  AppId app_ = 0;
+  bool finished_ = false;
+  bool prefetch_in_flight_ = false;
+  size_t next_prefetch_ = 0;
+  int prefetches_issued_ = 0;
+  int prefetches_suppressed_battery_ = 0;
+  std::vector<AreaVisit> visits_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_APPS_PREFETCH_AGENT_H_

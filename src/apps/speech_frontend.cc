@@ -1,0 +1,67 @@
+#include "src/apps/speech_frontend.h"
+
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+
+namespace odyssey {
+
+SpeechFrontEnd::SpeechFrontEnd(OdysseyClient* client, SpeechFrontEndOptions options)
+    : client_(client), options_(std::move(options)) {
+  app_ = client_->RegisterApplication("speech-frontend");
+  capture_factor_ = client_->sim()->rng().JitterFactor(0.04);
+}
+
+void SpeechFrontEnd::Start() {
+  running_ = true;
+  SpeechSetModeRequest request{static_cast<int>(options_.mode)};
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "speech/janus", kSpeechSetMode,
+                PackStruct(request), [this](Status status, std::string) {
+                  if (!status.ok()) {
+                    running_ = false;
+                    return;
+                  }
+                  RecognizeNext();
+                });
+}
+
+void SpeechFrontEnd::RecognizeNext() {
+  if (!running_) {
+    return;
+  }
+  const Time started = client_->sim()->now();
+  // Capture the raw utterance at the microphone...
+  const auto capture =
+      static_cast<Duration>(static_cast<double>(kSpeechCapture) * capture_factor_ *
+                            client_->sim()->rng().JitterFactor(kComputeJitterStddev));
+  client_->sim()->Schedule(capture, [this, started] {
+    // ...then write it into the Odyssey namespace for recognition.
+    SpeechUtterance utterance{options_.raw_bytes};
+    client_->Tsop(app_, std::string(kOdysseyRoot) + "speech/janus", kSpeechRecognize,
+                  PackStruct(utterance), [this, started](Status status, std::string out) {
+                    if (!status.ok()) {
+                      running_ = false;
+                      return;
+                    }
+                    SpeechResult result;
+                    UnpackStruct(out, &result);
+                    outcomes_.push_back(RecognitionOutcome{
+                        started, client_->sim()->now() - started, result.plan});
+                    client_->sim()->Schedule(options_.think_time, [this] { RecognizeNext(); });
+                  });
+  });
+}
+
+double SpeechFrontEnd::MeanSecondsBetween(Time begin, Time end) const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& outcome : outcomes_) {
+    if (outcome.started >= begin && outcome.started < end) {
+      sum += DurationToSeconds(outcome.elapsed);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,60 @@
+// The speech front end (§5.3, §6.2.2).
+//
+// Captures a raw utterance, hands it to the speech warden for recognition,
+// and measures the time until the recognized text is available.  The
+// benchmark recognizes a single short phrase, repeating as quickly as
+// possible; recognition quality does not vary, so speed is the only metric.
+
+#ifndef SRC_APPS_SPEECH_FRONTEND_H_
+#define SRC_APPS_SPEECH_FRONTEND_H_
+
+#include <vector>
+
+#include "src/core/odyssey_client.h"
+#include "src/wardens/speech_warden.h"
+
+namespace odyssey {
+
+struct SpeechFrontEndOptions {
+  SpeechMode mode = SpeechMode::kAdaptive;
+  double raw_bytes = kSpeechRawBytes;
+  // Idle time between recognitions (zero = repeat immediately).
+  Duration think_time = 0;
+};
+
+struct RecognitionOutcome {
+  Time started = 0;
+  Duration elapsed = 0;  // capture through recognized-text availability
+  int plan = 0;          // the SpeechMode the warden executed
+};
+
+class SpeechFrontEnd {
+ public:
+  SpeechFrontEnd(OdysseyClient* client, SpeechFrontEndOptions options);
+
+  SpeechFrontEnd(const SpeechFrontEnd&) = delete;
+  SpeechFrontEnd& operator=(const SpeechFrontEnd&) = delete;
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  const std::vector<RecognitionOutcome>& outcomes() const { return outcomes_; }
+
+  // Mean recognition seconds over recognitions started in [begin, end).
+  double MeanSecondsBetween(Time begin, Time end) const;
+
+ private:
+  void RecognizeNext();
+
+  OdysseyClient* client_;
+  SpeechFrontEndOptions options_;
+  AppId app_ = 0;
+  bool running_ = false;
+  // Run-level variation of the capture path's cost.
+  double capture_factor_ = 1.0;
+  std::vector<RecognitionOutcome> outcomes_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_APPS_SPEECH_FRONTEND_H_

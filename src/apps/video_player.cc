@@ -1,0 +1,158 @@
+#include "src/apps/video_player.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+
+namespace odyssey {
+
+VideoPlayer::VideoPlayer(OdysseyClient* client, VideoPlayerOptions options)
+    : client_(client), options_(std::move(options)) {
+  app_ = client_->RegisterApplication("xanim");
+}
+
+void VideoPlayer::Start() {
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "video/" + options_.movie, kVideoOpen,
+                options_.movie, [this](Status status, std::string out) {
+                  if (!status.ok() || !UnpackStruct(out, &meta_)) {
+                    finished_ = true;
+                    return;
+                  }
+                  // Begin at the highest possible quality (§5.1) unless a
+                  // static strategy pins a track.
+                  current_track_ = options_.fixed_track >= 0 ? options_.fixed_track : 0;
+                  if (options_.fixed_track > 0) {
+                    VideoSetTrackRequest request{options_.fixed_track};
+                    client_->Tsop(app_, std::string(kOdysseyRoot) + "video/" + options_.movie,
+                                  kVideoSetTrack, PackStruct(request),
+                                  [](Status, std::string) {});
+                  }
+                  display_epoch_ = client_->sim()->now() + options_.initial_buffer;
+                  client_->sim()->ScheduleAt(display_epoch_, [this] { DisplayFrame(0); });
+                  if (options_.fixed_track < 0) {
+                    // Give the read-ahead pipeline one buffer period to
+                    // produce bandwidth observations before registering.
+                    client_->sim()->Schedule(options_.initial_buffer, [this] {
+                      AdaptTo(client_->CurrentLevel(app_, ResourceId::kNetworkBandwidth));
+                    });
+                  }
+                });
+}
+
+int VideoPlayer::ChooseTrack(double bandwidth_bps) const {
+  // Tracks are ordered best fidelity first; pick the best that fits.
+  for (int i = 0; i < meta_.track_count; ++i) {
+    if (meta_.required_bps[i] <= bandwidth_bps) {
+      return i;
+    }
+  }
+  return meta_.track_count - 1;  // even B/W may drop frames, but play on
+}
+
+void VideoPlayer::RegisterWindow() {
+  // Tolerate anything between "still enough for my track" and "enough for
+  // the next better track": outside that window the player wants an upcall.
+  ResourceDescriptor descriptor;
+  descriptor.resource = ResourceId::kNetworkBandwidth;
+  descriptor.lower =
+      current_track_ == meta_.track_count - 1 ? 0.0 : meta_.required_bps[current_track_];
+  descriptor.upper = current_track_ == 0 ? std::numeric_limits<double>::max()
+                                         : meta_.required_bps[current_track_ - 1];
+  descriptor.handler = [this](RequestId, ResourceId, double level) {
+    window_active_ = false;
+    AdaptTo(level);
+  };
+
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const RequestResult result = client_->Request(app_, descriptor);
+    if (result.ok()) {
+      window_ = result.id;
+      window_active_ = true;
+      return;
+    }
+    // Resource already outside the window: pick the fidelity matching the
+    // returned level and try again (§4.2).
+    const int track = ChooseTrack(result.current_level);
+    if (track == current_track_) {
+      // The level sits inside a gap (e.g. above our requirement but below
+      // the next track's); widen by accepting the current choice.
+      descriptor.lower = 0.0;
+      descriptor.upper = meta_.required_bps[current_track_ == 0 ? 0 : current_track_ - 1];
+      continue;
+    }
+    AdaptTo(result.current_level);
+    return;
+  }
+  // Could not register; retry shortly rather than give up adaptation.
+  client_->sim()->Schedule(200 * kMillisecond, [this] {
+    if (!window_active_ && !finished_ && options_.fixed_track < 0) {
+      RegisterWindow();
+    }
+  });
+}
+
+void VideoPlayer::AdaptTo(double bandwidth_bps) {
+  if (finished_ || options_.fixed_track >= 0) {
+    return;
+  }
+  const int track = ChooseTrack(bandwidth_bps);
+  if (track != current_track_) {
+    current_track_ = track;
+    ++track_switches_;
+    VideoSetTrackRequest request{track};
+    client_->Tsop(app_, std::string(kOdysseyRoot) + "video/" + options_.movie, kVideoSetTrack,
+                  PackStruct(request), [](Status, std::string) {});
+  }
+  if (!window_active_) {
+    RegisterWindow();
+  }
+}
+
+void VideoPlayer::DisplayFrame(int index) {
+  VideoTakeFrameRequest request{index};
+  client_->Tsop(app_, std::string(kOdysseyRoot) + "video/" + options_.movie, kVideoTakeFrame,
+                PackStruct(request), [this, index](Status status, std::string out) {
+                  VideoTakeFrameReply reply;
+                  if (status.ok()) {
+                    UnpackStruct(out, &reply);
+                  }
+                  outcomes_.push_back(FrameOutcome{client_->sim()->now(), index, reply.present,
+                                                   reply.present ? reply.fidelity : 0.0});
+                });
+  if (index + 1 >= options_.frames_to_play) {
+    finished_ = true;
+    if (window_active_) {
+      client_->Cancel(window_);
+      window_active_ = false;
+    }
+    return;
+  }
+  const Duration frame_period = SecondsToDuration(1.0 / meta_.fps);
+  const Time next_deadline = display_epoch_ + static_cast<Duration>(index + 1) * frame_period;
+  client_->sim()->ScheduleAt(next_deadline, [this, index] { DisplayFrame(index + 1); });
+}
+
+int VideoPlayer::DropsBetween(Time begin, Time end) const {
+  int drops = 0;
+  for (const auto& outcome : outcomes_) {
+    if (outcome.at >= begin && outcome.at < end && !outcome.displayed) {
+      ++drops;
+    }
+  }
+  return drops;
+}
+
+double VideoPlayer::MeanFidelityBetween(Time begin, Time end) const {
+  double sum = 0.0;
+  int displayed = 0;
+  for (const auto& outcome : outcomes_) {
+    if (outcome.at >= begin && outcome.at < end && outcome.displayed) {
+      sum += outcome.fidelity;
+      ++displayed;
+    }
+  }
+  return displayed == 0 ? 0.0 : sum / displayed;
+}
+
+}  // namespace odyssey

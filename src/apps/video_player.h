@@ -1,0 +1,85 @@
+// The adaptive video player (xanim; §5.1, §6.2.2).
+//
+// When the player opens a movie it calculates the bandwidth requirement of
+// each track from the movie metadata, begins at the highest possible
+// quality, and registers the corresponding window of tolerance with
+// Odyssey.  When notified of a significant change in bandwidth it
+// determines a new fidelity level and switches to the corresponding track.
+// The player's adaptation goal is to play the highest quality possible
+// without dropping frames; a frame not buffered by its display deadline is
+// dropped and playback moves on.
+
+#ifndef SRC_APPS_VIDEO_PLAYER_H_
+#define SRC_APPS_VIDEO_PLAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/odyssey_client.h"
+#include "src/wardens/video_warden.h"
+
+namespace odyssey {
+
+struct VideoPlayerOptions {
+  std::string movie = "default";
+  // -1 plays adaptively (Odyssey); 0..n-1 pins a fixed track (static
+  // strategy), best track first.
+  int fixed_track = -1;
+  // Total frames to display (may exceed the movie length; playback loops).
+  int frames_to_play = 600;
+  // Delay between opening the movie and the first display deadline, giving
+  // the read-ahead pipeline a head start.
+  Duration initial_buffer = 500 * kMillisecond;
+};
+
+// The outcome of one display deadline.
+struct FrameOutcome {
+  Time at = 0;
+  int index = 0;
+  bool displayed = false;
+  double fidelity = 0.0;
+};
+
+class VideoPlayer {
+ public:
+  VideoPlayer(OdysseyClient* client, VideoPlayerOptions options);
+
+  VideoPlayer(const VideoPlayer&) = delete;
+  VideoPlayer& operator=(const VideoPlayer&) = delete;
+
+  // Opens the movie and begins playback.
+  void Start();
+
+  bool finished() const { return finished_; }
+  int current_track() const { return current_track_; }
+  int track_switches() const { return track_switches_; }
+  const std::vector<FrameOutcome>& outcomes() const { return outcomes_; }
+
+  // Frames dropped among deadlines in [begin, end).
+  int DropsBetween(Time begin, Time end) const;
+  // The paper's fidelity metric: the average fidelity of frames displayed
+  // in [begin, end).
+  double MeanFidelityBetween(Time begin, Time end) const;
+
+ private:
+  void RegisterWindow();
+  void AdaptTo(double bandwidth_bps);
+  int ChooseTrack(double bandwidth_bps) const;
+  void DisplayFrame(int index);
+
+  OdysseyClient* client_;
+  VideoPlayerOptions options_;
+  AppId app_ = 0;
+  VideoMetaReply meta_;
+  int current_track_ = 0;
+  int track_switches_ = 0;
+  RequestId window_ = 0;
+  bool window_active_ = false;
+  Time display_epoch_ = 0;
+  bool finished_ = false;
+  std::vector<FrameOutcome> outcomes_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_APPS_VIDEO_PLAYER_H_

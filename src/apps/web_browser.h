@@ -1,0 +1,83 @@
+// The adaptive Web browser (Netscape + cellophane; §5.2, §6.2.2).
+//
+// The cellophane redirects the browser's requests into the Odyssey Web
+// warden and selects fidelity levels; Netscape passively benefits.  The
+// adaptation goal is to display the best quality image that can be fetched
+// within twice the Ethernet time (0.4 s): before each fetch the cellophane
+// predicts the fetch-and-display time of every level from the current
+// bandwidth and round-trip estimates and picks the best level that meets
+// the goal.
+
+#ifndef SRC_APPS_WEB_BROWSER_H_
+#define SRC_APPS_WEB_BROWSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/odyssey_client.h"
+#include "src/wardens/web_warden.h"
+
+namespace odyssey {
+
+struct WebBrowserOptions {
+  std::string url = "http://origin/test-image.jpg";
+  // -1 adapts (Odyssey); 0..3 pins a fixed fidelity level.
+  int fixed_level = -1;
+  // Fetch-and-display time the adaptive policy tries to stay under.
+  Duration goal = kWebGoal;
+  // Idle time between fetches; the paper fetches "as fast as possible".
+  Duration think_time = 0;
+};
+
+struct WebFetchOutcome {
+  Time started = 0;
+  Duration elapsed = 0;  // fetch + display
+  double fidelity = 0.0;
+};
+
+class WebBrowser {
+ public:
+  WebBrowser(OdysseyClient* client, WebBrowserOptions options);
+
+  WebBrowser(const WebBrowser&) = delete;
+  WebBrowser& operator=(const WebBrowser&) = delete;
+
+  // Opens the session and begins the fetch loop.
+  void Start();
+  // Finishes the in-flight fetch and stops.
+  void Stop() { running_ = false; }
+
+  const std::vector<WebFetchOutcome>& outcomes() const { return outcomes_; }
+  int current_level() const { return current_level_; }
+
+  // Mean fetch-and-display seconds over fetches started in [begin, end).
+  double MeanSecondsBetween(Time begin, Time end) const;
+  // Mean fidelity over the same fetches.
+  double MeanFidelityBetween(Time begin, Time end) const;
+
+  // The predicted fetch-and-display time of |level| at the given estimates
+  // (exposed for tests).
+  static Duration PredictTime(const WebSessionInfo& info, int level, double bandwidth_bps,
+                              Duration rtt);
+
+ private:
+  int ChooseLevel() const;
+  void RegisterWindow();
+  void FetchNext();
+
+  OdysseyClient* client_;
+  WebBrowserOptions options_;
+  AppId app_ = 0;
+  WebSessionInfo info_;
+  int current_level_ = 0;
+  RequestId window_ = 0;
+  bool window_active_ = false;
+  bool running_ = false;
+  // Run-level variation of the client's rendering cost.
+  double render_factor_ = 1.0;
+  std::vector<WebFetchOutcome> outcomes_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_APPS_WEB_BROWSER_H_

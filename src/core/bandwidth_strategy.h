@@ -1,0 +1,69 @@
+// Resource-management strategies for network bandwidth.
+//
+// The paper's evaluation (§6.2.3) compares three strategies:
+//   * centralized — Odyssey proper: the viceroy combines information from
+//     all endpoint logs, estimating total supply and per-connection shares;
+//   * laissez-faire — each log is examined in isolation, reflecting what an
+//     application would discover on its own;
+//   * blind-optimism — the networking layer passes the theoretical bandwidth
+//     to the viceroy at each transition, ignoring competing applications.
+//
+// A strategy answers one question for the viceroy: how much bandwidth is
+// available to a given application right now?
+
+#ifndef SRC_CORE_BANDWIDTH_STRATEGY_H_
+#define SRC_CORE_BANDWIDTH_STRATEGY_H_
+
+#include <functional>
+#include <string>
+
+#include "src/core/resource.h"
+#include "src/rpc/endpoint.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class BandwidthStrategy {
+ public:
+  virtual ~BandwidthStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Begins accounting for |endpoint|, owned by |app|.  Strategies that use
+  // passive observation subscribe to the endpoint's log.
+  virtual void AttachConnection(AppId app, Endpoint* endpoint) = 0;
+  virtual void DetachConnection(Endpoint* endpoint) = 0;
+
+  // Estimated bandwidth (bytes/second) available to |app| at |now|.
+  virtual double AvailabilityFor(AppId app, Time now) const = 0;
+
+  // Whether any bandwidth estimate exists yet.  Availability of zero with
+  // no estimate means "nothing observed"; with an estimate it means
+  // genuine disconnection — adaptive policies treat the two differently.
+  virtual bool HasEstimate() const = 0;
+
+  // Estimated total bandwidth available to the client.
+  virtual double TotalSupply(Time now) const = 0;
+
+  // Smoothed round trip for the app's connections (microseconds); zero if
+  // unknown.
+  virtual Duration SmoothedRttFor(AppId app) const = 0;
+
+  // The viceroy installs a callback to be told estimates may have moved; it
+  // then re-evaluates registered windows of tolerance.
+  void SetChangeCallback(std::function<void()> cb) { on_change_ = std::move(cb); }
+
+ protected:
+  void NotifyChanged() {
+    if (on_change_) {
+      on_change_();
+    }
+  }
+
+ private:
+  std::function<void()> on_change_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_BANDWIDTH_STRATEGY_H_

@@ -1,0 +1,64 @@
+// Battery-power management (Figure 3c: Battery Power, minutes).
+//
+// The paper's prototype managed only network bandwidth and planned to
+// "broaden support for resource management to the full range of resources"
+// (§8).  This model implements the battery entry: remaining lifetime in
+// minutes drains with time and with network activity (radios dominate the
+// power budget of 1990s mobile hardware), and the viceroy's battery level
+// tracks it, so applications can register windows of tolerance on battery
+// exactly as they do on bandwidth.
+
+#ifndef SRC_CORE_BATTERY_MODEL_H_
+#define SRC_CORE_BATTERY_MODEL_H_
+
+#include "src/core/viceroy.h"
+#include "src/net/link.h"
+#include "src/sim/simulation.h"
+
+namespace odyssey {
+
+class BatteryModel {
+ public:
+  struct Config {
+    // Lifetime at idle, in minutes.
+    double capacity_minutes = 480.0;
+    // How often the level is re-published to the viceroy.
+    Duration update_period = 1 * kSecond;
+    // Extra lifetime consumed per megabyte moved over the radio.  0.25
+    // means every 4 MB of traffic costs a minute of battery.
+    double network_minutes_per_mb = 0.25;
+    // Idle drain: minutes of lifetime per minute of wall clock (1.0 =
+    // nominal; heavier CPU-bound configurations can exceed it).
+    double idle_drain_rate = 1.0;
+  };
+
+  BatteryModel(Simulation* sim, Viceroy* viceroy, Link* link, const Config& config);
+  // Defaults (out of line: a nested Config's member initializers cannot be
+  // used as an in-class default argument).
+  BatteryModel(Simulation* sim, Viceroy* viceroy, Link* link);
+
+  BatteryModel(const BatteryModel&) = delete;
+  BatteryModel& operator=(const BatteryModel&) = delete;
+
+  // Begins draining and publishing levels.
+  void Start();
+
+  double remaining_minutes() const { return remaining_minutes_; }
+  bool exhausted() const { return remaining_minutes_ <= 0.0; }
+
+ private:
+  void Tick();
+
+  Simulation* sim_;
+  Viceroy* viceroy_;
+  Link* link_;
+  Config config_;
+  double remaining_minutes_;
+  Time last_tick_ = 0;
+  double last_bytes_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_BATTERY_MODEL_H_

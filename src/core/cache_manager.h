@@ -1,0 +1,45 @@
+// Disk-cache space management (Figure 3c: Disk Cache Space, kilobytes).
+//
+// Wardens cache data from servers (§3.2); the cache manager arbitrates the
+// client's limited disk between them and keeps the viceroy's disk-cache
+// level current with the remaining free space, so applications (or wardens
+// on their behalf) can be told when cache pressure changes the calculus of
+// "compressing a cached item versus flushing it and refetching it later"
+// (§3.2).
+
+#ifndef SRC_CORE_CACHE_MANAGER_H_
+#define SRC_CORE_CACHE_MANAGER_H_
+
+#include "src/core/viceroy.h"
+
+namespace odyssey {
+
+class CacheManager {
+ public:
+  // |capacity_kb| is the client's cache partition; the viceroy's
+  // kDiskCacheSpace level reports the free portion.
+  CacheManager(Viceroy* viceroy, double capacity_kb);
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  // Reserves |kb| of cache; false (and no change) if it does not fit.
+  bool Reserve(double kb);
+  // Returns |kb| of cache; over-release is clamped.
+  void Release(double kb);
+
+  double capacity_kb() const { return capacity_kb_; }
+  double used_kb() const { return used_kb_; }
+  double free_kb() const { return capacity_kb_ - used_kb_; }
+
+ private:
+  void Publish();
+
+  Viceroy* viceroy_;
+  double capacity_kb_;
+  double used_kb_ = 0.0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_CACHE_MANAGER_H_

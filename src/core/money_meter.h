@@ -1,0 +1,58 @@
+// Money management (Figure 3c: Money, cents).
+//
+// Wireless overlay networks differ in cost (§2.1); on a metered link every
+// byte has a price.  The meter charges the session budget for traffic
+// crossing the link and keeps the viceroy's money level current, so a
+// cost-conscious application can register a window of tolerance on its
+// remaining budget and degrade fidelity (or go quiescent) when it runs
+// low.
+
+#ifndef SRC_CORE_MONEY_METER_H_
+#define SRC_CORE_MONEY_METER_H_
+
+#include "src/core/viceroy.h"
+#include "src/net/link.h"
+#include "src/sim/simulation.h"
+
+namespace odyssey {
+
+class MoneyMeter {
+ public:
+  struct Config {
+    double budget_cents = 25.0;
+    double cents_per_mb = 2.0;
+    Duration update_period = 1 * kSecond;
+  };
+
+  MoneyMeter(Simulation* sim, Viceroy* viceroy, Link* link, const Config& config);
+  // Defaults (out of line: a nested Config's member initializers cannot be
+  // used as an in-class default argument).
+  MoneyMeter(Simulation* sim, Viceroy* viceroy, Link* link);
+
+  MoneyMeter(const MoneyMeter&) = delete;
+  MoneyMeter& operator=(const MoneyMeter&) = delete;
+
+  void Start();
+
+  // Changes the tariff (e.g. when the overlay network hands off from WaveLAN
+  // to a metered cellular link).
+  void SetTariff(double cents_per_mb) { config_.cents_per_mb = cents_per_mb; }
+
+  double remaining_cents() const { return remaining_cents_; }
+  double spent_cents() const { return config_.budget_cents - remaining_cents_; }
+
+ private:
+  void Tick();
+
+  Simulation* sim_;
+  Viceroy* viceroy_;
+  Link* link_;
+  Config config_;
+  double remaining_cents_;
+  double last_bytes_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_MONEY_METER_H_

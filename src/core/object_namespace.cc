@@ -1,0 +1,48 @@
+#include "src/core/object_namespace.h"
+
+namespace odyssey {
+
+Status ObjectNamespace::Install(Warden* warden) {
+  if (warden == nullptr || warden->name().empty()) {
+    return InvalidArgumentError("warden must have a name");
+  }
+  if (warden->name().find('/') != std::string::npos) {
+    return InvalidArgumentError("warden name must not contain '/'");
+  }
+  const auto [it, inserted] = wardens_.try_emplace(warden->name(), warden);
+  if (!inserted) {
+    return AlreadyExistsError("warden '" + warden->name() + "' already installed");
+  }
+  return OkStatus();
+}
+
+Status ObjectNamespace::Resolve(const std::string& path, Resolution* out) const {
+  if (!IsOdysseyPath(path)) {
+    return NotFoundError("not an Odyssey path: " + path);
+  }
+  const std::string rest = path.substr(sizeof(kOdysseyRoot) - 1);
+  const auto slash = rest.find('/');
+  const std::string warden_name = slash == std::string::npos ? rest : rest.substr(0, slash);
+  const auto it = wardens_.find(warden_name);
+  if (it == wardens_.end()) {
+    return NotFoundError("no warden for '" + warden_name + "'");
+  }
+  out->warden = it->second;
+  out->relative_path = slash == std::string::npos ? "" : rest.substr(slash + 1);
+  return OkStatus();
+}
+
+bool ObjectNamespace::IsOdysseyPath(const std::string& path) {
+  return path.rfind(kOdysseyRoot, 0) == 0;
+}
+
+std::vector<std::string> ObjectNamespace::WardenNames() const {
+  std::vector<std::string> names;
+  names.reserve(wardens_.size());
+  for (const auto& [name, warden] : wardens_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace odyssey

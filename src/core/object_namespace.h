@@ -1,0 +1,49 @@
+// The Odyssey namespace and in-kernel interceptor (§4.1, Figure 2).
+//
+// Operations on Odyssey objects are redirected to the viceroy by a small
+// interceptor; here that is a path router.  Objects are named
+// /odyssey/<warden>/<object-path>; the router resolves a full path to the
+// responsible warden and the warden-relative remainder.
+
+#ifndef SRC_CORE_OBJECT_NAMESPACE_H_
+#define SRC_CORE_OBJECT_NAMESPACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/core/warden.h"
+
+namespace odyssey {
+
+inline constexpr char kOdysseyRoot[] = "/odyssey/";
+
+class ObjectNamespace {
+ public:
+  // Mounts |warden| at /odyssey/<warden->name()>.  Fails if the name is
+  // taken.
+  Status Install(Warden* warden);
+
+  struct Resolution {
+    Warden* warden = nullptr;
+    std::string relative_path;  // remainder after the mount point
+  };
+
+  // Resolves |path| to a warden.  kNotFound for paths outside /odyssey or
+  // with no installed warden.
+  Status Resolve(const std::string& path, Resolution* out) const;
+
+  // True if |path| names an Odyssey object (lies under /odyssey/) —
+  // the interceptor's redirect test.
+  static bool IsOdysseyPath(const std::string& path);
+
+  std::vector<std::string> WardenNames() const;
+
+ private:
+  std::map<std::string, Warden*> wardens_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_OBJECT_NAMESPACE_H_

@@ -1,0 +1,41 @@
+#include "src/core/request_table.h"
+
+namespace odyssey {
+
+RequestId RequestTable::Register(AppId app, const ResourceDescriptor& descriptor) {
+  const RequestId id = next_id_++;
+  entries_[id] = Entry{id, app, descriptor};
+  return id;
+}
+
+Status RequestTable::Cancel(RequestId id) {
+  return entries_.erase(id) > 0 ? OkStatus() : NotFoundError("no such request");
+}
+
+std::vector<RequestTable::Entry> RequestTable::TakeViolated(ResourceId resource, AppId app,
+                                                            double level) {
+  std::vector<Entry> violated;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& entry = it->second;
+    if (entry.app == app && entry.descriptor.resource == resource &&
+        (level < entry.descriptor.lower || level > entry.descriptor.upper)) {
+      violated.push_back(entry);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return violated;
+}
+
+std::vector<RequestTable::Entry> RequestTable::EntriesFor(AppId app, ResourceId resource) const {
+  std::vector<Entry> matching;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.app == app && entry.descriptor.resource == resource) {
+      matching.push_back(entry);
+    }
+  }
+  return matching;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,51 @@
+// The viceroy's table of registered resource expectations (§4.2).
+//
+// Each entry is a window of tolerance on one resource for one application.
+// When the availability of a resource strays outside a registered window,
+// the entry is consumed and an upcall is generated; the application is then
+// expected to register a revised window appropriate to its new fidelity.
+
+#ifndef SRC_CORE_REQUEST_TABLE_H_
+#define SRC_CORE_REQUEST_TABLE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/core/resource.h"
+#include "src/core/status.h"
+
+namespace odyssey {
+
+class RequestTable {
+ public:
+  struct Entry {
+    RequestId id = 0;
+    AppId app = 0;
+    ResourceDescriptor descriptor;
+  };
+
+  // Registers a window of tolerance.  The caller has already verified the
+  // current level lies within the window.
+  RequestId Register(AppId app, const ResourceDescriptor& descriptor);
+
+  // Discards a registration.  kNotFound if it does not exist (it may have
+  // been consumed by an upcall already).
+  Status Cancel(RequestId id);
+
+  // Removes and returns every entry for (app-any, |resource|) whose window
+  // excludes |level|.  The caller posts upcalls for the returned entries.
+  std::vector<Entry> TakeViolated(ResourceId resource, AppId app, double level);
+
+  // Entries registered for |app| on |resource| (diagnostics/tests).
+  std::vector<Entry> EntriesFor(AppId app, ResourceId resource) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<RequestId, Entry> entries_;
+  RequestId next_id_ = 1;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_REQUEST_TABLE_H_

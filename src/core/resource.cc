@@ -1,0 +1,41 @@
+#include "src/core/resource.h"
+
+namespace odyssey {
+
+const char* ResourceName(ResourceId resource) {
+  switch (resource) {
+    case ResourceId::kNetworkBandwidth:
+      return "Network Bandwidth";
+    case ResourceId::kNetworkLatency:
+      return "Network Latency";
+    case ResourceId::kDiskCacheSpace:
+      return "Disk Cache Space";
+    case ResourceId::kCpu:
+      return "CPU";
+    case ResourceId::kBatteryPower:
+      return "Battery Power";
+    case ResourceId::kMoney:
+      return "Money";
+  }
+  return "Unknown";
+}
+
+const char* ResourceUnit(ResourceId resource) {
+  switch (resource) {
+    case ResourceId::kNetworkBandwidth:
+      return "bytes/second";
+    case ResourceId::kNetworkLatency:
+      return "microseconds";
+    case ResourceId::kDiskCacheSpace:
+      return "kilobytes";
+    case ResourceId::kCpu:
+      return "SPECint95";
+    case ResourceId::kBatteryPower:
+      return "minutes";
+    case ResourceId::kMoney:
+      return "cents";
+  }
+  return "?";
+}
+
+}  // namespace odyssey

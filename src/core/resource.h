@@ -1,0 +1,72 @@
+// Generic resources and resource descriptors (Figure 3 of the paper).
+//
+// A resource descriptor names a resource, a window of tolerance on its
+// availability, and the upcall handler to invoke when availability strays
+// outside the window.  The prototype in the paper manages network bandwidth;
+// this implementation manages the full Figure 3(c) table, with bandwidth and
+// latency driven by passive estimation and the remainder by settable
+// providers.
+
+#ifndef SRC_CORE_RESOURCE_H_
+#define SRC_CORE_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace odyssey {
+
+// Identifies an application registered with the Odyssey client.
+using AppId = uint64_t;
+
+// Identifies a registered resource request (window of tolerance).
+using RequestId = uint64_t;
+
+// Figure 3(c): the generic resources Odyssey manages, with their units.
+enum class ResourceId {
+  kNetworkBandwidth,  // bytes/second
+  kNetworkLatency,    // microseconds
+  kDiskCacheSpace,    // kilobytes
+  kCpu,               // SPECint95
+  kBatteryPower,      // minutes
+  kMoney,             // cents
+};
+
+inline constexpr ResourceId kAllResources[] = {
+    ResourceId::kNetworkBandwidth, ResourceId::kNetworkLatency, ResourceId::kDiskCacheSpace,
+    ResourceId::kCpu,              ResourceId::kBatteryPower,   ResourceId::kMoney,
+};
+
+// Human-readable resource name.
+const char* ResourceName(ResourceId resource);
+// Unit string from Figure 3(c).
+const char* ResourceUnit(ResourceId resource);
+
+// The upcall handler signature (Figure 3d): the request on whose behalf the
+// upcall is delivered, the resource whose availability changed, and the new
+// availability.
+using UpcallHandler = std::function<void(RequestId, ResourceId, double)>;
+
+// Figure 3(b): a resource descriptor.
+struct ResourceDescriptor {
+  ResourceId resource = ResourceId::kNetworkBandwidth;
+  double lower = 0.0;
+  double upper = std::numeric_limits<double>::max();
+  UpcallHandler handler;
+};
+
+// Result of a request() call.  On kOk, |id| identifies the registration; on
+// kOutOfBounds, |current_level| reports the available resource level so the
+// application can pick a new fidelity and try again (§4.2).
+struct RequestResult {
+  bool ok() const { return status_ok; }
+
+  bool status_ok = false;
+  RequestId id = 0;
+  double current_level = 0.0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_RESOURCE_H_

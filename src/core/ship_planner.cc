@@ -1,0 +1,34 @@
+#include "src/core/ship_planner.h"
+
+#include <limits>
+
+namespace odyssey {
+
+Duration ShipPlanner::Predict(const ShipCandidate& candidate, double bandwidth_bps,
+                              Duration rtt) {
+  Duration total = candidate.local_compute + candidate.remote_compute;
+  const double network_bytes = candidate.upload_bytes + candidate.download_bytes;
+  if (network_bytes > 0.0 || candidate.remote_compute > 0) {
+    if (bandwidth_bps <= 0.0) {
+      return std::numeric_limits<Duration>::max();
+    }
+    total += rtt + SecondsToDuration(network_bytes / bandwidth_bps);
+  }
+  return total;
+}
+
+int ShipPlanner::Choose(const std::vector<ShipCandidate>& candidates, double bandwidth_bps,
+                        Duration rtt) {
+  int best = -1;
+  Duration best_time = std::numeric_limits<Duration>::max();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Duration predicted = Predict(candidates[i], bandwidth_bps, rtt);
+    if (predicted < best_time) {
+      best_time = predicted;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,59 @@
+// Generic function-versus-data shipping decisions.
+//
+// §8: "The speech application suggests the importance of being able to
+// dynamically decide whether to ship data or computation.  This capability
+// is currently provided in an ad hoc manner by the speech warden.
+// Extending Odyssey to provide full support for deciding between dynamic
+// function or data shipping would enable us to more thoroughly explore this
+// tradeoff."
+//
+// A ShipCandidate describes one way of splitting a computation between the
+// mobile client and a server: how much compute runs on each side and how
+// many bytes must move each way.  The planner predicts each candidate's
+// completion time from the current bandwidth and round-trip estimates and
+// picks the fastest feasible one.  The speech warden's hybrid/remote/local
+// plans are three such candidates; any warden can define its own.
+
+#ifndef SRC_CORE_SHIP_PLANNER_H_
+#define SRC_CORE_SHIP_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+struct ShipCandidate {
+  std::string name;
+  // CPU time on the (slow) client.
+  Duration local_compute = 0;
+  // CPU time on the server.
+  Duration remote_compute = 0;
+  // Bytes shipped client -> server and server -> client.
+  double upload_bytes = 0.0;
+  double download_bytes = 0.0;
+};
+
+class ShipPlanner {
+ public:
+  // Predicted completion time of |candidate| at the given estimates.  A
+  // candidate that moves data over a link with no bandwidth is infeasible
+  // (max Duration).  Transfers are sequential with the compute phases, and
+  // a candidate that touches the network pays one protocol round trip.
+  static Duration Predict(const ShipCandidate& candidate, double bandwidth_bps, Duration rtt);
+
+  // Index of the fastest feasible candidate; -1 if none is feasible.
+  static int Choose(const std::vector<ShipCandidate>& candidates, double bandwidth_bps,
+                    Duration rtt);
+
+  // True if the candidate requires no network at all.
+  static bool IsLocal(const ShipCandidate& candidate) {
+    return candidate.upload_bytes <= 0.0 && candidate.download_bytes <= 0.0 &&
+           candidate.remote_compute <= 0;
+  }
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_SHIP_PLANNER_H_

@@ -1,0 +1,81 @@
+// Error handling for the Odyssey API.
+//
+// The paper's system calls report errors through errno; we use a small
+// Status value type instead of exceptions, keeping control flow explicit in
+// event-driven code.
+
+#ifndef SRC_CORE_STATUS_H_
+#define SRC_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace odyssey {
+
+enum class StatusCode {
+  kOk = 0,
+  // The resource is currently outside the requested window of tolerance
+  // (§4.2: "an error code and the current available resource level are
+  // returned").
+  kOutOfBounds,
+  kNotFound,
+  kInvalidArgument,
+  kUnsupported,
+  kAlreadyExists,
+  kUnavailable,
+};
+
+// Short name for a status code ("OK", "OUT_OF_BOUNDS", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  explicit Status(StatusCode code, std::string message = "")
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status UnsupportedError(std::string message) {
+  return Status(StatusCode::kUnsupported, std::move(message));
+}
+inline Status OutOfBoundsError(std::string message) {
+  return Status(StatusCode::kOutOfBounds, std::move(message));
+}
+inline Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_STATUS_H_

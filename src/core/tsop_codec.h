@@ -1,0 +1,40 @@
+// Packing helpers for tsop buffers.
+//
+// The tsop call (§4.4, Figure 3e) passes input and output parameters as
+// unstructured memory buffers in the spirit of ioctl.  Wardens and
+// applications agree on trivially copyable parameter structs and move them
+// through std::string buffers with these helpers.
+
+#ifndef SRC_CORE_TSOP_CODEC_H_
+#define SRC_CORE_TSOP_CODEC_H_
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace odyssey {
+
+// Serializes a trivially copyable struct into a byte buffer.
+template <typename T>
+std::string PackStruct(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>, "tsop structs must be trivially copyable");
+  std::string buffer(sizeof(T), '\0');
+  std::memcpy(buffer.data(), &value, sizeof(T));
+  return buffer;
+}
+
+// Deserializes a byte buffer into a trivially copyable struct.  Returns
+// false on size mismatch (malformed tsop argument).
+template <typename T>
+bool UnpackStruct(const std::string& buffer, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>, "tsop structs must be trivially copyable");
+  if (buffer.size() != sizeof(T)) {
+    return false;
+  }
+  std::memcpy(out, buffer.data(), sizeof(T));
+  return true;
+}
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_TSOP_CODEC_H_

@@ -1,0 +1,61 @@
+#include "src/core/upcall.h"
+
+#include <utility>
+
+namespace odyssey {
+
+uint64_t UpcallDispatcher::Post(AppId app, RequestId request, ResourceId resource, double level,
+                                UpcallHandler handler) {
+  AppQueue& q = queues_[app];
+  const uint64_t seq = q.next_seq++;
+  q.queue.push_back(PendingUpcall{seq, request, resource, level, std::move(handler)});
+  ScheduleDelivery(app);
+  return seq;
+}
+
+void UpcallDispatcher::Block(AppId app) { queues_[app].blocked = true; }
+
+void UpcallDispatcher::Unblock(AppId app) {
+  AppQueue& q = queues_[app];
+  q.blocked = false;
+  ScheduleDelivery(app);
+}
+
+bool UpcallDispatcher::blocked(AppId app) const {
+  const auto it = queues_.find(app);
+  return it != queues_.end() && it->second.blocked;
+}
+
+uint64_t UpcallDispatcher::last_delivered_seq(AppId app) const {
+  const auto it = queues_.find(app);
+  return it == queues_.end() ? 0 : it->second.last_delivered;
+}
+
+void UpcallDispatcher::ScheduleDelivery(AppId app) {
+  AppQueue& q = queues_[app];
+  if (q.blocked || q.delivery_scheduled || q.queue.empty()) {
+    return;
+  }
+  q.delivery_scheduled = true;
+  sim_->Schedule(delivery_latency_, [this, app] { DeliverNext(app); });
+}
+
+void UpcallDispatcher::DeliverNext(AppId app) {
+  AppQueue& q = queues_[app];
+  q.delivery_scheduled = false;
+  if (q.blocked || q.queue.empty()) {
+    return;
+  }
+  PendingUpcall upcall = std::move(q.queue.front());
+  q.queue.pop_front();
+  q.last_delivered = upcall.seq;
+  ++delivered_;
+  if (upcall.handler) {
+    upcall.handler(upcall.request, upcall.resource, upcall.level);
+  }
+  // Deliver any remaining upcalls on subsequent turns, preserving order even
+  // if the handler posted new ones.
+  ScheduleDelivery(app);
+}
+
+}  // namespace odyssey

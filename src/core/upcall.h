@@ -1,0 +1,75 @@
+// Upcall delivery with exactly-once, in-order semantics (§4.3).
+//
+// Upcalls resemble Unix signals but are delivered exactly once and in order
+// to each receiver, carry parameters, and can be blocked.  The dispatcher
+// keeps a FIFO queue per application; deliveries are scheduled through the
+// simulation so handlers always run from the event loop, never re-entrantly
+// from the code that noticed the resource change.
+
+#ifndef SRC_CORE_UPCALL_H_
+#define SRC_CORE_UPCALL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "src/core/resource.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class UpcallDispatcher {
+ public:
+  // |delivery_latency| models the cost of crossing into the application;
+  // zero still defers delivery to a subsequent event-loop turn.
+  explicit UpcallDispatcher(Simulation* sim, Duration delivery_latency = 0)
+      : sim_(sim), delivery_latency_(delivery_latency) {}
+
+  UpcallDispatcher(const UpcallDispatcher&) = delete;
+  UpcallDispatcher& operator=(const UpcallDispatcher&) = delete;
+
+  // Enqueues an upcall for |app|.  Returns the per-app sequence number.
+  uint64_t Post(AppId app, RequestId request, ResourceId resource, double level,
+                UpcallHandler handler);
+
+  // Blocks delivery to |app|; posted upcalls accumulate in order.
+  void Block(AppId app);
+  // Unblocks and drains any queued upcalls, still in order.
+  void Unblock(AppId app);
+  bool blocked(AppId app) const;
+
+  // Total upcalls delivered (for tests and diagnostics).
+  uint64_t delivered_count() const { return delivered_; }
+  // Last sequence number delivered to |app| (0 if none).
+  uint64_t last_delivered_seq(AppId app) const;
+
+ private:
+  struct PendingUpcall {
+    uint64_t seq;
+    RequestId request;
+    ResourceId resource;
+    double level;
+    UpcallHandler handler;
+  };
+
+  struct AppQueue {
+    std::deque<PendingUpcall> queue;
+    uint64_t next_seq = 1;
+    uint64_t last_delivered = 0;
+    bool blocked = false;
+    bool delivery_scheduled = false;
+  };
+
+  void ScheduleDelivery(AppId app);
+  void DeliverNext(AppId app);
+
+  Simulation* sim_;
+  Duration delivery_latency_;
+  std::map<AppId, AppQueue> queues_;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_UPCALL_H_

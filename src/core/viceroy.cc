@@ -1,0 +1,98 @@
+#include "src/core/viceroy.h"
+
+#include <utility>
+
+namespace odyssey {
+namespace {
+
+// Default levels for the statically managed resources of Figure 3(c).
+// Battery: 8 hours; disk cache: 64 MB; CPU: a 90 MHz Pentium is roughly
+// 2.9 SPECint95; money: a modest per-session budget.
+constexpr double kDefaultDiskCacheKb = 64.0 * 1024.0;
+constexpr double kDefaultCpuSpecint = 2.9;
+constexpr double kDefaultBatteryMinutes = 480.0;
+constexpr double kDefaultMoneyCents = 25.0;
+
+}  // namespace
+
+Viceroy::Viceroy(Simulation* sim, std::unique_ptr<BandwidthStrategy> strategy,
+                 Duration upcall_latency)
+    : sim_(sim), strategy_(std::move(strategy)), upcalls_(sim, upcall_latency) {
+  static_levels_[ResourceId::kDiskCacheSpace] = kDefaultDiskCacheKb;
+  static_levels_[ResourceId::kCpu] = kDefaultCpuSpecint;
+  static_levels_[ResourceId::kBatteryPower] = kDefaultBatteryMinutes;
+  static_levels_[ResourceId::kMoney] = kDefaultMoneyCents;
+  strategy_->SetChangeCallback([this] { Reevaluate(); });
+}
+
+AppId Viceroy::RegisterApplication(std::string name) {
+  const AppId id = next_app_++;
+  apps_[id] = std::move(name);
+  return id;
+}
+
+const std::string& Viceroy::ApplicationName(AppId app) const {
+  static const std::string kUnknown = "<unknown>";
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? kUnknown : it->second;
+}
+
+void Viceroy::AttachConnection(AppId app, Endpoint* endpoint) {
+  strategy_->AttachConnection(app, endpoint);
+}
+
+void Viceroy::DetachConnection(Endpoint* endpoint) { strategy_->DetachConnection(endpoint); }
+
+RequestResult Viceroy::Request(AppId app, const ResourceDescriptor& descriptor) {
+  RequestResult result;
+  result.current_level = CurrentLevel(app, descriptor.resource);
+  if (result.current_level < descriptor.lower || result.current_level > descriptor.upper) {
+    result.status_ok = false;
+    return result;
+  }
+  result.status_ok = true;
+  result.id = requests_.Register(app, descriptor);
+  return result;
+}
+
+Status Viceroy::Cancel(RequestId id) { return requests_.Cancel(id); }
+
+double Viceroy::CurrentLevel(AppId app, ResourceId resource) const {
+  switch (resource) {
+    case ResourceId::kNetworkBandwidth:
+      return strategy_->AvailabilityFor(app, sim_->now());
+    case ResourceId::kNetworkLatency:
+      return static_cast<double>(strategy_->SmoothedRttFor(app));
+    default: {
+      const auto it = static_levels_.find(resource);
+      return it == static_levels_.end() ? 0.0 : it->second;
+    }
+  }
+}
+
+void Viceroy::SetStaticLevel(ResourceId resource, double level) {
+  if (resource == ResourceId::kNetworkBandwidth || resource == ResourceId::kNetworkLatency) {
+    return;  // estimation-driven; not settable
+  }
+  static_levels_[resource] = level;
+  for (const auto& [app, name] : apps_) {
+    EvaluateApp(app, resource, level);
+  }
+}
+
+void Viceroy::Reevaluate() {
+  for (const auto& [app, name] : apps_) {
+    EvaluateApp(app, ResourceId::kNetworkBandwidth,
+                strategy_->AvailabilityFor(app, sim_->now()));
+    EvaluateApp(app, ResourceId::kNetworkLatency,
+                static_cast<double>(strategy_->SmoothedRttFor(app)));
+  }
+}
+
+void Viceroy::EvaluateApp(AppId app, ResourceId resource, double level) {
+  for (const auto& entry : requests_.TakeViolated(resource, app, level)) {
+    upcalls_.Post(app, entry.id, resource, level, entry.descriptor.handler);
+  }
+}
+
+}  // namespace odyssey

@@ -1,0 +1,90 @@
+// The viceroy: Odyssey's type-independent, centralized resource manager.
+//
+// The viceroy tracks resource availability (network bandwidth through a
+// pluggable BandwidthStrategy; the other Figure 3(c) resources through
+// settable levels), maintains the table of registered windows of tolerance,
+// and generates upcalls when availability strays outside a window.  Wardens
+// are subordinate to it; applications reach it through the OdysseyClient
+// facade.
+
+#ifndef SRC_CORE_VICEROY_H_
+#define SRC_CORE_VICEROY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/bandwidth_strategy.h"
+#include "src/core/request_table.h"
+#include "src/core/resource.h"
+#include "src/core/status.h"
+#include "src/core/upcall.h"
+#include "src/rpc/endpoint.h"
+#include "src/sim/simulation.h"
+
+namespace odyssey {
+
+class Viceroy {
+ public:
+  // |strategy| decides bandwidth availability; |upcall_latency| models the
+  // cost of delivering an upcall into an application.
+  Viceroy(Simulation* sim, std::unique_ptr<BandwidthStrategy> strategy,
+          Duration upcall_latency = 0);
+
+  Viceroy(const Viceroy&) = delete;
+  Viceroy& operator=(const Viceroy&) = delete;
+
+  // Registers an application; the returned id scopes requests and upcalls.
+  AppId RegisterApplication(std::string name);
+  const std::string& ApplicationName(AppId app) const;
+
+  // Wardens attach each server connection they open on behalf of an
+  // application, so the strategy can observe and arbitrate it.
+  void AttachConnection(AppId app, Endpoint* endpoint);
+  void DetachConnection(Endpoint* endpoint);
+
+  // The request system call (§4.2, Figure 3a).  If the resource is within
+  // the window, registers it and returns ok with an id.  Otherwise returns
+  // !ok with the current level; the caller is expected to try again with a
+  // window appropriate to a new fidelity.
+  RequestResult Request(AppId app, const ResourceDescriptor& descriptor);
+
+  // The cancel system call: discards a registration.
+  Status Cancel(RequestId id);
+
+  // Current availability of |resource| as seen by |app|.
+  double CurrentLevel(AppId app, ResourceId resource) const;
+
+  // Whether the bandwidth strategy has produced any estimate yet.
+  bool HasBandwidthEstimate() const { return strategy_->HasEstimate(); }
+
+  // Sets the level of a statically managed resource (disk cache, CPU,
+  // battery, money), triggering upcalls for any violated windows.
+  void SetStaticLevel(ResourceId resource, double level);
+
+  BandwidthStrategy& strategy() { return *strategy_; }
+  const BandwidthStrategy& strategy() const { return *strategy_; }
+  UpcallDispatcher& upcalls() { return upcalls_; }
+  RequestTable& requests() { return requests_; }
+  Simulation* sim() { return sim_; }
+
+  // Forces re-evaluation of all registered windows (normally driven by the
+  // strategy's change notifications).
+  void Reevaluate();
+
+ private:
+  void EvaluateApp(AppId app, ResourceId resource, double level);
+
+  Simulation* sim_;
+  std::unique_ptr<BandwidthStrategy> strategy_;
+  UpcallDispatcher upcalls_;
+  RequestTable requests_;
+  std::map<AppId, std::string> apps_;
+  std::map<ResourceId, double> static_levels_;
+  AppId next_app_ = 1;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_VICEROY_H_

@@ -1,0 +1,27 @@
+#include "src/core/warden.h"
+
+namespace odyssey {
+
+void Warden::Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+                  TsopCallback done) {
+  (void)app;
+  (void)path;
+  (void)opcode;
+  (void)in;
+  done(UnsupportedError("warden '" + name_ + "' defines no tsops"), "");
+}
+
+void Warden::Read(AppId app, const std::string& path, ReadCallback done) {
+  (void)app;
+  (void)path;
+  done(UnsupportedError("warden '" + name_ + "' does not support read"), "");
+}
+
+void Warden::Write(AppId app, const std::string& path, std::string data, WriteCallback done) {
+  (void)app;
+  (void)path;
+  (void)data;
+  done(UnsupportedError("warden '" + name_ + "' does not support write"));
+}
+
+}  // namespace odyssey

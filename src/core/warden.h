@@ -1,0 +1,71 @@
+// The warden base class (§3.2).
+//
+// A warden encapsulates the client-side, system-level support needed to
+// manage one data type: it defines the type's fidelity levels, communicates
+// with servers (applications never contact servers directly), caches data,
+// and implements the type-specific operations (tsops) that applications use
+// for access methods and fidelity changes.  Wardens execute in the same
+// address space as the viceroy and interact with it through direct calls.
+//
+// Operations are asynchronous: completion callbacks fire in virtual time
+// after the modeled network and compute delays.
+
+#ifndef SRC_CORE_WARDEN_H_
+#define SRC_CORE_WARDEN_H_
+
+#include <functional>
+#include <string>
+
+#include "src/core/resource.h"
+#include "src/core/status.h"
+
+namespace odyssey {
+
+class OdysseyClient;
+
+class Warden {
+ public:
+  // Completion of a tsop: status plus the output buffer (in the spirit of
+  // ioctl, an unstructured byte string; see src/core/tsop_codec.h).
+  using TsopCallback = std::function<void(Status, std::string)>;
+  // Completion of a read: status plus data.
+  using ReadCallback = std::function<void(Status, std::string)>;
+  // Completion of a write.
+  using WriteCallback = std::function<void(Status)>;
+
+  explicit Warden(std::string name) : name_(std::move(name)) {}
+  virtual ~Warden() = default;
+
+  Warden(const Warden&) = delete;
+  Warden& operator=(const Warden&) = delete;
+
+  // The warden's name, which is also its mount point: objects live under
+  // /odyssey/<name>/...
+  const std::string& name() const { return name_; }
+
+  // Called once when the warden is installed into a client.  Override to
+  // open server connections; always call the base implementation.
+  virtual void Attach(OdysseyClient* client) { client_ = client; }
+
+  // Type-specific operation on the object at |path| (relative to the mount
+  // point).  The default rejects all opcodes.
+  virtual void Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+                    TsopCallback done);
+
+  // Whole-object read, for types with natural byte-stream access.
+  virtual void Read(AppId app, const std::string& path, ReadCallback done);
+
+  // Whole-object write.
+  virtual void Write(AppId app, const std::string& path, std::string data, WriteCallback done);
+
+ protected:
+  OdysseyClient* client() const { return client_; }
+
+ private:
+  std::string name_;
+  OdysseyClient* client_ = nullptr;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_WARDEN_H_

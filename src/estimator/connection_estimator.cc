@@ -1,0 +1,40 @@
+#include "src/estimator/connection_estimator.h"
+
+namespace odyssey {
+namespace {
+
+// Floor on the effective transfer time, guarding the division when a window
+// completes in about one round trip (tiny window or very fast link).
+constexpr Duration kMinEffectiveTransfer = 100;  // 0.1 ms
+
+}  // namespace
+
+ConnectionEstimator::ConnectionEstimator(const EstimatorConfig& config)
+    : config_(config), rtt_(config.rtt_alpha), bandwidth_(config.throughput_alpha) {
+  rtt_.Prime(static_cast<double>(config.initial_rtt));
+}
+
+void ConnectionEstimator::OnRoundTrip(const RoundTripObservation& obs) {
+  double measured = static_cast<double>(obs.rtt);
+  if (config_.rtt_rise_cap > 0.0) {
+    const double ceiling = rtt_.value() * (1.0 + config_.rtt_rise_cap);
+    if (measured > ceiling) {
+      measured = ceiling;
+    }
+  }
+  rtt_.Update(measured);
+  last_observation_ = obs.at;
+}
+
+double ConnectionEstimator::OnThroughput(const ThroughputObservation& obs) {
+  Duration effective = obs.elapsed - smoothed_rtt();
+  if (effective < kMinEffectiveTransfer) {
+    effective = kMinEffectiveTransfer;
+  }
+  const double raw_bps = obs.window_bytes / DurationToSeconds(effective);
+  bandwidth_.Update(raw_bps);
+  last_observation_ = obs.at;
+  return raw_bps;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,68 @@
+// Per-connection bandwidth and round-trip estimation (§6.2.1).
+//
+// Round trip and throughput observations are smoothed with EWMA filters
+// (alpha 0.75 and 0.875 respectively).  A throughput entry covering W bytes
+// in elapsed time T yields a raw bandwidth of W / (T - R), where R is the
+// smoothed round trip: T includes the window request (receiver side) or the
+// acknowledgement (sender side), and assuming symmetric data rates both
+// cost about one round trip.  Anomalous rises in measured round trip are
+// capped at a configurable percentage per observation, erring on the side
+// of underestimating bandwidth exactly as the paper describes.
+
+#ifndef SRC_ESTIMATOR_CONNECTION_ESTIMATOR_H_
+#define SRC_ESTIMATOR_CONNECTION_ESTIMATOR_H_
+
+#include "src/estimator/ewma.h"
+#include "src/rpc/observation_log.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+struct EstimatorConfig {
+  // EWMA weight on the newest round-trip measurement.
+  double rtt_alpha = 0.75;
+  // EWMA weight on the newest throughput measurement.
+  double throughput_alpha = 0.875;
+  // Maximum fractional rise of a round-trip measurement over the current
+  // estimate, per observation (0.5 == 50%).  Nonpositive disables capping.
+  double rtt_rise_cap = 0.5;
+  // Prior used before the first round-trip observation.
+  Duration initial_rtt = 21 * kMillisecond;
+};
+
+class ConnectionEstimator {
+ public:
+  explicit ConnectionEstimator(const EstimatorConfig& config = {});
+
+  // Feeds one round-trip observation.
+  void OnRoundTrip(const RoundTripObservation& obs);
+
+  // Feeds one throughput observation; returns the raw (unsmoothed)
+  // bandwidth sample derived from it, in bytes/second.
+  double OnThroughput(const ThroughputObservation& obs);
+
+  // Smoothed bandwidth in bytes/second; zero before any throughput
+  // observation.
+  double bandwidth_bps() const {
+    return bandwidth_.has_value() ? bandwidth_.value() : 0.0;
+  }
+  bool has_bandwidth() const { return bandwidth_.has_value(); }
+
+  // Smoothed round trip.
+  Duration smoothed_rtt() const { return static_cast<Duration>(rtt_.value()); }
+
+  // Virtual time of the most recent observation of either kind.
+  Time last_observation() const { return last_observation_; }
+
+  const EstimatorConfig& config() const { return config_; }
+
+ private:
+  EstimatorConfig config_;
+  EwmaFilter rtt_;
+  EwmaFilter bandwidth_;
+  Time last_observation_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ESTIMATOR_CONNECTION_ESTIMATOR_H_

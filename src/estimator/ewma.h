@@ -1,0 +1,55 @@
+// Exponentially weighted moving average, as used by the viceroy's smoothing
+// step (§6.2.1): new = alpha * measured + (1 - alpha) * old.
+//
+// The paper's equation is typographically mangled in the archival text; we
+// place the given alphas (0.75 for round trip, 0.875 for throughput) on the
+// *measured* term, the only reading consistent with the near-instantaneous
+// Step-Up detection of Figure 8 (see DESIGN.md §5.3).
+
+#ifndef SRC_ESTIMATOR_EWMA_H_
+#define SRC_ESTIMATOR_EWMA_H_
+
+namespace odyssey {
+
+class EwmaFilter {
+ public:
+  // |alpha| is the weight on the newest measurement, in [0, 1].
+  explicit EwmaFilter(double alpha) : alpha_(alpha) {}
+
+  bool has_value() const { return has_value_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+  // Folds in a measurement and returns the new smoothed value.  The first
+  // measurement initializes the filter directly.
+  double Update(double measured) {
+    if (!has_value_) {
+      value_ = measured;
+      has_value_ = true;
+    } else {
+      value_ = alpha_ * measured + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  // Seeds the filter with a prior (e.g. a nominal RTT before any
+  // observation exists).
+  void Prime(double value) {
+    value_ = value;
+    has_value_ = true;
+  }
+
+  void Reset() {
+    has_value_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ESTIMATOR_EWMA_H_

@@ -1,0 +1,61 @@
+// Sliding-window maximum over timestamped samples.
+//
+// The supply estimator's capacity samples are *lower bounds* (a burst's raw
+// rate; the aggregate delivery rate), so the right aggregation is an upper
+// envelope, not a mean: the link's capacity is at least the largest bound
+// observed recently.  A monotonic deque gives O(1) amortized push and
+// query.  The window is anchored at the most recent sample, so with no new
+// observations the estimate holds — passive monitoring cannot see what is
+// not used (§6.2.1).
+
+#ifndef SRC_ESTIMATOR_SLIDING_MAX_H_
+#define SRC_ESTIMATOR_SLIDING_MAX_H_
+
+#include <deque>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class SlidingMax {
+ public:
+  explicit SlidingMax(Duration window) : window_(window) {}
+
+  // Adds a sample; |at| must be non-decreasing across calls.
+  void Push(Time at, double value) {
+    last_push_ = at;
+    while (!samples_.empty() && samples_.back().value <= value) {
+      samples_.pop_back();
+    }
+    samples_.push_back(Sample{at, value});
+    while (!samples_.empty() && samples_.front().at + window_ < at) {
+      samples_.pop_front();
+    }
+  }
+
+  bool has_value() const { return !samples_.empty(); }
+
+  // Maximum over the window ending at the most recent sample.
+  double value() const { return samples_.empty() ? 0.0 : samples_.front().value; }
+
+  Time last_push() const { return last_push_; }
+
+  void Reset() {
+    samples_.clear();
+    last_push_ = 0;
+  }
+
+ private:
+  struct Sample {
+    Time at;
+    double value;
+  };
+
+  Duration window_;
+  std::deque<Sample> samples_;  // decreasing values, increasing times
+  Time last_push_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ESTIMATOR_SLIDING_MAX_H_

@@ -1,0 +1,110 @@
+#include "src/estimator/supply_model.h"
+
+namespace odyssey {
+
+SupplyModel::SupplyModel(const SupplyModelConfig& config)
+    : config_(config), supply_(config.supply_window) {}
+
+void SupplyModel::AddConnection(ConnectionId connection) {
+  connections_.try_emplace(connection, config_);
+}
+
+void SupplyModel::RemoveConnection(ConnectionId connection) {
+  connections_.erase(connection);
+}
+
+void SupplyModel::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
+  auto it = connections_.find(connection);
+  if (it == connections_.end()) {
+    return;
+  }
+  it->second.estimator.OnRoundTrip(obs);
+}
+
+void SupplyModel::OnThroughput(ConnectionId connection, const ThroughputObservation& obs) {
+  auto it = connections_.find(connection);
+  if (it == connections_.end()) {
+    return;
+  }
+  const double raw_bps = it->second.estimator.OnThroughput(obs);
+  // The window's bytes arrived over its whole transfer span, not at the
+  // completion instant.
+  it->second.usage.Record(obs.at - obs.elapsed, obs.at, obs.window_bytes);
+
+  // Capacity sample: the larger of two lower bounds on link capacity.  The
+  // window's raw rate is one (the link carried at least that for one flow);
+  // the aggregate recent delivery rate across every connection is another
+  // (the link carried at least their sum).  Taking the max never double
+  // counts: a burst that ran fast because competitors were momentarily idle
+  // is not inflated by their long-run usage.
+  double aggregate = 0.0;
+  for (const auto& [id, state] : connections_) {
+    aggregate += state.usage.RateAt(obs.at);
+  }
+  supply_.Push(obs.at, raw_bps > aggregate ? raw_bps : aggregate);
+}
+
+double SupplyModel::AvailabilityFor(ConnectionId connection, Time now) const {
+  const double supply = TotalSupply();
+  if (supply <= 0.0) {
+    return 0.0;
+  }
+  const int active = ActiveConnectionCount(now);
+
+  const auto it = connections_.find(connection);
+  const bool known = it != connections_.end();
+  const bool self_active = known && it->second.usage.ActiveAt(now);
+
+  // Fair share: the expected lower bound (§6.2.1).  If this connection is
+  // not among the currently active ones, it would join them, so split one
+  // way further.
+  const int share_ways = active + (self_active ? 0 : 1);
+  const double fair_share = supply / static_cast<double>(share_ways < 1 ? 1 : share_ways);
+
+  if (!known) {
+    return fair_share;
+  }
+
+  // Competed-for part: the capacity not currently consumed by anyone is
+  // available in proportion to recent use — established traffic has more
+  // claim on the headroom than a newcomer, which starts from its fair share
+  // and grows as its usage registers ("higher rates of consumption by the
+  // first stream give it more weight compared to the startup of the
+  // second", §6.2.1).
+  double total_usage = 0.0;
+  for (const auto& [id, state] : connections_) {
+    total_usage += state.usage.RateAt(now);
+  }
+  if (total_usage <= 0.0) {
+    return fair_share;
+  }
+  const double slack = supply > total_usage ? supply - total_usage : 0.0;
+  const double competed_for = slack * (it->second.usage.RateAt(now) / total_usage);
+  const double availability = fair_share + competed_for;
+  return availability < supply ? availability : supply;
+}
+
+int SupplyModel::ActiveConnectionCount(Time now) const {
+  int active = 0;
+  for (const auto& [id, state] : connections_) {
+    if (state.usage.ActiveAt(now)) {
+      ++active;
+    }
+  }
+  if (active == 0 && !connections_.empty()) {
+    active = 1;
+  }
+  return active;
+}
+
+const ConnectionEstimator* SupplyModel::EstimatorFor(ConnectionId connection) const {
+  const auto it = connections_.find(connection);
+  return it == connections_.end() ? nullptr : &it->second.estimator;
+}
+
+double SupplyModel::UsageRateFor(ConnectionId connection, Time now) const {
+  const auto it = connections_.find(connection);
+  return it == connections_.end() ? 0.0 : it->second.usage.RateAt(now);
+}
+
+}  // namespace odyssey

@@ -1,0 +1,94 @@
+// Centralized supply and per-connection availability estimation (§6.2.1).
+//
+// The viceroy collects information from all endpoint logs to estimate the
+// total bandwidth available to the client, then estimates the fraction
+// likely to be available to each connection as the larger of a *fair-share*
+// lower bound (supply / active connections) and a *competed-for* part
+// proportional to recent use.
+//
+// Supply estimation: each completed window yields a capacity sample equal
+// to the larger of two lower bounds — the window's raw rate (the link
+// carried at least that much for one flow) and the aggregate recent
+// delivery rate across all connections (the link carried at least their
+// sum).  Since every sample is a lower bound, the supply estimate is their
+// upper envelope: a sliding-window maximum anchored at the latest
+// observation.  A capacity drop is detected once the stale high samples
+// age out (about one window), matching the paper's ~2 s Step-Down settling
+// and its observation that the 2 s downward impulse is too short for
+// estimation to settle.  Per-
+// connection availability is the fair share (supply / active connections)
+// plus a competed-for slice of the unused headroom proportional to recent
+// use, capped at the supply.
+
+#ifndef SRC_ESTIMATOR_SUPPLY_MODEL_H_
+#define SRC_ESTIMATOR_SUPPLY_MODEL_H_
+
+#include <map>
+
+#include "src/estimator/connection_estimator.h"
+#include "src/estimator/sliding_max.h"
+#include "src/estimator/usage_meter.h"
+#include "src/rpc/observation_log.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+struct SupplyModelConfig {
+  EstimatorConfig estimator;
+  // Time constant of the recent-use decay.
+  Duration usage_tau = 2 * kSecond;
+  // Width of the supply upper-envelope window.
+  Duration supply_window = 2 * kSecond;
+  // A connection with no usage for this long stops counting toward the
+  // fair-share denominator.
+  Duration activity_window = 5 * kSecond;
+};
+
+class SupplyModel {
+ public:
+  explicit SupplyModel(const SupplyModelConfig& config = {});
+
+  // Registers a connection.  Registered connections count toward fair-share
+  // splitting once they have recent usage.
+  void AddConnection(ConnectionId connection);
+  void RemoveConnection(ConnectionId connection);
+
+  // Feeds observations from connection logs.
+  void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs);
+  void OnThroughput(ConnectionId connection, const ThroughputObservation& obs);
+
+  // Estimated total bandwidth available to the client, bytes/second.
+  double TotalSupply() const { return supply_.value(); }
+  bool has_supply() const { return supply_.has_value(); }
+
+  // Estimated bandwidth available to |connection| at time |now|:
+  // max(fair share, competed-for share).  Unknown connections get the fair
+  // share of a hypothetical additional connection.
+  double AvailabilityFor(ConnectionId connection, Time now) const;
+
+  // Number of connections with significant recent usage at |now| (at least
+  // one, once any connection exists).
+  int ActiveConnectionCount(Time now) const;
+
+  // Per-connection smoothed estimates, for diagnostics and the
+  // laissez-faire strategy.
+  const ConnectionEstimator* EstimatorFor(ConnectionId connection) const;
+  double UsageRateFor(ConnectionId connection, Time now) const;
+
+ private:
+  struct PerConnection {
+    ConnectionEstimator estimator;
+    UsageMeter usage;
+
+    explicit PerConnection(const SupplyModelConfig& config)
+        : estimator(config.estimator), usage(config.usage_tau) {}
+  };
+
+  SupplyModelConfig config_;
+  std::map<ConnectionId, PerConnection> connections_;
+  SlidingMax supply_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ESTIMATOR_SUPPLY_MODEL_H_

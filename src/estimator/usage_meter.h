@@ -1,0 +1,90 @@
+// Recent consumption-rate accounting.
+//
+// The viceroy's per-connection availability estimate has a "competed-for
+// part proportional to recent use" (§6.2.1).  A UsageMeter turns byte
+// deliveries into a bytes/second rate over a sliding window of width tau.
+// A delivery may be recorded as an interval (the span of the transfer that
+// carried it); its bytes then count toward the window pro rata, so steady
+// consumption of c bytes/second reads back as exactly c no matter when the
+// rate is sampled.  Phase bias here would leak straight into the supply
+// estimate, which the availability formula cannot afford.
+
+#ifndef SRC_ESTIMATOR_USAGE_METER_H_
+#define SRC_ESTIMATOR_USAGE_METER_H_
+
+#include <deque>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class UsageMeter {
+ public:
+  // |tau| is the sliding-window width; use older than tau is forgotten.
+  explicit UsageMeter(Duration tau = 2 * kSecond) : tau_(tau) {}
+
+  // Records |bytes| delivered over (start, end].  End times across calls
+  // must be non-decreasing.  A zero-length interval is a point delivery.
+  void Record(Time start, Time end, double bytes) {
+    if (end < start) {
+      start = end;
+    }
+    events_.push_back(Event{start, end, bytes});
+  }
+
+  // Point-delivery convenience.
+  void Record(Time at, double bytes) { Record(at, at, bytes); }
+
+  // Consumption rate in bytes/second over the window (at - tau, at].
+  double RateAt(Time at) const {
+    Prune(at);
+    const Time window_start = at - tau_;
+    double bytes_in_window = 0.0;
+    for (const Event& event : events_) {
+      if (event.start == event.end) {
+        // Point delivery: counts fully if inside the window.
+        if (event.start > window_start && event.start <= at) {
+          bytes_in_window += event.bytes;
+        }
+        continue;
+      }
+      const Time lo = event.start > window_start ? event.start : window_start;
+      const Time hi = event.end < at ? event.end : at;
+      if (hi > lo) {
+        bytes_in_window += event.bytes * static_cast<double>(hi - lo) /
+                           static_cast<double>(event.end - event.start);
+      }
+    }
+    return bytes_in_window / DurationToSeconds(tau_);
+  }
+
+  // Whether recorded usage within the window is significant (the
+  // connection is "active" for fair-share counting).
+  bool ActiveAt(Time at, double threshold_bps = 16.0) const { return RateAt(at) > threshold_bps; }
+
+  Time last_event() const { return events_.empty() ? 0 : events_.back().end; }
+
+  void Reset() { events_.clear(); }
+
+ private:
+  struct Event {
+    Time start;
+    Time end;
+    double bytes;
+  };
+
+  // Drops events fully left of the window.  Pruning on read keeps RateAt()
+  // logically const.
+  void Prune(Time at) const {
+    while (!events_.empty() && events_.front().end + tau_ <= at) {
+      events_.pop_front();
+    }
+  }
+
+  Duration tau_;
+  mutable std::deque<Event> events_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ESTIMATOR_USAGE_METER_H_

@@ -1,0 +1,61 @@
+#include "src/metrics/experiment.h"
+
+#include <utility>
+
+#include "src/servers/calibration.h"
+
+namespace odyssey {
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kOdyssey:
+      return "Odyssey";
+    case StrategyKind::kLaissezFaire:
+      return "Laissez-Faire";
+    case StrategyKind::kBlindOptimism:
+      return "Blind-Optimism";
+  }
+  return "Unknown";
+}
+
+ExperimentRig::ExperimentRig(uint64_t seed, StrategyKind strategy)
+    : sim_(seed),
+      link_(&sim_, kHighBandwidth, kOneWayLatency),
+      modulator_(&sim_, &link_),
+      strategy_kind_(strategy),
+      video_server_(&sim_.rng()),
+      distillation_server_(&sim_.rng()) ,
+      janus_server_(&sim_.rng()) {
+  std::unique_ptr<BandwidthStrategy> bandwidth_strategy;
+  switch (strategy) {
+    case StrategyKind::kOdyssey: {
+      auto centralized = std::make_unique<CentralizedStrategy>(&sim_);
+      centralized_ = centralized.get();
+      bandwidth_strategy = std::move(centralized);
+      break;
+    }
+    case StrategyKind::kLaissezFaire:
+      bandwidth_strategy = std::make_unique<LaissezFaireStrategy>();
+      break;
+    case StrategyKind::kBlindOptimism:
+      bandwidth_strategy = std::make_unique<BlindOptimismStrategy>(&modulator_);
+      break;
+  }
+  client_ = std::make_unique<OdysseyClient>(&sim_, &link_, std::move(bandwidth_strategy));
+
+  video_server_.AddMovie(VideoServer::MakeDefaultMovie(kDefaultMovie, kVideoFramesPerTrial));
+  distillation_server_.PublishImage(kTestImageUrl, kWebImageBytes);
+
+  client_->InstallWarden(std::make_unique<VideoWarden>(&video_server_));
+  client_->InstallWarden(std::make_unique<WebWarden>(&distillation_server_));
+  client_->InstallWarden(std::make_unique<SpeechWarden>(&janus_server_));
+  client_->InstallWarden(std::make_unique<BitstreamWarden>());
+}
+
+Time ExperimentRig::Replay(const ReplayTrace& trace, bool prime) {
+  const ReplayTrace primed = prime ? trace.WithPriming(kPrimingPeriod) : trace;
+  modulator_.Replay(primed);
+  return sim_.now() + (prime ? kPrimingPeriod : 0);
+}
+
+}  // namespace odyssey

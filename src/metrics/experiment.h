@@ -1,0 +1,85 @@
+// The experiment rig: one mobile client, its modulated link, the Odyssey
+// ensemble, and the modeled servers — §6.1.3's hardware configuration in
+// simulation.  Integration tests and every benchmark build on this.
+
+#ifndef SRC_METRICS_EXPERIMENT_H_
+#define SRC_METRICS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/odyssey_client.h"
+#include "src/net/link.h"
+#include "src/net/modulator.h"
+#include "src/servers/distillation_server.h"
+#include "src/servers/janus_server.h"
+#include "src/servers/video_server.h"
+#include "src/sim/simulation.h"
+#include "src/strategies/blind_optimism.h"
+#include "src/strategies/centralized.h"
+#include "src/strategies/laissez_faire.h"
+#include "src/tracemod/waveforms.h"
+#include "src/wardens/bitstream_warden.h"
+#include "src/wardens/speech_warden.h"
+#include "src/wardens/video_warden.h"
+#include "src/wardens/web_warden.h"
+
+namespace odyssey {
+
+// The three resource-management strategies compared in §6.2.3.
+enum class StrategyKind {
+  kOdyssey,        // centralized (the real system)
+  kLaissezFaire,   // per-log isolation
+  kBlindOptimism,  // theoretical bandwidth at transitions
+};
+
+const char* StrategyKindName(StrategyKind kind);
+
+// The default test movie and image the workloads use.
+inline constexpr char kDefaultMovie[] = "default";
+inline constexpr char kTestImageUrl[] = "http://origin/test-image.jpg";
+
+class ExperimentRig {
+ public:
+  // Builds the full client stack with the given trial |seed| and
+  // |strategy|.  The link starts at the high bandwidth until a trace is
+  // replayed.
+  ExperimentRig(uint64_t seed, StrategyKind strategy);
+
+  ExperimentRig(const ExperimentRig&) = delete;
+  ExperimentRig& operator=(const ExperimentRig&) = delete;
+
+  // Starts replaying |trace| immediately (with the paper's 30-second
+  // priming prefix if |prime| is true) and returns the virtual time at
+  // which the measured portion begins.
+  Time Replay(const ReplayTrace& trace, bool prime = true);
+
+  Simulation& sim() { return sim_; }
+  Link& link() { return link_; }
+  Modulator& modulator() { return modulator_; }
+  OdysseyClient& client() { return *client_; }
+  VideoServer& video_server() { return video_server_; }
+  DistillationServer& distillation_server() { return distillation_server_; }
+  JanusServer& janus_server() { return janus_server_; }
+  StrategyKind strategy_kind() const { return strategy_kind_; }
+
+  // The centralized strategy, if that is what the rig runs (for share
+  // probes in the agility experiments); null otherwise.
+  CentralizedStrategy* centralized() { return centralized_; }
+
+ private:
+  Simulation sim_;
+  Link link_;
+  Modulator modulator_;
+  StrategyKind strategy_kind_;
+  CentralizedStrategy* centralized_ = nullptr;
+  std::unique_ptr<OdysseyClient> client_;
+  VideoServer video_server_;
+  DistillationServer distillation_server_;
+  JanusServer janus_server_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_METRICS_EXPERIMENT_H_

@@ -1,0 +1,63 @@
+#include "src/metrics/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace odyssey {
+
+Stats::Stats(const std::vector<double>& samples) {
+  for (const double sample : samples) {
+    Add(sample);
+  }
+}
+
+void Stats::Add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    if (sample < min_) {
+      min_ = sample;
+    }
+    if (sample > max_) {
+      max_ = sample;
+    }
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / count_;
+  m2_ += delta * (sample - mean_);
+}
+
+double Stats::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / (count_ - 1));
+}
+
+std::string Stats::Format(int precision) const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f (%.*f)", precision, mean(), precision, stddev());
+  return buffer;
+}
+
+double SettlingTime(const Series& series, double from, double lo, double hi) {
+  double settled_at = -1.0;
+  for (const auto& point : series) {
+    if (point.t_seconds < from) {
+      continue;
+    }
+    const bool inside = point.value >= lo && point.value <= hi;
+    if (inside) {
+      if (settled_at < 0.0) {
+        settled_at = point.t_seconds;
+      }
+    } else {
+      settled_at = -1.0;
+    }
+  }
+  return settled_at < 0.0 ? -1.0 : settled_at - from;
+}
+
+}  // namespace odyssey

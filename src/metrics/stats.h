@@ -1,0 +1,56 @@
+// Summary statistics for experiment reporting.
+//
+// The paper reports each observation as the mean of five trials with the
+// standard deviation in parentheses; Stats accumulates samples with
+// Welford's algorithm and formats them that way.
+
+#ifndef SRC_METRICS_STATS_H_
+#define SRC_METRICS_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace odyssey {
+
+class Stats {
+ public:
+  Stats() = default;
+  explicit Stats(const std::vector<double>& samples);
+
+  void Add(double sample);
+
+  int count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Sample standard deviation (n-1 denominator); zero for fewer than two
+  // samples.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // "12.3 (0.4)" with the given precision, the paper's table cell format.
+  std::string Format(int precision = 2) const;
+
+ private:
+  int count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// A timestamped series of measurements (estimate traces for Figures 8/9).
+struct SeriesPoint {
+  double t_seconds = 0.0;
+  double value = 0.0;
+};
+
+using Series = std::vector<SeriesPoint>;
+
+// First time >= |from| at which |series| enters [lo, hi] and stays inside
+// through the end; returns a negative value if it never settles.  This is
+// the control-systems settling time used to quantify agility.
+double SettlingTime(const Series& series, double from, double lo, double hi);
+
+}  // namespace odyssey
+
+#endif  // SRC_METRICS_STATS_H_

@@ -1,0 +1,35 @@
+#include "src/metrics/trial.h"
+
+#include <algorithm>
+
+namespace odyssey {
+
+SeriesBand MergeSeries(const std::vector<Series>& trials) {
+  SeriesBand band;
+  if (trials.empty()) {
+    return band;
+  }
+  size_t length = trials.front().size();
+  for (const auto& series : trials) {
+    length = std::min(length, series.size());
+  }
+  band.t_seconds.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    double sum = 0.0;
+    double lo = trials.front()[i].value;
+    double hi = lo;
+    for (const auto& series : trials) {
+      const double v = series[i].value;
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    band.t_seconds.push_back(trials.front()[i].t_seconds);
+    band.mean.push_back(sum / static_cast<double>(trials.size()));
+    band.min.push_back(lo);
+    band.max.push_back(hi);
+  }
+  return band;
+}
+
+}  // namespace odyssey

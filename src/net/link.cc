@@ -1,0 +1,109 @@
+#include "src/net/link.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace odyssey {
+namespace {
+
+// Residual bytes below this are considered fully delivered; guards against
+// floating-point dust keeping a flow alive forever.
+constexpr double kEpsilonBytes = 1e-6;
+
+}  // namespace
+
+Link::Link(Simulation* sim, double capacity_bps, Duration latency)
+    : sim_(sim), capacity_bps_(capacity_bps), latency_(latency), last_update_(sim->now()) {}
+
+void Link::SetCapacity(double capacity_bps) {
+  Advance();
+  capacity_bps_ = capacity_bps < 0.0 ? 0.0 : capacity_bps;
+  CompleteAndReschedule();
+}
+
+double Link::FairShareRate() const {
+  if (flows_.empty()) {
+    return capacity_bps_;
+  }
+  return capacity_bps_ / static_cast<double>(flows_.size());
+}
+
+FlowId Link::StartFlow(double bytes, std::function<void()> on_complete) {
+  Advance();
+  const FlowId id = next_id_++;
+  if (bytes <= kEpsilonBytes) {
+    // Degenerate flow: deliver on the next event-loop turn so the callback
+    // never fires before StartFlow returns.
+    sim_->Schedule(0, std::move(on_complete));
+    return id;
+  }
+  flows_[id] = Flow{bytes, std::move(on_complete)};
+  CompleteAndReschedule();
+  return id;
+}
+
+void Link::CancelFlow(FlowId id) {
+  Advance();
+  flows_.erase(id);
+  CompleteAndReschedule();
+}
+
+void Link::Advance() {
+  const Time now = sim_->now();
+  if (now == last_update_ || flows_.empty()) {
+    last_update_ = now;
+    return;
+  }
+  const double elapsed_s = DurationToSeconds(now - last_update_);
+  const double rate = capacity_bps_ / static_cast<double>(flows_.size());
+  const double progress = rate * elapsed_s;
+  for (auto& [id, flow] : flows_) {
+    const double delivered = progress < flow.remaining ? progress : flow.remaining;
+    flow.remaining -= delivered;
+    bytes_delivered_ += delivered;
+  }
+  last_update_ = now;
+}
+
+void Link::CompleteAndReschedule() {
+  // Complete drained flows.  Callbacks may start new flows re-entrantly, so
+  // collect them first.
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kEpsilonBytes) {
+      done.push_back(std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& cb : done) {
+    if (cb) {
+      cb();
+    }
+  }
+  if (!done.empty()) {
+    // Callbacks may have mutated the flow set; recompute from a clean slate.
+    Advance();
+  }
+
+  pending_completion_.Cancel();
+  if (flows_.empty() || capacity_bps_ <= 0.0) {
+    return;  // stalled (radio shadow) or idle: wait for a capacity change
+  }
+  double min_remaining = std::numeric_limits<double>::max();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.remaining < min_remaining) {
+      min_remaining = flow.remaining;
+    }
+  }
+  const double rate = capacity_bps_ / static_cast<double>(flows_.size());
+  const Duration eta = SecondsToDuration(min_remaining / rate);
+  pending_completion_ = sim_->Schedule(eta < 1 ? 1 : eta, [this] {
+    Advance();
+    CompleteAndReschedule();
+  });
+}
+
+}  // namespace odyssey

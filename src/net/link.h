@@ -1,0 +1,87 @@
+// An emulated network link with time-varying capacity shared among flows.
+//
+// This is the simulation-level equivalent of the paper's trace-modulation
+// layer: all traffic into and out of the mobile client is delayed according
+// to a linear model combining latency and bandwidth-induced delay (§6.1.2).
+// Concurrently active flows share the nominal capacity equally (processor
+// sharing), which provides the bandwidth contention that the concurrency
+// experiments (Figures 9 and 14) exercise.
+//
+// Latency is applied by callers per message (see rpc::Endpoint); the link
+// models only the bandwidth-induced component and exposes the current
+// latency parameter for them.
+
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+using FlowId = uint64_t;
+
+class Link {
+ public:
+  // |capacity_bps| is the nominal bandwidth in bytes/second; |latency| the
+  // one-way latency applied per message by callers.
+  Link(Simulation* sim, double capacity_bps, Duration latency);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Changes the nominal capacity, rescheduling in-flight flows.  A zero
+  // capacity stalls all flows until capacity is restored (radio shadow).
+  void SetCapacity(double capacity_bps);
+  void SetLatency(Duration latency) { latency_ = latency; }
+
+  double capacity_bps() const { return capacity_bps_; }
+  Duration latency() const { return latency_; }
+  size_t active_flow_count() const { return flows_.size(); }
+
+  // Instantaneous per-flow rate if one more flow were added; used only by
+  // diagnostics.
+  double FairShareRate() const;
+
+  // Starts transferring |bytes| through the shared link.  |on_complete| fires
+  // when the last byte clears the link.  Zero-byte flows complete after the
+  // next event-loop turn.  Returns an id usable with CancelFlow().
+  FlowId StartFlow(double bytes, std::function<void()> on_complete);
+
+  // Abandons an in-flight flow; its completion callback never fires.
+  // Unknown ids are ignored (the flow may have completed already).
+  void CancelFlow(FlowId id);
+
+  // Total bytes delivered over the lifetime of the link.
+  double bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  struct Flow {
+    double remaining = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  // Applies progress to all flows for time elapsed since |last_update_|.
+  void Advance();
+  // Completes any flows that have drained, then schedules the next
+  // completion event.
+  void CompleteAndReschedule();
+
+  Simulation* sim_;
+  double capacity_bps_;
+  Duration latency_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  Time last_update_ = 0;
+  EventHandle pending_completion_;
+  double bytes_delivered_ = 0.0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,35 @@
+#include "src/net/modulator.h"
+
+#include <utility>
+
+namespace odyssey {
+
+Modulator::Modulator(Simulation* sim, Link* link) : sim_(sim), link_(link) {}
+
+void Modulator::Replay(const ReplayTrace& trace) {
+  next_transition_.Cancel();
+  trace_ = trace;
+  start_time_ = sim_->now();
+  if (!trace_.empty()) {
+    ApplySegment(0);
+  }
+}
+
+void Modulator::AddTransitionListener(TransitionListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void Modulator::ApplySegment(size_t index) {
+  const TraceSegment& segment = trace_.segments()[index];
+  link_->SetLatency(segment.latency);
+  link_->SetCapacity(segment.bandwidth_bps);
+  for (const auto& listener : listeners_) {
+    listener(segment);
+  }
+  if (index + 1 < trace_.segments().size()) {
+    next_transition_ =
+        sim_->Schedule(segment.duration, [this, index] { ApplySegment(index + 1); });
+  }
+}
+
+}  // namespace odyssey

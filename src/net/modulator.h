@@ -1,0 +1,59 @@
+// The trace-modulation daemon: feeds replay-trace parameters to a Link.
+//
+// This mirrors the user-level daemon of §6.1.2 that reads a replay trace and
+// feeds model parameters to the in-kernel delay layer.  Transition listeners
+// exist so that the blind-optimism strategy (§6.2.3) can be told the
+// theoretical bandwidth at each network transition, exactly as the paper's
+// modified viceroy was.
+
+#ifndef SRC_NET_MODULATOR_H_
+#define SRC_NET_MODULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/sim/simulation.h"
+#include "src/tracemod/replay_trace.h"
+
+namespace odyssey {
+
+class Modulator {
+ public:
+  // Called at every trace transition with the segment that just took effect.
+  using TransitionListener = std::function<void(const TraceSegment&)>;
+
+  Modulator(Simulation* sim, Link* link);
+
+  Modulator(const Modulator&) = delete;
+  Modulator& operator=(const Modulator&) = delete;
+
+  // Starts replaying |trace| from the current virtual time.  The first
+  // segment takes effect immediately; after the trace ends the final
+  // segment's parameters persist.
+  void Replay(const ReplayTrace& trace);
+
+  // Registers |listener| for future transitions (including the initial one
+  // if registered before Replay()).
+  void AddTransitionListener(TransitionListener listener);
+
+  const ReplayTrace& trace() const { return trace_; }
+
+  // Theoretical bandwidth at virtual time |t| relative to Replay() start.
+  double TheoreticalBandwidthAt(Time t) const { return trace_.BandwidthAt(t - start_time_); }
+  Time start_time() const { return start_time_; }
+
+ private:
+  void ApplySegment(size_t index);
+
+  Simulation* sim_;
+  Link* link_;
+  ReplayTrace trace_;
+  Time start_time_ = 0;
+  std::vector<TransitionListener> listeners_;
+  EventHandle next_transition_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_NET_MODULATOR_H_

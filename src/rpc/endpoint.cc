@@ -1,0 +1,91 @@
+#include "src/rpc/endpoint.h"
+
+#include <utility>
+
+namespace odyssey {
+
+ConnectionId Endpoint::next_id_ = 1;
+
+Endpoint::Endpoint(Simulation* sim, Link* link, std::string name)
+    : sim_(sim), link_(link), name_(std::move(name)), id_(next_id_++), log_(id_) {}
+
+void Endpoint::Call(double request_bytes, double response_bytes, Duration server_compute,
+                    Done done) {
+  const Time start = sim_->now();
+  // Request transmission, then one-way latency to the server.
+  link_->StartFlow(request_bytes, [this, start, response_bytes, server_compute,
+                                   done = std::move(done)]() mutable {
+    sim_->Schedule(link_->latency() + server_compute, [this, start, response_bytes,
+                                                       server_compute,
+                                                       done = std::move(done)]() mutable {
+      // Response transmission, then one-way latency back to the client.
+      link_->StartFlow(response_bytes, [this, start, server_compute,
+                                        done = std::move(done)]() mutable {
+        sim_->Schedule(link_->latency(), [this, start, server_compute,
+                                          done = std::move(done)]() mutable {
+          const Duration rtt = (sim_->now() - start) - server_compute;
+          log_.RecordRoundTrip(sim_->now(), rtt < 0 ? 0 : rtt);
+          if (done) {
+            done();
+          }
+        });
+      });
+    });
+  });
+}
+
+void Endpoint::Ping(Done done) {
+  Call(kControlMessageBytes, kControlMessageBytes, 0, std::move(done));
+}
+
+void Endpoint::FetchWindow(double bytes, Done done) {
+  const Time start = sim_->now();
+  // Window request upstream...
+  link_->StartFlow(kControlMessageBytes, [this, start, bytes, done = std::move(done)]() mutable {
+    sim_->Schedule(link_->latency(), [this, start, bytes, done = std::move(done)]() mutable {
+      // ...then the window's data downstream.
+      link_->StartFlow(bytes, [this, start, bytes, done = std::move(done)]() mutable {
+        sim_->Schedule(link_->latency(), [this, start, bytes, done = std::move(done)]() mutable {
+          bytes_transferred_ += bytes;
+          log_.RecordThroughput(sim_->now(), bytes, sim_->now() - start);
+          if (done) {
+            done();
+          }
+        });
+      });
+    });
+  });
+}
+
+void Endpoint::Fetch(double total_bytes, Duration server_compute, Done done) {
+  // The transfer request is a small exchange: it logs a round trip and
+  // absorbs the server's compute time before data begins to flow.
+  Call(kControlMessageBytes, kControlMessageBytes, server_compute,
+       [this, total_bytes, done = std::move(done)]() mutable {
+         TransferWindows(total_bytes, std::move(done));
+       });
+}
+
+void Endpoint::Send(double total_bytes, Duration server_compute, Done done) {
+  // Under the shared-capacity link model an upstream window is timed the
+  // same way as a downstream one: control message one way, data the other.
+  Call(kControlMessageBytes, kControlMessageBytes, server_compute,
+       [this, total_bytes, done = std::move(done)]() mutable {
+         TransferWindows(total_bytes, std::move(done));
+       });
+}
+
+void Endpoint::TransferWindows(double remaining, Done done) {
+  if (remaining <= 0.0) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  const double this_window = remaining < window_bytes_ ? remaining : window_bytes_;
+  FetchWindow(this_window, [this, remaining, this_window, done = std::move(done)]() mutable {
+    TransferWindows(remaining - this_window, std::move(done));
+  });
+}
+
+}  // namespace odyssey

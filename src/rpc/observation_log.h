@@ -1,0 +1,92 @@
+// Per-endpoint observation logs for passive network monitoring (§6.2.1).
+//
+// The paper's user-level RPC mechanism logs two kinds of entries: *round
+// trip* entries recorded for small exchanges (request/response time less
+// server computation) and *throughput* entries arising from windowed bulk
+// transfers.  Each distinct endpoint has its own log, and the viceroy
+// subscribes to every log to drive estimation.
+
+#ifndef SRC_RPC_OBSERVATION_LOG_H_
+#define SRC_RPC_OBSERVATION_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+// Identifies a client-server connection (an rpc::Endpoint).
+using ConnectionId = uint64_t;
+
+// A small request/response exchange: |rtt| excludes server compute time.
+struct RoundTripObservation {
+  Time at = 0;
+  Duration rtt = 0;
+};
+
+// One window's worth of bulk data: |elapsed| spans window request to last
+// byte received (or data sent to acknowledgement received).
+struct ThroughputObservation {
+  Time at = 0;
+  double window_bytes = 0.0;
+  Duration elapsed = 0;
+};
+
+// Receives observations as they are logged.  Implemented by the viceroy's
+// bandwidth strategies.
+class LogListener {
+ public:
+  virtual ~LogListener() = default;
+  virtual void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) = 0;
+  virtual void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) = 0;
+};
+
+class ObservationLog {
+ public:
+  explicit ObservationLog(ConnectionId connection) : connection_(connection) {}
+
+  ConnectionId connection() const { return connection_; }
+
+  void AddListener(LogListener* listener) { listeners_.push_back(listener); }
+  void RemoveListener(LogListener* listener) {
+    std::erase(listeners_, listener);
+  }
+
+  void RecordRoundTrip(Time at, Duration rtt) {
+    round_trips_.push_back(RoundTripObservation{at, rtt});
+    for (LogListener* listener : listeners_) {
+      listener->OnRoundTrip(connection_, round_trips_.back());
+    }
+  }
+
+  void RecordThroughput(Time at, double window_bytes, Duration elapsed) {
+    throughputs_.push_back(ThroughputObservation{at, window_bytes, elapsed});
+    for (LogListener* listener : listeners_) {
+      listener->OnThroughput(connection_, throughputs_.back());
+    }
+  }
+
+  const std::vector<RoundTripObservation>& round_trips() const { return round_trips_; }
+  const std::vector<ThroughputObservation>& throughputs() const { return throughputs_; }
+
+  // Total bytes covered by throughput entries; used by demand accounting
+  // sanity checks.
+  double TotalBulkBytes() const {
+    double total = 0.0;
+    for (const auto& obs : throughputs_) {
+      total += obs.window_bytes;
+    }
+    return total;
+  }
+
+ private:
+  ConnectionId connection_;
+  std::vector<RoundTripObservation> round_trips_;
+  std::vector<ThroughputObservation> throughputs_;
+  std::vector<LogListener*> listeners_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_RPC_OBSERVATION_LOG_H_

@@ -1,0 +1,27 @@
+#include "src/servers/file_server.h"
+
+namespace odyssey {
+
+void FileServer::Publish(const std::string& name, double bytes) {
+  files_[name] = FileInfo{bytes, 1};
+}
+
+Status FileServer::Update(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFoundError("no such file: " + name);
+  }
+  ++it->second.version;
+  return OkStatus();
+}
+
+Status FileServer::Stat(const std::string& name, FileInfo* out) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFoundError("no such file: " + name);
+  }
+  *out = it->second;
+  return OkStatus();
+}
+
+}  // namespace odyssey

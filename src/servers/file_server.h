@@ -1,0 +1,59 @@
+// A versioned file server, the remote end of the file warden.
+//
+// Models a general-purpose file repository (§2.2's "file servers") with
+// just enough state for consistency to matter: each file has a version
+// that server-side updates bump.  A client that validates sees updates
+// immediately; one that serves cached data optimistically may expose stale
+// versions — the availability-for-consistency trade Coda, Ficus, and Bayou
+// made, which the paper generalizes into the fidelity concept.
+
+#ifndef SRC_SERVERS_FILE_SERVER_H_
+#define SRC_SERVERS_FILE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/core/status.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+struct FileInfo {
+  double bytes = 0.0;
+  uint64_t version = 0;
+};
+
+class FileServer {
+ public:
+  explicit FileServer(Rng* rng) : rng_(rng) {}
+
+  // Creates or replaces a file at version 1.
+  void Publish(const std::string& name, double bytes);
+
+  // Server-side update: bumps the version (size unchanged).  kNotFound if
+  // the file does not exist.
+  Status Update(const std::string& name);
+
+  Status Stat(const std::string& name, FileInfo* out) const;
+
+  // Compute cost of a validation (version check) and of locating a file
+  // for transfer, jittered per call.
+  Duration ValidateCompute() { return Jitter(2 * kMillisecond); }
+  Duration FetchCompute() { return Jitter(5 * kMillisecond); }
+
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  Duration Jitter(Duration nominal) {
+    return static_cast<Duration>(static_cast<double>(nominal) * rng_->JitterFactor(0.05));
+  }
+
+  Rng* rng_;
+  std::map<std::string, FileInfo> files_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_SERVERS_FILE_SERVER_H_

@@ -1,0 +1,6 @@
+#include "src/servers/janus_server.h"
+
+// JanusServer is fully defined inline; this translation unit anchors the
+// library target.
+
+namespace odyssey {}  // namespace odyssey

@@ -1,0 +1,49 @@
+// The Janus speech servers (§5.3, Figure 6).
+//
+// Janus is split into a local instance (on the slow client CPU) and a remote
+// instance (on fast compute servers).  The server accepts either a raw
+// utterance or one already pre-processed by the first Janus pass; that pass
+// compresses roughly 5:1 at modest CPU cost.  The model answers with the
+// compute time each pass costs on each machine.
+
+#ifndef SRC_SERVERS_JANUS_SERVER_H_
+#define SRC_SERVERS_JANUS_SERVER_H_
+
+#include "src/servers/calibration.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class JanusServer {
+ public:
+  // The per-run session factor models run-to-run variation in the compute
+  // servers' environment.
+  explicit JanusServer(Rng* rng) : rng_(rng), session_factor_(rng->JitterFactor(0.015)) {}
+
+  // First-pass pre-processing on the client's slow CPU.
+  Duration PreprocessLocal() { return Jitter(kSpeechPreprocessLocal); }
+  // First-pass pre-processing on the remote server.
+  Duration PreprocessRemote() { return Jitter(kSpeechPreprocessServer); }
+  // The remaining recognition passes, on the remote server.
+  Duration RecognizeRemote() { return Jitter(kSpeechRecognizeServer); }
+  // Full recognition on the client — possible when disconnected, at severe
+  // CPU cost.
+  Duration RecognizeLocal() { return Jitter(kSpeechRecognizeLocal); }
+
+  // Size of the pre-processed form of a raw utterance.
+  static double CompressedBytes(double raw_bytes) { return raw_bytes / kSpeechCompressionRatio; }
+
+ private:
+  Duration Jitter(Duration nominal) {
+    return static_cast<Duration>(static_cast<double>(nominal) * session_factor_ *
+                                 rng_->JitterFactor(kComputeJitterStddev));
+  }
+
+  Rng* rng_;
+  double session_factor_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_SERVERS_JANUS_SERVER_H_

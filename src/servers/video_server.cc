@@ -1,0 +1,75 @@
+#include "src/servers/video_server.h"
+
+#include <utility>
+
+namespace odyssey {
+
+double MovieMeta::StorageOverhead() const {
+  if (tracks.empty() || tracks.front().frame_bytes <= 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& track : tracks) {
+    total += track.frame_bytes;
+  }
+  return total / tracks.front().frame_bytes - 1.0;
+}
+
+Status VideoServer::AddMovie(MovieMeta movie) {
+  if (movie.tracks.empty()) {
+    return InvalidArgumentError("movie has no tracks");
+  }
+  if (movie.frame_count <= 0) {
+    return InvalidArgumentError("movie has no frames");
+  }
+  const auto [it, inserted] = movies_.try_emplace(movie.name, std::move(movie));
+  if (!inserted) {
+    return AlreadyExistsError("movie already stored");
+  }
+  return OkStatus();
+}
+
+MovieMeta VideoServer::MakeDefaultMovie(std::string name, int frame_count) {
+  MovieMeta movie;
+  movie.name = std::move(name);
+  movie.fps = kVideoFps;
+  movie.frame_count = frame_count;
+  movie.tracks = {
+      VideoTrack{"JPEG(99)", kVideoJpeg99FrameBytes, kVideoJpeg99Fidelity},
+      VideoTrack{"JPEG(50)", kVideoJpeg50FrameBytes, kVideoJpeg50Fidelity},
+      VideoTrack{"B/W", kVideoBwFrameBytes, kVideoBwFidelity},
+  };
+  return movie;
+}
+
+Status VideoServer::GetMeta(const std::string& movie, MovieMeta* out) const {
+  const auto it = movies_.find(movie);
+  if (it == movies_.end()) {
+    return NotFoundError("no such movie: " + movie);
+  }
+  *out = it->second;
+  return OkStatus();
+}
+
+Status VideoServer::GetFrame(const std::string& movie, int track, int frame_index,
+                             FrameReply* out) {
+  const auto it = movies_.find(movie);
+  if (it == movies_.end()) {
+    return NotFoundError("no such movie: " + movie);
+  }
+  const MovieMeta& meta = it->second;
+  if (track < 0 || track >= static_cast<int>(meta.tracks.size())) {
+    return InvalidArgumentError("bad track index");
+  }
+  if (frame_index < 0 || frame_index >= meta.frame_count) {
+    return InvalidArgumentError("bad frame index");
+  }
+  // Individual frames are variable-bitrate around the track mean.
+  out->bytes = meta.tracks[track].frame_bytes * rng_->JitterFactor(kVideoFrameSizeJitter);
+  out->fidelity = meta.tracks[track].fidelity;
+  out->compute = static_cast<Duration>(static_cast<double>(kVideoFrameCompute) *
+                                       rng_->JitterFactor(kComputeJitterStddev));
+  return OkStatus();
+}
+
+}  // namespace odyssey

@@ -1,0 +1,75 @@
+// The video server (§5.1, Figure 4).
+//
+// Each movie is stored in multiple tracks, one per fidelity level; for
+// Quicktime data the paper stores JPEG-compressed color frames at qualities
+// 99 and 50 plus black-and-white frames.  The server model holds movie
+// metadata and answers frame requests with the byte size and server compute
+// time the warden's RPC should charge; the actual bytes move through the
+// warden's endpoint over the emulated network.
+
+#ifndef SRC_SERVERS_VIDEO_SERVER_H_
+#define SRC_SERVERS_VIDEO_SERVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/servers/calibration.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+struct VideoTrack {
+  std::string name;
+  double frame_bytes = 0.0;
+  double fidelity = 0.0;
+
+  // Bandwidth needed to sustain this track at |fps| with protocol headroom.
+  double RequiredBandwidth(double fps) const { return frame_bytes * fps * 1.05; }
+};
+
+struct MovieMeta {
+  std::string name;
+  double fps = kVideoFps;
+  int frame_count = 0;
+  // Ordered best fidelity first.
+  std::vector<VideoTrack> tracks;
+
+  // Storage cost of all tracks relative to the best track alone; the paper
+  // reports "typically about 60% more".
+  double StorageOverhead() const;
+};
+
+class VideoServer {
+ public:
+  explicit VideoServer(Rng* rng) : rng_(rng) {}
+
+  // Registers a movie.  Fails on duplicates or empty track lists.
+  Status AddMovie(MovieMeta movie);
+
+  // A Quicktime movie with the paper's three tracks.
+  static MovieMeta MakeDefaultMovie(std::string name, int frame_count);
+
+  Status GetMeta(const std::string& movie, MovieMeta* out) const;
+
+  struct FrameReply {
+    double bytes = 0.0;
+    Duration compute = 0;
+    double fidelity = 0.0;
+  };
+
+  // Frame lookup: byte size and (jittered) server compute for one frame of
+  // |track| in |movie|.  kNotFound / kInvalidArgument on bad names or
+  // indices.
+  Status GetFrame(const std::string& movie, int track, int frame_index, FrameReply* out);
+
+ private:
+  Rng* rng_;
+  std::map<std::string, MovieMeta> movies_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_SERVERS_VIDEO_SERVER_H_

@@ -1,0 +1,113 @@
+// A cancellable, stable-ordered event queue for discrete-event simulation.
+//
+// Events scheduled for the same virtual time fire in scheduling order
+// (FIFO), which keeps simulations deterministic.  Cancellation is O(1):
+// the heap entry is tombstoned and skipped on pop.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+// A handle that can cancel a pending event.  Copyable; all copies refer to
+// the same underlying event.  Cancelling an already-fired or already-
+// cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ && !*state_; }
+
+  // Prevents the event from firing.  Safe to call at any point.
+  void Cancel() {
+    if (state_) {
+      *state_ = true;
+    }
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<bool> state_;  // true == cancelled-or-fired
+};
+
+// Min-heap of (time, sequence) -> callback.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules |cb| to fire at absolute virtual time |when|.
+  EventHandle ScheduleAt(Time when, Callback cb) {
+    auto state = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, state, std::move(cb)});
+    return EventHandle(std::move(state));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest live event.  Skips tombstones.  Requires !empty()
+  // after tombstone compaction; returns false if no live event remains.
+  bool PeekTime(Time* when) {
+    Compact();
+    if (heap_.empty()) {
+      return false;
+    }
+    *when = heap_.top().when;
+    return true;
+  }
+
+  // Pops and runs the earliest live event, storing its time in |when|.
+  // Returns false if no live event remains.
+  bool RunNext(Time* when) {
+    Compact();
+    if (heap_.empty()) {
+      return false;
+    }
+    Entry entry = heap_.top();
+    heap_.pop();
+    *entry.cancelled = true;  // marks as fired; further Cancel() is a no-op
+    *when = entry.when;
+    entry.cb();
+    return true;
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    uint64_t seq;
+    std::shared_ptr<bool> cancelled;
+    Callback cb;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void Compact() {
+    while (!heap_.empty() && *heap_.top().cancelled) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation for simulation trials.
+//
+// The experiments in the paper report the mean and standard deviation of five
+// trials.  Each trial here is seeded deterministically, so a figure reproduces
+// bit-identically while still exhibiting trial-to-trial spread.  We implement
+// SplitMix64 (for seeding) and xoshiro256++ (the workhorse generator) rather
+// than relying on <random> engine internals, whose streams are not guaranteed
+// to be identical across standard library implementations.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace odyssey {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256++ by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  // Constructs a generator whose stream is fully determined by |seed|.
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+      word = sm.Next();
+    }
+  }
+
+  // Returns the next 64 uniformly distributed bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n).  n must be positive.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's rejection-free-ish bounded generation with one retry loop.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto low = static_cast<uint64_t>(m);
+    if (low < n) {
+      const uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple and adequate
+  // for jittering compute costs in trials).
+  double Normal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  // A multiplicative jitter factor centered on 1.0 and clamped to stay
+  // positive; used to perturb modeled compute costs per trial.
+  double JitterFactor(double relative_stddev) {
+    const double f = Normal(1.0, relative_stddev);
+    return f < 0.01 ? 0.01 : f;
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_{};
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_SIM_RANDOM_H_

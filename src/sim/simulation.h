@@ -1,0 +1,90 @@
+// The discrete-event simulation context shared by every Odyssey component.
+//
+// A Simulation owns the virtual clock and the event queue.  Components hold a
+// Simulation* and schedule callbacks; the driver calls Run() (or RunUntil())
+// to advance virtual time.  The whole system is single-threaded: the paper's
+// viceroy and wardens run on cooperatively scheduled user-level threads in a
+// single address space, which an event loop models faithfully and
+// reproducibly.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class Simulation {
+ public:
+  // |seed| determines the trial's random stream (compute-cost jitter etc.).
+  explicit Simulation(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current virtual time.
+  Time now() const { return now_; }
+
+  Rng& rng() { return rng_; }
+
+  // Schedules |cb| to run after |delay| microseconds of virtual time.
+  // Negative delays are clamped to zero (fire "now", after currently queued
+  // same-time events).
+  EventHandle Schedule(Duration delay, EventQueue::Callback cb) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    return queue_.ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Schedules |cb| at absolute virtual time |when| (clamped to now).
+  EventHandle ScheduleAt(Time when, EventQueue::Callback cb) {
+    if (when < now_) {
+      when = now_;
+    }
+    return queue_.ScheduleAt(when, std::move(cb));
+  }
+
+  // Runs events until the queue is empty.
+  void Run() { RunUntil(std::numeric_limits<Time>::max()); }
+
+  // Runs events with firing time <= |deadline|; afterwards now() ==
+  // max(deadline, time reached), so periodic samplers see a consistent clock.
+  void RunUntil(Time deadline) {
+    Time when = 0;
+    while (queue_.PeekTime(&when) && when <= deadline) {
+      now_ = when;  // the clock reads the event's time inside its callback
+      queue_.RunNext(&when);
+    }
+    if (deadline != std::numeric_limits<Time>::max() && now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  // Runs a single event if one exists; returns whether one ran.
+  bool Step() {
+    Time when = 0;
+    if (!queue_.PeekTime(&when)) {
+      return false;
+    }
+    now_ = when;
+    return queue_.RunNext(&when);
+  }
+
+  size_t pending_events() { return queue_.size(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,44 @@
+// Virtual-time primitives for the Odyssey simulation substrate.
+//
+// All simulated time in this repository is expressed as a signed 64-bit count
+// of microseconds.  Using an integer representation keeps event ordering exact
+// and runs bit-identical across platforms, which the reproduction experiments
+// rely on (five seeded trials must be reproducible).
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace odyssey {
+
+// A point in virtual time, in microseconds since simulation start.
+using Time = int64_t;
+
+// A span of virtual time, in microseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+
+// Converts a floating-point count of seconds to a Duration, rounding to the
+// nearest microsecond.  Negative inputs are supported (for deltas).
+constexpr Duration SecondsToDuration(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kSecond) + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+// Converts a Duration to floating-point seconds.
+constexpr double DurationToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Converts a Duration to floating-point milliseconds.
+constexpr double DurationToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace odyssey
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,70 @@
+#include "src/strategies/blind_optimism.h"
+
+namespace odyssey {
+
+BlindOptimismStrategy::BlindOptimismStrategy(Modulator* modulator, const EstimatorConfig& config)
+    : config_(config) {
+  modulator->AddTransitionListener([this](const TraceSegment& segment) {
+    theoretical_bps_ = segment.bandwidth_bps;
+    informed_ = true;
+    NotifyChanged();
+  });
+}
+
+BlindOptimismStrategy::~BlindOptimismStrategy() {
+  for (auto& [connection, endpoint] : endpoints_) {
+    endpoint->log().RemoveListener(this);
+  }
+}
+
+void BlindOptimismStrategy::AttachConnection(AppId app, Endpoint* endpoint) {
+  rtt_estimators_.try_emplace(endpoint->id(), config_);
+  owner_[endpoint->id()] = app;
+  endpoints_[endpoint->id()] = endpoint;
+  endpoint->log().AddListener(this);
+}
+
+void BlindOptimismStrategy::DetachConnection(Endpoint* endpoint) {
+  endpoint->log().RemoveListener(this);
+  rtt_estimators_.erase(endpoint->id());
+  owner_.erase(endpoint->id());
+  endpoints_.erase(endpoint->id());
+}
+
+double BlindOptimismStrategy::AvailabilityFor(AppId app, Time now) const {
+  (void)app;
+  (void)now;
+  return theoretical_bps_;
+}
+
+double BlindOptimismStrategy::TotalSupply(Time now) const {
+  (void)now;
+  return theoretical_bps_;
+}
+
+Duration BlindOptimismStrategy::SmoothedRttFor(AppId app) const {
+  for (const auto& [connection, owner] : owner_) {
+    if (owner == app) {
+      const auto it = rtt_estimators_.find(connection);
+      if (it != rtt_estimators_.end()) {
+        return it->second.smoothed_rtt();
+      }
+    }
+  }
+  return 0;
+}
+
+void BlindOptimismStrategy::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
+  auto it = rtt_estimators_.find(connection);
+  if (it != rtt_estimators_.end()) {
+    it->second.OnRoundTrip(obs);
+  }
+}
+
+void BlindOptimismStrategy::OnThroughput(ConnectionId connection,
+                                         const ThroughputObservation& obs) {
+  (void)connection;
+  (void)obs;  // blind optimism ignores measured throughput entirely
+}
+
+}  // namespace odyssey

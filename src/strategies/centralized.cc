@@ -1,0 +1,69 @@
+#include "src/strategies/centralized.h"
+
+namespace odyssey {
+
+CentralizedStrategy::CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config)
+    : sim_(sim), model_(config) {}
+
+CentralizedStrategy::~CentralizedStrategy() {
+  for (auto& [connection, endpoint] : endpoints_) {
+    endpoint->log().RemoveListener(this);
+  }
+}
+
+void CentralizedStrategy::AttachConnection(AppId app, Endpoint* endpoint) {
+  model_.AddConnection(endpoint->id());
+  owner_[endpoint->id()] = app;
+  endpoints_[endpoint->id()] = endpoint;
+  endpoint->log().AddListener(this);
+}
+
+void CentralizedStrategy::DetachConnection(Endpoint* endpoint) {
+  endpoint->log().RemoveListener(this);
+  model_.RemoveConnection(endpoint->id());
+  owner_.erase(endpoint->id());
+  endpoints_.erase(endpoint->id());
+}
+
+double CentralizedStrategy::AvailabilityFor(AppId app, Time now) const {
+  double total = 0.0;
+  for (const auto& [connection, owner] : owner_) {
+    if (owner == app) {
+      total += model_.AvailabilityFor(connection, now);
+    }
+  }
+  return total;
+}
+
+double CentralizedStrategy::TotalSupply(Time now) const {
+  (void)now;
+  return model_.TotalSupply();
+}
+
+Duration CentralizedStrategy::SmoothedRttFor(AppId app) const {
+  for (const auto& [connection, owner] : owner_) {
+    if (owner == app) {
+      const ConnectionEstimator* estimator = model_.EstimatorFor(connection);
+      if (estimator != nullptr) {
+        return estimator->smoothed_rtt();
+      }
+    }
+  }
+  return 0;
+}
+
+void CentralizedStrategy::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
+  model_.OnRoundTrip(connection, obs);
+  NotifyChanged();
+}
+
+void CentralizedStrategy::OnThroughput(ConnectionId connection, const ThroughputObservation& obs) {
+  model_.OnThroughput(connection, obs);
+  NotifyChanged();
+}
+
+double CentralizedStrategy::ConnectionAvailability(ConnectionId connection, Time now) const {
+  return model_.AvailabilityFor(connection, now);
+}
+
+}  // namespace odyssey

@@ -1,0 +1,52 @@
+// Odyssey's centralized bandwidth management (§6.2.1).
+//
+// Subscribes to every attached endpoint's observation log, feeds a
+// SupplyModel, and reports per-application availability as the sum of the
+// application's per-connection shares (fair-share floor plus competed-for
+// part proportional to recent use).
+
+#ifndef SRC_STRATEGIES_CENTRALIZED_H_
+#define SRC_STRATEGIES_CENTRALIZED_H_
+
+#include <map>
+
+#include "src/core/bandwidth_strategy.h"
+#include "src/estimator/supply_model.h"
+#include "src/rpc/observation_log.h"
+#include "src/sim/simulation.h"
+
+namespace odyssey {
+
+class CentralizedStrategy : public BandwidthStrategy, public LogListener {
+ public:
+  explicit CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config = {});
+  ~CentralizedStrategy() override;
+
+  // BandwidthStrategy:
+  std::string name() const override { return "odyssey"; }
+  void AttachConnection(AppId app, Endpoint* endpoint) override;
+  void DetachConnection(Endpoint* endpoint) override;
+  double AvailabilityFor(AppId app, Time now) const override;
+  bool HasEstimate() const override { return model_.has_supply(); }
+  double TotalSupply(Time now) const override;
+  Duration SmoothedRttFor(AppId app) const override;
+
+  // LogListener:
+  void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) override;
+  void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) override;
+
+  // Share estimate for one connection (Figure 9's lower curve).
+  double ConnectionAvailability(ConnectionId connection, Time now) const;
+
+  const SupplyModel& supply_model() const { return model_; }
+
+ private:
+  Simulation* sim_;
+  SupplyModel model_;
+  std::map<ConnectionId, AppId> owner_;          // connection -> app
+  std::map<ConnectionId, Endpoint*> endpoints_;  // for detach
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_STRATEGIES_CENTRALIZED_H_

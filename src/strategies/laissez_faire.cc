@@ -1,0 +1,94 @@
+#include "src/strategies/laissez_faire.h"
+
+namespace odyssey {
+
+LaissezFaireStrategy::LaissezFaireStrategy(const EstimatorConfig& config) : config_(config) {}
+
+LaissezFaireStrategy::~LaissezFaireStrategy() {
+  for (auto& [connection, endpoint] : endpoints_) {
+    endpoint->log().RemoveListener(this);
+  }
+}
+
+void LaissezFaireStrategy::AttachConnection(AppId app, Endpoint* endpoint) {
+  estimators_.try_emplace(endpoint->id(), config_);
+  owner_[endpoint->id()] = app;
+  endpoints_[endpoint->id()] = endpoint;
+  endpoint->log().AddListener(this);
+}
+
+void LaissezFaireStrategy::DetachConnection(Endpoint* endpoint) {
+  endpoint->log().RemoveListener(this);
+  estimators_.erase(endpoint->id());
+  owner_.erase(endpoint->id());
+  endpoints_.erase(endpoint->id());
+}
+
+double LaissezFaireStrategy::AvailabilityFor(AppId app, Time now) const {
+  (void)now;
+  double total = 0.0;
+  for (const auto& [connection, owner] : owner_) {
+    if (owner == app) {
+      const auto it = estimators_.find(connection);
+      if (it != estimators_.end()) {
+        total += it->second.bandwidth_bps();
+      }
+    }
+  }
+  return total;
+}
+
+bool LaissezFaireStrategy::HasEstimate() const {
+  for (const auto& [connection, estimator] : estimators_) {
+    if (estimator.has_bandwidth()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double LaissezFaireStrategy::TotalSupply(Time now) const {
+  (void)now;
+  // No coordination: there is no meaningful notion of total supply; report
+  // the largest single-connection estimate.
+  double best = 0.0;
+  for (const auto& [connection, estimator] : estimators_) {
+    if (estimator.bandwidth_bps() > best) {
+      best = estimator.bandwidth_bps();
+    }
+  }
+  return best;
+}
+
+Duration LaissezFaireStrategy::SmoothedRttFor(AppId app) const {
+  for (const auto& [connection, owner] : owner_) {
+    if (owner == app) {
+      const auto it = estimators_.find(connection);
+      if (it != estimators_.end()) {
+        return it->second.smoothed_rtt();
+      }
+    }
+  }
+  return 0;
+}
+
+void LaissezFaireStrategy::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
+  auto it = estimators_.find(connection);
+  if (it == estimators_.end()) {
+    return;
+  }
+  it->second.OnRoundTrip(obs);
+  NotifyChanged();
+}
+
+void LaissezFaireStrategy::OnThroughput(ConnectionId connection,
+                                        const ThroughputObservation& obs) {
+  auto it = estimators_.find(connection);
+  if (it == estimators_.end()) {
+    return;
+  }
+  it->second.OnThroughput(obs);
+  NotifyChanged();
+}
+
+}  // namespace odyssey

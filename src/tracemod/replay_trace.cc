@@ -1,0 +1,114 @@
+#include "src/tracemod/replay_trace.h"
+
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace odyssey {
+
+ReplayTrace::ReplayTrace(std::vector<TraceSegment> segments) : segments_(std::move(segments)) {}
+
+ReplayTrace& ReplayTrace::Append(Duration duration, double bandwidth_bps, Duration latency) {
+  segments_.push_back(TraceSegment{duration, bandwidth_bps, latency});
+  return *this;
+}
+
+ReplayTrace& ReplayTrace::Append(const TraceSegment& segment) {
+  segments_.push_back(segment);
+  return *this;
+}
+
+Duration ReplayTrace::TotalDuration() const {
+  Duration total = 0;
+  for (const auto& segment : segments_) {
+    total += segment.duration;
+  }
+  return total;
+}
+
+TraceSegment ReplayTrace::At(Time t) const {
+  if (segments_.empty()) {
+    return TraceSegment{};
+  }
+  Time cursor = 0;
+  for (const auto& segment : segments_) {
+    cursor += segment.duration;
+    if (t < cursor) {
+      return segment;
+    }
+  }
+  return segments_.back();
+}
+
+ReplayTrace ReplayTrace::WithPriming(Duration lead) const {
+  ReplayTrace primed;
+  if (lead > 0 && !segments_.empty()) {
+    primed.Append(lead, segments_.front().bandwidth_bps, segments_.front().latency);
+  }
+  for (const auto& segment : segments_) {
+    primed.Append(segment);
+  }
+  return primed;
+}
+
+ReplayTrace ReplayTrace::Concat(const ReplayTrace& other) const {
+  ReplayTrace joined = *this;
+  for (const auto& segment : other.segments_) {
+    joined.Append(segment);
+  }
+  return joined;
+}
+
+ReplayTrace ReplayTrace::ScaledBandwidth(double factor) const {
+  ReplayTrace scaled = *this;
+  for (auto& segment : scaled.segments_) {
+    segment.bandwidth_bps *= factor;
+  }
+  return scaled;
+}
+
+std::string ReplayTrace::Serialize() const {
+  std::ostringstream os;
+  os.precision(15);  // full microsecond fidelity for durations of any length
+  os << "# odyssey replay trace: <seconds> <bytes_per_sec> <latency_us>\n";
+  for (const auto& segment : segments_) {
+    os << DurationToSeconds(segment.duration) << " " << segment.bandwidth_bps << " "
+       << segment.latency << "\n";
+  }
+  return os.str();
+}
+
+bool ReplayTrace::Parse(const std::string& text, ReplayTrace* out) {
+  ReplayTrace parsed;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream fields(line);
+    double seconds = 0.0;
+    double bandwidth = 0.0;
+    long long latency_us = 0;
+    if (!(fields >> seconds)) {
+      continue;  // blank line
+    }
+    if (!(fields >> bandwidth >> latency_us)) {
+      return false;
+    }
+    if (seconds < 0.0 || bandwidth < 0.0 || latency_us < 0) {
+      return false;
+    }
+    parsed.Append(SecondsToDuration(seconds), bandwidth, latency_us);
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const ReplayTrace& trace) {
+  return os << trace.Serialize();
+}
+
+}  // namespace odyssey

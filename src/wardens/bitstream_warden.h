@@ -1,0 +1,70 @@
+// The bitstream warden: the synthetic streaming data type used by the
+// agility experiments (§6.2.1).
+//
+// A bitstream application consumes data as fast as possible (or paced at a
+// target rate, for the varying-demand experiments) through a streaming
+// warden over a single connection from a server.
+//
+// Tsops:
+//   kBitstreamStart in: BitstreamParams   out: BitstreamStarted
+//   kBitstreamStop  in: -                 out: BitstreamTotals
+
+#ifndef SRC_WARDENS_BITSTREAM_WARDEN_H_
+#define SRC_WARDENS_BITSTREAM_WARDEN_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/odyssey_client.h"
+#include "src/core/warden.h"
+#include "src/rpc/endpoint.h"
+
+namespace odyssey {
+
+enum BitstreamTsopOpcode : int {
+  kBitstreamStart = 1,
+  kBitstreamStop = 2,
+};
+
+struct BitstreamParams {
+  // Target consumption rate in bytes/second; zero or negative means "as
+  // fast as possible".
+  double target_bps = 0.0;
+  // Window size for each streamed transfer; zero picks the default.
+  double window_bytes = 0.0;
+};
+
+struct BitstreamStarted {
+  // The connection carrying the stream, so measurement harnesses can ask
+  // the viceroy about this connection's share estimate.
+  ConnectionId connection = 0;
+};
+
+struct BitstreamTotals {
+  double bytes_consumed = 0.0;
+};
+
+class BitstreamWarden : public Warden {
+ public:
+  BitstreamWarden() : Warden("bitstream") {}
+
+  void Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+            TsopCallback done) override;
+
+ private:
+  struct Session {
+    Endpoint* endpoint = nullptr;
+    double target_bps = 0.0;
+    double window_bytes = 0.0;
+    bool running = false;
+    double bytes_consumed = 0.0;
+  };
+
+  void PumpStream(AppId app);
+
+  std::map<AppId, Session> sessions_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_WARDENS_BITSTREAM_WARDEN_H_

@@ -1,0 +1,220 @@
+#include "src/wardens/speech_warden.h"
+
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+#include "src/servers/calibration.h"
+
+namespace odyssey {
+namespace {
+
+// Scales a recognition compute cost by a vocabulary's factor.
+Duration ScaleByVocabulary(Duration compute, int vocabulary) {
+  return static_cast<Duration>(static_cast<double>(compute) *
+                               kSpeechVocabularies[vocabulary].compute_factor);
+}
+
+}  // namespace
+
+const char* SpeechModeName(SpeechMode mode) {
+  switch (mode) {
+    case SpeechMode::kAdaptive:
+      return "Odyssey";
+    case SpeechMode::kAlwaysHybrid:
+      return "Always Hybrid";
+    case SpeechMode::kAlwaysRemote:
+      return "Always Remote";
+    case SpeechMode::kAlwaysLocal:
+      return "Always Local";
+  }
+  return "Unknown";
+}
+
+std::vector<ShipCandidate> SpeechWarden::Candidates(double raw_bytes, int vocabulary) {
+  const double compressed = JanusServer::CompressedBytes(raw_bytes);
+  const Duration recognize_remote = ScaleByVocabulary(kSpeechRecognizeServer, vocabulary);
+  const Duration recognize_local = ScaleByVocabulary(kSpeechRecognizeLocal, vocabulary);
+  return {
+      // Hybrid: first pass locally, ship the compressed form, recognize
+      // remotely.
+      ShipCandidate{"hybrid", kSpeechPreprocessLocal, recognize_remote, compressed, 0.0},
+      // Remote: ship the raw utterance, both passes on the server.
+      ShipCandidate{"remote", 0, kSpeechPreprocessServer + recognize_remote, raw_bytes, 0.0},
+      // Local: everything on the slow client CPU; works disconnected.
+      ShipCandidate{"local", kSpeechPreprocessLocal + recognize_local, 0, 0.0, 0.0},
+  };
+}
+
+SpeechMode SpeechWarden::AdaptivePlan(double raw_bytes, double bandwidth_bps, Duration rtt) {
+  if (bandwidth_bps < kSpeechDisconnectedBps) {
+    return SpeechMode::kAlwaysLocal;
+  }
+  // Between the network plans, let the generic planner decide; local only
+  // wins under (near-)disconnection, where its severe CPU cost is the sole
+  // option (§5.3).
+  const std::vector<ShipCandidate> candidates = Candidates(raw_bytes, /*vocabulary=*/0);
+  const Duration hybrid = ShipPlanner::Predict(candidates[0], bandwidth_bps, rtt);
+  const Duration remote = ShipPlanner::Predict(candidates[1], bandwidth_bps, rtt);
+  return hybrid <= remote ? SpeechMode::kAlwaysHybrid : SpeechMode::kAlwaysRemote;
+}
+
+int SpeechWarden::ChooseVocabulary(SpeechMode plan, double raw_bytes, double goal_seconds,
+                                   double bandwidth_bps, Duration rtt) {
+  if (goal_seconds <= 0.0) {
+    return 0;  // no goal: full fidelity
+  }
+  const Duration goal = SecondsToDuration(goal_seconds);
+  const int candidate_index = plan == SpeechMode::kAlwaysHybrid   ? 0
+                              : plan == SpeechMode::kAlwaysRemote ? 1
+                                                                  : 2;
+  const int vocabularies = static_cast<int>(std::size(kSpeechVocabularies));
+  for (int vocab = 0; vocab < vocabularies; ++vocab) {
+    const std::vector<ShipCandidate> candidates = Candidates(raw_bytes, vocab);
+    if (ShipPlanner::Predict(candidates[candidate_index], bandwidth_bps, rtt) <= goal) {
+      return vocab;
+    }
+  }
+  return vocabularies - 1;  // even tiny misses the goal; degrade fully
+}
+
+SpeechWarden::Session& SpeechWarden::SessionFor(AppId app) {
+  Session& session = sessions_[app];
+  if (session.endpoint == nullptr) {
+    session.endpoint = client()->OpenConnection(app, "janus");
+  }
+  return session;
+}
+
+void SpeechWarden::Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+                        TsopCallback done) {
+  (void)path;
+  switch (opcode) {
+    case kSpeechSetMode: {
+      SpeechSetModeRequest request;
+      if (!UnpackStruct(in, &request) || request.mode < 0 || request.mode > 3) {
+        done(InvalidArgumentError("bad set-mode request"), "");
+        return;
+      }
+      SessionFor(app).mode = static_cast<SpeechMode>(request.mode);
+      done(OkStatus(), "");
+      return;
+    }
+    case kSpeechRecognize: {
+      SpeechUtterance utterance;
+      if (!UnpackStruct(in, &utterance) || utterance.raw_bytes <= 0.0) {
+        done(InvalidArgumentError("bad utterance"), "");
+        return;
+      }
+      Recognize(app, SessionFor(app), utterance, std::move(done));
+      return;
+    }
+    case kSpeechLastPlan: {
+      done(OkStatus(), PackStruct(SpeechPlanReply{SessionFor(app).last_plan}));
+      return;
+    }
+    default:
+      done(UnsupportedError("unknown speech tsop"), "");
+      return;
+  }
+}
+
+void SpeechWarden::Recognize(AppId app, Session& session, const SpeechUtterance& utterance,
+                             TsopCallback done) {
+  const double raw_bytes = utterance.raw_bytes;
+  const double bandwidth = client()->CurrentLevel(app, ResourceId::kNetworkBandwidth);
+  const auto rtt =
+      static_cast<Duration>(client()->CurrentLevel(app, ResourceId::kNetworkLatency));
+
+  SpeechMode plan = session.mode;
+  if (plan == SpeechMode::kAdaptive) {
+    if (!client()->HasBandwidthEstimate()) {
+      // No estimate yet: hybrid is the safe bootstrap — it minimizes
+      // network dependence while still producing the observations that
+      // estimation needs.
+      plan = SpeechMode::kAlwaysHybrid;
+    } else {
+      plan = AdaptivePlan(raw_bytes, bandwidth, rtt);
+    }
+  }
+  const int vocabulary =
+      ChooseVocabulary(plan, raw_bytes, utterance.latency_goal_seconds, bandwidth, rtt);
+  session.last_plan = static_cast<int>(plan);
+  const SpeechResult result{kSpeechVocabularies[vocabulary].fidelity, static_cast<int>(plan),
+                            vocabulary};
+  Simulation* sim = client()->sim();
+
+  switch (plan) {
+    case SpeechMode::kAlwaysHybrid: {
+      // First pass on the local, slower CPU; ship the compressed utterance;
+      // remaining passes on the server.
+      const double compressed = JanusServer::CompressedBytes(raw_bytes);
+      sim->Schedule(server_->PreprocessLocal(), [this, app, compressed, vocabulary, result,
+                                                 done = std::move(done)]() mutable {
+        auto it = sessions_.find(app);
+        if (it == sessions_.end()) {
+          done(NotFoundError("speech session closed"), "");
+          return;
+        }
+        auto guarded = GuardNetworkPlan(app, result, std::move(done));
+        it->second.endpoint->Send(compressed,
+                                  ScaleByVocabulary(server_->RecognizeRemote(), vocabulary),
+                                  guarded);
+      });
+      return;
+    }
+    case SpeechMode::kAlwaysRemote: {
+      // Ship the raw utterance; both passes on the server.
+      auto guarded = GuardNetworkPlan(app, result, std::move(done));
+      session.endpoint->Send(
+          raw_bytes,
+          server_->PreprocessRemote() + ScaleByVocabulary(server_->RecognizeRemote(), vocabulary),
+          guarded);
+      return;
+    }
+    case SpeechMode::kAlwaysLocal: {
+      sim->Schedule(
+          server_->PreprocessLocal() + ScaleByVocabulary(server_->RecognizeLocal(), vocabulary),
+          [result, done = std::move(done)] { done(OkStatus(), PackStruct(result)); });
+      return;
+    }
+    case SpeechMode::kAdaptive:
+      break;  // unreachable: resolved above
+  }
+  done(InvalidArgumentError("unresolved speech plan"), "");
+}
+
+std::function<void()> SpeechWarden::GuardNetworkPlan(AppId app, const SpeechResult& result,
+                                                     TsopCallback done) {
+  // Wraps a network plan's completion with a watchdog: if the client drops
+  // into a radio shadow mid-utterance, the stalled transfer is abandoned
+  // after kSpeechNetworkTimeout and the local Janus recognizes the
+  // utterance instead (§5.3's extreme case).  Exactly one of the two paths
+  // reports the result.
+  auto state = std::make_shared<GuardState>();
+  state->done = std::move(done);
+  Simulation* sim = client()->sim();
+  sim->Schedule(kSpeechNetworkTimeout, [this, app, state] {
+    if (state->resolved) {
+      return;
+    }
+    state->resolved = true;
+    auto it = sessions_.find(app);
+    if (it != sessions_.end()) {
+      it->second.last_plan = static_cast<int>(SpeechMode::kAlwaysLocal);
+      ++it->second.network_timeouts;
+    }
+    client()->sim()->Schedule(server_->RecognizeLocal(), [state] {
+      state->done(OkStatus(), PackStruct(SpeechResult{
+                                  1.0, static_cast<int>(SpeechMode::kAlwaysLocal), 0}));
+    });
+  });
+  return [state, result] {
+    if (state->resolved) {
+      return;  // the watchdog already went local; drop the late reply
+    }
+    state->resolved = true;
+    state->done(OkStatus(), PackStruct(result));
+  };
+}
+
+}  // namespace odyssey

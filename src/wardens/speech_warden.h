@@ -1,0 +1,114 @@
+// The speech warden (§5.3).
+//
+// The front end writes a raw utterance; the warden, using the current
+// bandwidth estimate, decides whether to perform the first recognition pass
+// on the local, slower CPU (shipping the 5:1-compressed result) or to ship
+// the larger raw utterance to the remote Janus server.  In the extreme case
+// of disconnection, the local Janus recognizes the utterance at severe CPU
+// cost.
+//
+// Tsops:
+//   kSpeechSetMode   in: SpeechSetModeRequest   out: -
+//   kSpeechRecognize in: SpeechUtterance        out: SpeechResult
+//   kSpeechLastPlan  in: -                      out: SpeechPlanReply
+
+#ifndef SRC_WARDENS_SPEECH_WARDEN_H_
+#define SRC_WARDENS_SPEECH_WARDEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/odyssey_client.h"
+#include "src/core/ship_planner.h"
+#include "src/core/warden.h"
+#include "src/servers/janus_server.h"
+
+namespace odyssey {
+
+enum SpeechTsopOpcode : int {
+  kSpeechSetMode = 1,
+  kSpeechRecognize = 2,
+  kSpeechLastPlan = 3,
+};
+
+// How the warden routes recognition work.
+enum class SpeechMode : int {
+  kAdaptive = 0,      // pick hybrid/remote/local from the bandwidth estimate
+  kAlwaysHybrid = 1,  // local first pass, ship compressed
+  kAlwaysRemote = 2,  // ship raw utterance
+  kAlwaysLocal = 3,   // full local recognition (disconnected operation)
+};
+
+const char* SpeechModeName(SpeechMode mode);
+
+struct SpeechSetModeRequest {
+  int mode = 0;
+};
+
+struct SpeechUtterance {
+  double raw_bytes = 0.0;
+  // Optional latency goal in seconds; when positive, the warden may lower
+  // the recognition vocabulary (a fidelity level) to meet it.  Zero asks
+  // for full fidelity regardless of time.
+  double latency_goal_seconds = 0.0;
+};
+
+struct SpeechResult {
+  double fidelity = 1.0;  // of the vocabulary used (see kSpeechVocabularies)
+  int plan = 0;           // the SpeechMode actually executed (never kAdaptive)
+  int vocabulary = 0;     // index into kSpeechVocabularies
+};
+
+struct SpeechPlanReply {
+  int plan = 0;
+};
+
+class SpeechWarden : public Warden {
+ public:
+  explicit SpeechWarden(JanusServer* server) : Warden("speech"), server_(server) {}
+
+  void Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+            TsopCallback done) override;
+
+  // The ship-data-versus-ship-computation decision, exposed for tests:
+  // returns the mode the adaptive policy picks at |bandwidth_bps| availability
+  // and |rtt| smoothed round trip.  Built on the generic ShipPlanner.
+  static SpeechMode AdaptivePlan(double raw_bytes, double bandwidth_bps, Duration rtt);
+
+  // The three shipping candidates (hybrid, remote, local) for an utterance
+  // recognized with the given vocabulary.
+  static std::vector<ShipCandidate> Candidates(double raw_bytes, int vocabulary);
+
+  // The highest-fidelity vocabulary whose predicted recognition time under
+  // |plan| meets |goal_seconds| (0 = no goal -> full vocabulary).
+  static int ChooseVocabulary(SpeechMode plan, double raw_bytes, double goal_seconds,
+                              double bandwidth_bps, Duration rtt);
+
+ private:
+  struct Session {
+    Endpoint* endpoint = nullptr;
+    SpeechMode mode = SpeechMode::kAdaptive;
+    int last_plan = static_cast<int>(SpeechMode::kAlwaysHybrid);
+    int network_timeouts = 0;  // watchdog fallbacks to local recognition
+  };
+
+  struct GuardState {
+    bool resolved = false;
+    TsopCallback done;
+  };
+
+  Session& SessionFor(AppId app);
+  void Recognize(AppId app, Session& session, const SpeechUtterance& utterance,
+                 TsopCallback done);
+  // Wraps a network plan completion with the radio-shadow watchdog.
+  std::function<void()> GuardNetworkPlan(AppId app, const SpeechResult& result,
+                                         TsopCallback done);
+
+  JanusServer* server_;
+  std::map<AppId, Session> sessions_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_WARDENS_SPEECH_WARDEN_H_

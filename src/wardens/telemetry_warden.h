@@ -1,0 +1,121 @@
+// The telemetry warden: sampling rate and timeliness as fidelity dimensions.
+//
+// §2.2: "For telemetry data, appropriate dimensions include sampling rate
+// and timeliness."  A subscription pulls a feed from the telemetry server
+// at one of several *delivery levels*, each a (sampling-divisor, batching)
+// pair: full fidelity polls every native sample immediately; lower levels
+// skip samples (reduced sampling rate) and batch deliveries (reduced
+// timeliness), cutting bandwidth by an order of magnitude per step.  The
+// warden adapts the level to its bandwidth availability and reports every
+// delivered sample to the subscriber through an upcall-style callback.
+//
+// Tsops (the feed is named by the tsop path):
+//   kTelemetrySubscribe   in: TelemetrySubscribeRequest  out: TelemetrySubscribed
+//   kTelemetryUnsubscribe in: -                          out: TelemetryStats
+//   kTelemetrySetLevel    in: TelemetrySetLevelRequest   out: -
+//   kTelemetryStats       in: -                          out: TelemetryStats
+
+#ifndef SRC_WARDENS_TELEMETRY_WARDEN_H_
+#define SRC_WARDENS_TELEMETRY_WARDEN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/core/odyssey_client.h"
+#include "src/core/warden.h"
+#include "src/servers/telemetry_server.h"
+
+namespace odyssey {
+
+enum TelemetryTsopOpcode : int {
+  kTelemetrySubscribe = 1,
+  kTelemetryUnsubscribe = 2,
+  kTelemetrySetLevel = 3,
+  kTelemetryStats = 4,
+};
+
+// A delivery level: poll every |sampling_divisor|-th native sample, and
+// deliver in batches of |batch_samples| (larger batches amortize protocol
+// cost at the price of staleness).
+struct TelemetryLevel {
+  const char* name;
+  double fidelity;
+  int sampling_divisor;
+  int batch_samples;
+};
+
+inline constexpr TelemetryLevel kTelemetryLevels[] = {
+    {"live", 1.0, 1, 1},
+    {"thinned", 0.6, 4, 2},
+    {"digest", 0.2, 16, 4},
+};
+
+struct TelemetrySubscribeRequest {
+  // -1 adapts to bandwidth; otherwise pins an index into kTelemetryLevels.
+  int fixed_level = -1;
+};
+
+struct TelemetrySubscribed {
+  ConnectionId connection = 0;
+};
+
+struct TelemetrySetLevelRequest {
+  int level = 0;
+};
+
+struct TelemetryStats {
+  int samples_delivered = 0;
+  int polls = 0;
+  double mean_staleness_ms = 0.0;  // production-to-delivery lag
+  int level_changes = 0;
+  int current_level = 0;
+};
+
+class TelemetryWarden : public Warden {
+ public:
+  // Bandwidth (bytes/second) above which each level is sustainable; the
+  // adaptive policy picks the best affordable one.
+  static constexpr double kLiveFloor = 24.0 * 1024.0;
+  static constexpr double kThinnedFloor = 6.0 * 1024.0;
+
+  // A subscriber callback, invoked once per delivered sample.
+  using SampleCallback = std::function<void(const std::string& feed, const TelemetrySample&)>;
+
+  explicit TelemetryWarden(TelemetryServer* server) : Warden("telemetry"), server_(server) {}
+
+  void Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+            TsopCallback done) override;
+
+  // Registers the per-app sample sink (applications cannot receive bulk
+  // data through a tsop reply buffer; this mirrors the upcall mechanism).
+  void SetSampleCallback(AppId app, SampleCallback callback);
+
+  // The level the adaptive policy picks at |bandwidth_bps| (for tests).
+  static int AdaptiveLevel(double bandwidth_bps);
+
+ private:
+  struct Subscription {
+    AppId app = 0;
+    std::string feed;
+    Endpoint* endpoint = nullptr;
+    bool active = false;
+    bool fixed = false;
+    int level = 0;
+    Duration native_period = 0;
+    Time last_seen = 0;  // production time of the newest delivered sample
+    TelemetryStats stats;
+    double staleness_ms_sum = 0.0;
+  };
+
+  void Poll(AppId app);
+  void ScheduleNextPoll(AppId app);
+
+  TelemetryServer* server_;
+  std::map<AppId, Subscription> subscriptions_;
+  std::map<AppId, SampleCallback> callbacks_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_WARDENS_TELEMETRY_WARDEN_H_

@@ -1,0 +1,223 @@
+#include "src/wardens/video_warden.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+#include "src/servers/calibration.h"
+
+namespace odyssey {
+
+double VideoWarden::RequiredBandwidth(double frame_bytes, double fps) {
+  // A batch of kBatchFrames frames must transfer within kBatchFrames frame
+  // periods including one protocol round trip and the server's batch
+  // lookup:
+  //   batch_bytes / B + rtt + lookup <= batch_frames / fps
+  // so B >= fps * frame_bytes / (1 - fps * (rtt + lookup) / batch_frames).
+  const double fixed_s = DurationToSeconds(21 * kMillisecond + kVideoFrameCompute);
+  const double overhead = 1.0 - fps * fixed_s / static_cast<double>(kBatchFrames);
+  return fps * frame_bytes / (overhead > 0.1 ? overhead : 0.1);
+}
+
+void VideoWarden::Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+                       TsopCallback done) {
+  (void)path;  // sessions are per application; the movie is named at open
+  switch (opcode) {
+    case kVideoOpen:
+      HandleOpen(app, in, std::move(done));
+      return;
+    case kVideoSetTrack: {
+      auto it = sessions_.find(app);
+      VideoSetTrackRequest request;
+      if (it == sessions_.end() || !UnpackStruct(in, &request)) {
+        done(InvalidArgumentError("bad set-track request"), "");
+        return;
+      }
+      if (request.track < 0 || request.track >= static_cast<int>(it->second.meta.tracks.size())) {
+        done(InvalidArgumentError("no such track"), "");
+        return;
+      }
+      HandleSetTrack(it->second, request.track);
+      done(OkStatus(), "");
+      return;
+    }
+    case kVideoTakeFrame: {
+      auto it = sessions_.find(app);
+      VideoTakeFrameRequest request;
+      if (it == sessions_.end() || !UnpackStruct(in, &request)) {
+        done(InvalidArgumentError("bad take-frame request"), "");
+        return;
+      }
+      HandleTakeFrame(it->second, request.frame, std::move(done));
+      return;
+    }
+    case kVideoStats: {
+      auto it = sessions_.find(app);
+      if (it == sessions_.end()) {
+        done(NotFoundError("no open movie"), "");
+        return;
+      }
+      done(OkStatus(), PackStruct(it->second.stats));
+      return;
+    }
+    default:
+      done(UnsupportedError("unknown video tsop"), "");
+      return;
+  }
+}
+
+void VideoWarden::HandleOpen(AppId app, const std::string& movie, TsopCallback done) {
+  MovieMeta meta;
+  const Status status = server_->GetMeta(movie, &meta);
+  if (!status.ok()) {
+    done(status, "");
+    return;
+  }
+  Session& session = sessions_[app];
+  session.app = app;
+  session.meta = meta;
+  if (session.endpoint == nullptr) {
+    session.endpoint = client()->OpenConnection(app, "video:" + movie);
+  }
+  session.current_track = 0;
+  session.next_fetch = 0;
+  session.display_pos = 0;
+  session.buffer.clear();
+  session.stats = VideoWardenStats{};
+
+  VideoMetaReply reply;
+  reply.fps = meta.fps;
+  reply.frame_count = meta.frame_count;
+  reply.track_count = static_cast<int>(meta.tracks.size());
+  for (int i = 0; i < reply.track_count && i < kVideoMaxTracks; ++i) {
+    reply.frame_bytes[i] = meta.tracks[i].frame_bytes;
+    reply.fidelity[i] = meta.tracks[i].fidelity;
+    reply.required_bps[i] = RequiredBandwidth(meta.tracks[i].frame_bytes, meta.fps);
+  }
+  done(OkStatus(), PackStruct(reply));
+  PumpReadAhead(session);
+}
+
+void VideoWarden::HandleSetTrack(Session& session, int track) {
+  const bool upgrade =
+      session.meta.tracks[track].fidelity > session.meta.tracks[session.current_track].fidelity;
+  session.current_track = track;
+  if (upgrade) {
+    // Discard prefetched frames of lower fidelity than the new track; they
+    // will be refetched at the better quality.
+    const double new_fidelity = session.meta.tracks[track].fidelity;
+    int discarded = 0;
+    for (auto it = session.buffer.begin(); it != session.buffer.end();) {
+      if (it->second.fidelity < new_fidelity) {
+        it = session.buffer.erase(it);
+        ++discarded;
+      } else {
+        ++it;
+      }
+    }
+    session.stats.frames_discarded_upgrade += discarded;
+    // Rewind read-ahead to refill the gap left by the discard.
+    int first_missing = session.display_pos;
+    while (session.buffer.contains(first_missing)) {
+      ++first_missing;
+    }
+    session.next_fetch = first_missing;
+  }
+  PumpReadAhead(session);
+}
+
+void VideoWarden::HandleTakeFrame(Session& session, int frame, TsopCallback done) {
+  session.display_pos = frame + 1;
+  VideoTakeFrameReply reply;
+  const auto it = session.buffer.find(frame);
+  if (it != session.buffer.end()) {
+    reply.present = true;
+    reply.track = it->second.track;
+    reply.fidelity = it->second.fidelity;
+  }
+  // Frames at or before the display position are stale either way.
+  session.buffer.erase(session.buffer.begin(), session.buffer.upper_bound(frame));
+  if (session.next_fetch < session.display_pos) {
+    session.next_fetch = session.display_pos;
+  }
+  done(OkStatus(), PackStruct(reply));
+  PumpReadAhead(session);
+}
+
+void VideoWarden::PumpReadAhead(Session& session) {
+  if (session.fetch_in_flight ||
+      static_cast<int>(session.buffer.size()) >= kPrefetchDepth) {
+    return;
+  }
+  const int track = session.current_track;
+  // Aim the batch at deadlines it can actually meet: frames fetched now
+  // arrive roughly one batch-duration from now, by which point the display
+  // position will have advanced.  Skipping the frames in between is exactly
+  // the paper's video adaptation ("responds by skipping frames, thus
+  // displaying fewer frames per minute") and is what turns insufficient
+  // bandwidth into drops rather than unbounded lag.
+  int lead = 0;
+  if (session.last_batch_seconds > 0.0) {
+    lead = static_cast<int>(std::ceil(session.last_batch_seconds * session.meta.fps));
+  }
+  const int on_time = session.display_pos + lead;
+  const int first = session.next_fetch > on_time ? session.next_fetch : on_time;
+  const int skipped = first - session.next_fetch;
+  if (skipped > 0 && session.next_fetch > 0) {
+    session.stats.frames_skipped += skipped;
+  }
+
+  double batch_bytes = 0.0;
+  Duration lookup = 0;
+  for (int i = 0; i < kBatchFrames; ++i) {
+    VideoServer::FrameReply frame;
+    const int movie_frame = (first + i) % session.meta.frame_count;
+    if (!server_->GetFrame(session.meta.name, track, movie_frame, &frame).ok()) {
+      return;
+    }
+    batch_bytes += frame.bytes;
+    // Per-frame lookups pipeline with transmission; only the first frame's
+    // (jittered) lookup delays the batch.
+    if (i == 0) {
+      lookup = frame.compute;
+    }
+  }
+  session.fetch_in_flight = true;
+  const double fidelity = session.meta.tracks[track].fidelity;
+  const Time batch_start = client()->sim()->now();
+  // The server streams the batch continuously after the initial lookup, so
+  // a batch is a single window with one request round trip — the cost
+  // RequiredBandwidth budgets for.
+  client()->sim()->Schedule(lookup, [this, batch_bytes, app = session.app, first, track,
+                                     fidelity, batch_start] {
+    auto sit = sessions_.find(app);
+    if (sit == sessions_.end()) {
+      return;
+    }
+    sit->second.endpoint->FetchWindow(batch_bytes, [this, app, first, track, fidelity,
+                                                    batch_start] {
+      auto it = sessions_.find(app);
+      if (it == sessions_.end()) {
+        return;
+      }
+      Session& s = it->second;
+      s.fetch_in_flight = false;
+      s.last_batch_seconds = DurationToSeconds(client()->sim()->now() - batch_start);
+      s.stats.frames_fetched += kBatchFrames;
+      for (int i = 0; i < kBatchFrames; ++i) {
+        const int frame = first + i;
+        if (frame < s.display_pos) {
+          ++s.stats.frames_discarded_late;  // destined to be late; wasted work
+        } else {
+          s.buffer[frame] = BufferedFrame{track, fidelity};
+        }
+      }
+      if (s.next_fetch < first + kBatchFrames) {
+        s.next_fetch = first + kBatchFrames;
+      }
+      PumpReadAhead(s);
+    });
+  });
+}
+
+}  // namespace odyssey

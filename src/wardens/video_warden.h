@@ -1,0 +1,118 @@
+// The video warden (§5.1).
+//
+// Satisfies client requests for movie data and fetches tracks from the
+// video server.  The warden performs read-ahead of frames to lower latency,
+// fetching small batches of consecutive frames on the current track into a
+// prefetch buffer.  When the player switches from a low-fidelity track to a
+// higher one, prefetched low-quality frames are discarded; on a downgrade,
+// already-buffered high-quality frames are kept and displayed.
+//
+// Tsops (all parameter structs in video_tsops below):
+//   kVideoOpen      in: movie name (raw string)   out: VideoMetaReply
+//   kVideoSetTrack  in: VideoSetTrackRequest      out: -
+//   kVideoTakeFrame in: VideoTakeFrameRequest     out: VideoTakeFrameReply
+//   kVideoStats     in: -                         out: VideoWardenStats
+
+#ifndef SRC_WARDENS_VIDEO_WARDEN_H_
+#define SRC_WARDENS_VIDEO_WARDEN_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/odyssey_client.h"
+#include "src/core/warden.h"
+#include "src/servers/video_server.h"
+
+namespace odyssey {
+
+// Tsop opcodes for /odyssey/video objects.
+enum VideoTsopOpcode : int {
+  kVideoOpen = 1,
+  kVideoSetTrack = 2,
+  kVideoTakeFrame = 3,
+  kVideoStats = 4,
+};
+
+inline constexpr int kVideoMaxTracks = 8;
+
+// Reply to kVideoOpen: the movie's metadata, including the bandwidth each
+// track requires (the player computes its windows of tolerance from these).
+struct VideoMetaReply {
+  double fps = 0.0;
+  int frame_count = 0;
+  int track_count = 0;
+  double frame_bytes[kVideoMaxTracks] = {};
+  double fidelity[kVideoMaxTracks] = {};
+  double required_bps[kVideoMaxTracks] = {};
+};
+
+struct VideoSetTrackRequest {
+  int track = 0;
+};
+
+struct VideoTakeFrameRequest {
+  int frame = 0;  // absolute display index (wraps for looping playback)
+};
+
+struct VideoTakeFrameReply {
+  bool present = false;
+  int track = -1;
+  double fidelity = 0.0;
+};
+
+struct VideoWardenStats {
+  int frames_fetched = 0;
+  int frames_discarded_late = 0;     // arrived after their display deadline
+  int frames_discarded_upgrade = 0;  // low-fidelity prefetch dropped on upgrade
+  int frames_skipped = 0;            // proactively skipped to stay on time
+};
+
+class VideoWarden : public Warden {
+ public:
+  // Frames fetched per read-ahead batch; one batch of JPEG(99) frames makes
+  // a ~56 KB transfer, amortizing the request round trip to under 5%.
+  static constexpr int kBatchFrames = 5;
+  // Maximum frames buffered ahead of the display position.
+  static constexpr int kPrefetchDepth = 12;
+
+  explicit VideoWarden(VideoServer* server) : Warden("video"), server_(server) {}
+
+  void Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+            TsopCallback done) override;
+
+  // Required bandwidth for a track: frame bytes * fps inflated by the batch
+  // protocol's round-trip overhead.
+  static double RequiredBandwidth(double frame_bytes, double fps);
+
+ private:
+  struct BufferedFrame {
+    int track = 0;
+    double fidelity = 0.0;
+  };
+
+  struct Session {
+    AppId app = 0;
+    MovieMeta meta;
+    Endpoint* endpoint = nullptr;
+    bool loop = false;
+    int current_track = 0;
+    int next_fetch = 0;    // next absolute frame index to read ahead
+    int display_pos = 0;   // frames below this are stale
+    bool fetch_in_flight = false;
+    double last_batch_seconds = 0.0;  // duration of the last read-ahead batch
+    std::map<int, BufferedFrame> buffer;
+    VideoWardenStats stats;
+  };
+
+  void HandleOpen(AppId app, const std::string& movie, TsopCallback done);
+  void HandleSetTrack(Session& session, int track);
+  void HandleTakeFrame(Session& session, int frame, TsopCallback done);
+  void PumpReadAhead(Session& session);
+
+  VideoServer* server_;
+  std::map<AppId, Session> sessions_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_WARDENS_VIDEO_WARDEN_H_

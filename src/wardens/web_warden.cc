@@ -1,0 +1,133 @@
+#include "src/wardens/web_warden.h"
+
+#include <utility>
+
+#include "src/core/tsop_codec.h"
+
+namespace odyssey {
+
+void WebWarden::Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+                     TsopCallback done) {
+  (void)path;
+  switch (opcode) {
+    case kWebOpen: {
+      Session& session = sessions_[app];
+      session.url = in;
+      if (session.endpoint == nullptr) {
+        session.endpoint = client()->OpenConnection(app, "distillation");
+      }
+      session.level = WebFidelity::kFullQuality;
+
+      DistillationServer::DistillReply probe;
+      WebSessionInfo info;
+      int index = 0;
+      for (const WebFidelity level : kAllWebFidelities) {
+        if (const Status status = server_->Distill(in, level, &probe); !status.ok()) {
+          sessions_.erase(app);
+          done(status, "");
+          return;
+        }
+        info.level_bytes[index] = probe.bytes;
+        info.level_fidelity[index] = probe.fidelity;
+        ++index;
+      }
+      info.original_bytes = info.level_bytes[0];
+      done(OkStatus(), PackStruct(info));
+      return;
+    }
+    case kWebSetFidelity: {
+      auto it = sessions_.find(app);
+      WebSetFidelityRequest request;
+      if (it == sessions_.end() || !UnpackStruct(in, &request) || request.level < 0 ||
+          request.level > 3) {
+        done(InvalidArgumentError("bad set-fidelity request"), "");
+        return;
+      }
+      it->second.level = static_cast<WebFidelity>(request.level);
+      done(OkStatus(), "");
+      return;
+    }
+    case kWebFetch: {
+      auto it = sessions_.find(app);
+      if (it == sessions_.end()) {
+        done(NotFoundError("no open web session"), "");
+        return;
+      }
+      Session& session = it->second;
+      DistillationServer::DistillReply reply;
+      if (const Status status = server_->Distill(session.url, session.level, &reply);
+          !status.ok()) {
+        done(status, "");
+        return;
+      }
+      WebFetchReply result{reply.bytes, reply.fidelity};
+      session.endpoint->Fetch(reply.bytes, reply.compute, [result, done = std::move(done)] {
+        done(OkStatus(), PackStruct(result));
+      });
+      return;
+    }
+    case kWebOpenPage:
+      HandleOpenPage(app, in, std::move(done));
+      return;
+    case kWebFetchPage:
+      HandleFetchPage(app, std::move(done));
+      return;
+    default:
+      done(UnsupportedError("unknown web tsop"), "");
+      return;
+  }
+}
+
+void WebWarden::HandleOpenPage(AppId app, const std::string& url, TsopCallback done) {
+  Session& session = sessions_[app];
+  session.url = url;
+  session.is_page = true;
+  if (session.endpoint == nullptr) {
+    session.endpoint = client()->OpenConnection(app, "distillation");
+  }
+  session.level = WebFidelity::kFullQuality;
+
+  WebPageInfo info;
+  int index = 0;
+  for (const WebFidelity level : kAllWebFidelities) {
+    DistillationServer::PageReply probe;
+    if (const Status status = server_->DistillPage(url, level, &probe); !status.ok()) {
+      sessions_.erase(app);
+      done(status, "");
+      return;
+    }
+    info.html_bytes = probe.html_bytes;
+    info.image_count = probe.image_count;
+    info.level_total_bytes[index] = probe.html_bytes + probe.image_bytes;
+    ++index;
+  }
+  done(OkStatus(), PackStruct(info));
+}
+
+void WebWarden::HandleFetchPage(AppId app, TsopCallback done) {
+  auto it = sessions_.find(app);
+  if (it == sessions_.end() || !it->second.is_page) {
+    done(NotFoundError("no open web page session"), "");
+    return;
+  }
+  Session& session = it->second;
+  DistillationServer::PageReply reply;
+  if (const Status status = server_->DistillPage(session.url, session.level, &reply);
+      !status.ok()) {
+    done(status, "");
+    return;
+  }
+  // Markup first — it must arrive reliably and at full fidelity — then the
+  // distilled images as a second transfer.
+  const WebPageFetchReply result{reply.html_bytes, reply.image_bytes, reply.fidelity};
+  Endpoint* endpoint = session.endpoint;
+  endpoint->Fetch(reply.html_bytes, reply.compute,
+                  [endpoint, image_bytes = reply.image_bytes, result,
+                   done = std::move(done)]() mutable {
+                    endpoint->Fetch(image_bytes, 0, [result, done = std::move(done)] {
+                      done(OkStatus(), PackStruct(result));
+                    });
+                  });
+}
+
+}  // namespace odyssey

@@ -1,0 +1,89 @@
+// The Web warden (§5.2).
+//
+// The cellophane transforms browser HTTP requests into operations on
+// Odyssey Web objects; the warden forwards them over the client's mobile
+// connection to a distillation server, which fetches the object from the
+// origin Web server, distills it to the requested fidelity, and returns the
+// result.  The warden provides a tsop to set the fidelity level.
+//
+// Tsops:
+//   kWebOpen        in: url (raw string)        out: WebSessionInfo
+//   kWebSetFidelity in: WebSetFidelityRequest   out: -
+//   kWebFetch       in: -                       out: WebFetchReply
+
+#ifndef SRC_WARDENS_WEB_WARDEN_H_
+#define SRC_WARDENS_WEB_WARDEN_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/odyssey_client.h"
+#include "src/core/warden.h"
+#include "src/servers/distillation_server.h"
+
+namespace odyssey {
+
+enum WebTsopOpcode : int {
+  kWebOpen = 1,
+  kWebSetFidelity = 2,
+  kWebFetch = 3,
+  kWebOpenPage = 4,
+  kWebFetchPage = 5,
+};
+
+// Reply to kWebOpen: the distilled size of each fidelity level for this
+// object, so the cellophane can predict fetch times.
+struct WebSessionInfo {
+  double original_bytes = 0.0;
+  double level_bytes[4] = {};
+  double level_fidelity[4] = {};
+};
+
+struct WebSetFidelityRequest {
+  int level = 0;  // index into kAllWebFidelities
+};
+
+struct WebFetchReply {
+  double bytes = 0.0;
+  double fidelity = 0.0;
+};
+
+// Reply to kWebOpenPage: enough for the cellophane to predict page fetch
+// times at every level (markup never distills; images do).
+struct WebPageInfo {
+  double html_bytes = 0.0;
+  int image_count = 0;
+  double level_total_bytes[4] = {};  // html + distilled images per level
+};
+
+struct WebPageFetchReply {
+  double html_bytes = 0.0;
+  double image_bytes = 0.0;
+  double fidelity = 0.0;  // of the images; markup is always full fidelity
+};
+
+class WebWarden : public Warden {
+ public:
+  explicit WebWarden(DistillationServer* server) : Warden("web"), server_(server) {}
+
+  void Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+            TsopCallback done) override;
+
+ private:
+  struct Session {
+    std::string url;
+    Endpoint* endpoint = nullptr;
+    WebFidelity level = WebFidelity::kFullQuality;
+    bool is_page = false;
+  };
+
+  void HandleOpenPage(AppId app, const std::string& url, TsopCallback done);
+  void HandleFetchPage(AppId app, TsopCallback done);
+
+  DistillationServer* server_;
+  std::map<AppId, Session> sessions_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_WARDENS_WEB_WARDEN_H_

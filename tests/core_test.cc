@@ -1,0 +1,351 @@
+// Unit tests for the Odyssey core: status, resources, tsop codec, upcall
+// dispatch, the request table, and the viceroy.
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/request_table.h"
+#include "src/core/resource.h"
+#include "src/core/status.h"
+#include "src/core/tsop_codec.h"
+#include "src/core/upcall.h"
+#include "src/core/viceroy.h"
+#include "src/sim/simulation.h"
+#include "src/strategies/laissez_faire.h"
+
+namespace odyssey {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  const Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kOutOfBounds, StatusCode::kNotFound,
+        StatusCode::kInvalidArgument, StatusCode::kUnsupported, StatusCode::kAlreadyExists,
+        StatusCode::kUnavailable}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResourceTest, Figure3cTableComplete) {
+  // Figure 3(c): six generic resources with their units.
+  EXPECT_EQ(std::size(kAllResources), 6u);
+  EXPECT_STREQ(ResourceUnit(ResourceId::kNetworkBandwidth), "bytes/second");
+  EXPECT_STREQ(ResourceUnit(ResourceId::kNetworkLatency), "microseconds");
+  EXPECT_STREQ(ResourceUnit(ResourceId::kDiskCacheSpace), "kilobytes");
+  EXPECT_STREQ(ResourceUnit(ResourceId::kCpu), "SPECint95");
+  EXPECT_STREQ(ResourceUnit(ResourceId::kBatteryPower), "minutes");
+  EXPECT_STREQ(ResourceUnit(ResourceId::kMoney), "cents");
+  for (const ResourceId resource : kAllResources) {
+    EXPECT_STRNE(ResourceName(resource), "Unknown");
+  }
+}
+
+TEST(TsopCodecTest, RoundTripsPodStruct) {
+  struct Sample {
+    int a;
+    double b;
+  };
+  const std::string packed = PackStruct(Sample{7, 2.5});
+  Sample out{};
+  ASSERT_TRUE(UnpackStruct(packed, &out));
+  EXPECT_EQ(out.a, 7);
+  EXPECT_DOUBLE_EQ(out.b, 2.5);
+}
+
+TEST(TsopCodecTest, RejectsSizeMismatch) {
+  struct Sample {
+    int a;
+  };
+  Sample out{};
+  EXPECT_FALSE(UnpackStruct("wrong size", &out));
+  EXPECT_FALSE(UnpackStruct("", &out));
+}
+
+// --- Upcall dispatcher ---
+
+TEST(UpcallTest, DeliversWithParameters) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  RequestId seen_request = 0;
+  ResourceId seen_resource = ResourceId::kMoney;
+  double seen_level = 0.0;
+  dispatcher.Post(1, 42, ResourceId::kNetworkBandwidth, 1234.0,
+                  [&](RequestId request, ResourceId resource, double level) {
+                    seen_request = request;
+                    seen_resource = resource;
+                    seen_level = level;
+                  });
+  sim.Run();
+  EXPECT_EQ(seen_request, 42u);
+  EXPECT_EQ(seen_resource, ResourceId::kNetworkBandwidth);
+  EXPECT_DOUBLE_EQ(seen_level, 1234.0);
+  EXPECT_EQ(dispatcher.delivered_count(), 1u);
+}
+
+TEST(UpcallTest, InOrderPerReceiver) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    dispatcher.Post(1, i, ResourceId::kNetworkBandwidth, 0.0,
+                    [&order, i](RequestId, ResourceId, double) { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(dispatcher.last_delivered_seq(1), 5u);
+}
+
+TEST(UpcallTest, ExactlyOnce) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  int count = 0;
+  dispatcher.Post(1, 1, ResourceId::kNetworkBandwidth, 0.0,
+                  [&](RequestId, ResourceId, double) { ++count; });
+  sim.Run();
+  sim.Run();  // draining again must not redeliver
+  EXPECT_EQ(count, 1);
+}
+
+TEST(UpcallTest, NotDeliveredSynchronously) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  bool delivered = false;
+  dispatcher.Post(1, 1, ResourceId::kNetworkBandwidth, 0.0,
+                  [&](RequestId, ResourceId, double) { delivered = true; });
+  EXPECT_FALSE(delivered);  // queued, not run re-entrantly
+  sim.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(UpcallTest, BlockHoldsAndUnblockDrainsInOrder) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  std::vector<int> order;
+  dispatcher.Block(1);
+  EXPECT_TRUE(dispatcher.blocked(1));
+  for (int i = 0; i < 3; ++i) {
+    dispatcher.Post(1, i, ResourceId::kNetworkBandwidth, 0.0,
+                    [&order, i](RequestId, ResourceId, double) { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_TRUE(order.empty());
+  dispatcher.Unblock(1);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(UpcallTest, HandlerMayPostMore) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  std::vector<int> order;
+  dispatcher.Post(1, 1, ResourceId::kNetworkBandwidth, 0.0,
+                  [&](RequestId, ResourceId, double) {
+                    order.push_back(1);
+                    dispatcher.Post(1, 2, ResourceId::kNetworkBandwidth, 0.0,
+                                    [&](RequestId, ResourceId, double) { order.push_back(2); });
+                  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(UpcallTest, IndependentQueuesPerApp) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim);
+  dispatcher.Block(1);
+  bool app2_delivered = false;
+  dispatcher.Post(1, 1, ResourceId::kNetworkBandwidth, 0.0, nullptr);
+  dispatcher.Post(2, 2, ResourceId::kNetworkBandwidth, 0.0,
+                  [&](RequestId, ResourceId, double) { app2_delivered = true; });
+  sim.Run();
+  EXPECT_TRUE(app2_delivered);  // app 2 unaffected by app 1's block
+  EXPECT_EQ(dispatcher.last_delivered_seq(1), 0u);
+}
+
+TEST(UpcallTest, DeliveryLatencyApplied) {
+  Simulation sim;
+  UpcallDispatcher dispatcher(&sim, 5 * kMillisecond);
+  Time delivered_at = -1;
+  dispatcher.Post(1, 1, ResourceId::kNetworkBandwidth, 0.0,
+                  [&](RequestId, ResourceId, double) { delivered_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, 5 * kMillisecond);
+}
+
+// --- Request table ---
+
+TEST(RequestTableTest, RegisterAndCancel) {
+  RequestTable table;
+  const RequestId id = table.Register(1, ResourceDescriptor{});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Cancel(id).ok());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Cancel(id).code(), StatusCode::kNotFound);
+}
+
+TEST(RequestTableTest, TakeViolatedConsumesOnlyViolations) {
+  RequestTable table;
+  ResourceDescriptor in_window{ResourceId::kNetworkBandwidth, 0.0, 100.0, nullptr};
+  ResourceDescriptor narrow{ResourceId::kNetworkBandwidth, 50.0, 60.0, nullptr};
+  table.Register(1, in_window);
+  const RequestId narrow_id = table.Register(1, narrow);
+  const auto violated = table.TakeViolated(ResourceId::kNetworkBandwidth, 1, 75.0);
+  ASSERT_EQ(violated.size(), 1u);
+  EXPECT_EQ(violated[0].id, narrow_id);
+  EXPECT_EQ(table.size(), 1u);  // the satisfied window remains
+}
+
+TEST(RequestTableTest, TakeViolatedScopedToAppAndResource) {
+  RequestTable table;
+  ResourceDescriptor descriptor{ResourceId::kNetworkBandwidth, 50.0, 60.0, nullptr};
+  table.Register(1, descriptor);
+  table.Register(2, descriptor);
+  descriptor.resource = ResourceId::kBatteryPower;
+  table.Register(1, descriptor);
+  EXPECT_TRUE(table.TakeViolated(ResourceId::kNetworkBandwidth, 3, 0.0).empty());
+  EXPECT_EQ(table.TakeViolated(ResourceId::kNetworkBandwidth, 1, 0.0).size(), 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RequestTableTest, BoundaryLevelsAreInsideWindow) {
+  RequestTable table;
+  table.Register(1, ResourceDescriptor{ResourceId::kNetworkBandwidth, 50.0, 60.0, nullptr});
+  EXPECT_TRUE(table.TakeViolated(ResourceId::kNetworkBandwidth, 1, 50.0).empty());
+  EXPECT_TRUE(table.TakeViolated(ResourceId::kNetworkBandwidth, 1, 60.0).empty());
+  EXPECT_EQ(table.TakeViolated(ResourceId::kNetworkBandwidth, 1, 49.999).size(), 1u);
+}
+
+TEST(RequestTableTest, EntriesForFilters) {
+  RequestTable table;
+  table.Register(1, ResourceDescriptor{ResourceId::kNetworkBandwidth, 0, 1, nullptr});
+  table.Register(1, ResourceDescriptor{ResourceId::kMoney, 0, 1, nullptr});
+  EXPECT_EQ(table.EntriesFor(1, ResourceId::kMoney).size(), 1u);
+  EXPECT_TRUE(table.EntriesFor(2, ResourceId::kMoney).empty());
+}
+
+// --- Viceroy ---
+
+class ViceroyTest : public ::testing::Test {
+ protected:
+  ViceroyTest() : viceroy_(&sim_, std::make_unique<LaissezFaireStrategy>()) {}
+
+  Simulation sim_;
+  Viceroy viceroy_;
+};
+
+TEST_F(ViceroyTest, RegistersApplications) {
+  const AppId a = viceroy_.RegisterApplication("alpha");
+  const AppId b = viceroy_.RegisterApplication("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(viceroy_.ApplicationName(a), "alpha");
+  EXPECT_EQ(viceroy_.ApplicationName(999), "<unknown>");
+}
+
+TEST_F(ViceroyTest, StaticResourcesHaveDefaults) {
+  const AppId app = viceroy_.RegisterApplication("app");
+  EXPECT_GT(viceroy_.CurrentLevel(app, ResourceId::kBatteryPower), 0.0);
+  EXPECT_GT(viceroy_.CurrentLevel(app, ResourceId::kDiskCacheSpace), 0.0);
+  EXPECT_GT(viceroy_.CurrentLevel(app, ResourceId::kCpu), 0.0);
+  EXPECT_GT(viceroy_.CurrentLevel(app, ResourceId::kMoney), 0.0);
+}
+
+TEST_F(ViceroyTest, RequestWithinWindowRegisters) {
+  const AppId app = viceroy_.RegisterApplication("app");
+  ResourceDescriptor descriptor{ResourceId::kBatteryPower, 0.0, 1e9, nullptr};
+  const RequestResult result = viceroy_.Request(app, descriptor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.id, 0u);
+  EXPECT_TRUE(viceroy_.Cancel(result.id).ok());
+}
+
+TEST_F(ViceroyTest, RequestOutsideWindowReturnsLevel) {
+  // §4.2: "If the resource is currently outside the bounds of the tolerance
+  // window, an error code and the current available resource level are
+  // returned."
+  const AppId app = viceroy_.RegisterApplication("app");
+  ResourceDescriptor descriptor{ResourceId::kBatteryPower, 1e9, 2e9, nullptr};
+  const RequestResult result = viceroy_.Request(app, descriptor);
+  EXPECT_FALSE(result.ok());
+  EXPECT_DOUBLE_EQ(result.current_level,
+                   viceroy_.CurrentLevel(app, ResourceId::kBatteryPower));
+}
+
+TEST_F(ViceroyTest, StaticLevelChangeFiresUpcall) {
+  const AppId app = viceroy_.RegisterApplication("app");
+  double seen_level = -1.0;
+  ResourceDescriptor descriptor{ResourceId::kBatteryPower, 100.0,
+                                std::numeric_limits<double>::max(),
+                                [&](RequestId, ResourceId, double level) { seen_level = level; }};
+  ASSERT_TRUE(viceroy_.Request(app, descriptor).ok());
+  viceroy_.SetStaticLevel(ResourceId::kBatteryPower, 50.0);  // battery draining
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(seen_level, 50.0);
+  // The registration was consumed: further changes are silent.
+  seen_level = -1.0;
+  viceroy_.SetStaticLevel(ResourceId::kBatteryPower, 10.0);
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(seen_level, -1.0);
+}
+
+TEST_F(ViceroyTest, ChangeWithinWindowIsSilent) {
+  const AppId app = viceroy_.RegisterApplication("app");
+  bool fired = false;
+  ResourceDescriptor descriptor{ResourceId::kMoney, 0.0, 100.0,
+                                [&](RequestId, ResourceId, double) { fired = true; }};
+  ASSERT_TRUE(viceroy_.Request(app, descriptor).ok());
+  viceroy_.SetStaticLevel(ResourceId::kMoney, 20.0);
+  sim_.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(ViceroyTest, CancelPreventsUpcall) {
+  const AppId app = viceroy_.RegisterApplication("app");
+  bool fired = false;
+  ResourceDescriptor descriptor{ResourceId::kMoney, 10.0, 100.0,
+                                [&](RequestId, ResourceId, double) { fired = true; }};
+  const RequestResult result = viceroy_.Request(app, descriptor);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(viceroy_.Cancel(result.id).ok());
+  viceroy_.SetStaticLevel(ResourceId::kMoney, 0.0);
+  sim_.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(ViceroyTest, BandwidthAndLatencyNotSettable) {
+  const AppId app = viceroy_.RegisterApplication("app");
+  viceroy_.SetStaticLevel(ResourceId::kNetworkBandwidth, 1e6);
+  EXPECT_DOUBLE_EQ(viceroy_.CurrentLevel(app, ResourceId::kNetworkBandwidth), 0.0);
+}
+
+TEST_F(ViceroyTest, UpcallsForTwoAppsIndependent) {
+  const AppId a = viceroy_.RegisterApplication("a");
+  const AppId b = viceroy_.RegisterApplication("b");
+  int fired_a = 0;
+  int fired_b = 0;
+  ResourceDescriptor descriptor{ResourceId::kMoney, 10.0, 100.0, nullptr};
+  descriptor.handler = [&](RequestId, ResourceId, double) { ++fired_a; };
+  ASSERT_TRUE(viceroy_.Request(a, descriptor).ok());
+  descriptor.handler = [&](RequestId, ResourceId, double) { ++fired_b; };
+  ASSERT_TRUE(viceroy_.Request(b, descriptor).ok());
+  viceroy_.SetStaticLevel(ResourceId::kMoney, 5.0);
+  sim_.Run();
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 1);
+}
+
+}  // namespace
+}  // namespace odyssey

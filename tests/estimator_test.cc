@@ -1,0 +1,338 @@
+// Unit tests for EWMA smoothing, usage accounting, per-connection
+// estimation, and the centralized supply model (§6.2.1).
+
+#include <gtest/gtest.h>
+
+#include "src/estimator/connection_estimator.h"
+#include "src/estimator/ewma.h"
+#include "src/estimator/sliding_max.h"
+#include "src/estimator/supply_model.h"
+#include "src/estimator/usage_meter.h"
+
+namespace odyssey {
+namespace {
+
+constexpr double kKb = 1024.0;
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  EwmaFilter filter(0.5);
+  EXPECT_FALSE(filter.has_value());
+  filter.Update(10.0);
+  EXPECT_TRUE(filter.has_value());
+  EXPECT_DOUBLE_EQ(filter.value(), 10.0);
+}
+
+TEST(EwmaTest, WeightsNewestByAlpha) {
+  EwmaFilter filter(0.75);
+  filter.Update(0.0);
+  filter.Update(100.0);
+  EXPECT_DOUBLE_EQ(filter.value(), 75.0);
+  filter.Update(100.0);
+  EXPECT_DOUBLE_EQ(filter.value(), 93.75);
+}
+
+TEST(EwmaTest, PrimeSeedsWithoutObservation) {
+  EwmaFilter filter(0.5);
+  filter.Prime(42.0);
+  EXPECT_TRUE(filter.has_value());
+  filter.Update(0.0);
+  EXPECT_DOUBLE_EQ(filter.value(), 21.0);
+}
+
+TEST(EwmaTest, ResetClears) {
+  EwmaFilter filter(0.5);
+  filter.Update(1.0);
+  filter.Reset();
+  EXPECT_FALSE(filter.has_value());
+}
+
+TEST(EwmaTest, AlphaOneTracksExactly) {
+  EwmaFilter filter(1.0);
+  filter.Update(5.0);
+  filter.Update(9.0);
+  EXPECT_DOUBLE_EQ(filter.value(), 9.0);
+}
+
+TEST(UsageMeterTest, SteadyConsumptionConvergesToRate) {
+  UsageMeter meter(2 * kSecond);
+  // 10 KB every 100 ms == 100 KB/s.
+  for (int i = 0; i < 200; ++i) {
+    meter.Record(i * 100 * kMillisecond, 10.0 * kKb);
+  }
+  EXPECT_NEAR(meter.RateAt(200 * 100 * kMillisecond), 100.0 * kKb, 5.0 * kKb);
+}
+
+TEST(UsageMeterTest, DecaysWhenIdle) {
+  UsageMeter meter(kSecond);
+  meter.Record(0, 100.0 * kKb);
+  const double at_once = meter.RateAt(0);
+  const double later = meter.RateAt(3 * kSecond);
+  EXPECT_LT(later, at_once * 0.06);  // e^-3 ~ 0.05
+}
+
+TEST(UsageMeterTest, ActiveThreshold) {
+  UsageMeter meter(kSecond);
+  EXPECT_FALSE(meter.ActiveAt(0));
+  meter.Record(0, 64.0 * kKb);
+  EXPECT_TRUE(meter.ActiveAt(0));
+  EXPECT_FALSE(meter.ActiveAt(20 * kSecond));
+}
+
+TEST(UsageMeterTest, IntervalDeliverySpreadsBytes) {
+  UsageMeter meter(2 * kSecond);
+  // 100 KB delivered over (0, 4s]: half of it lies in any trailing 2 s
+  // window inside the transfer.
+  meter.Record(0, 4 * kSecond, 100.0 * kKb);
+  EXPECT_NEAR(meter.RateAt(4 * kSecond), 25.0 * kKb, 0.1 * kKb);
+  EXPECT_NEAR(meter.RateAt(2 * kSecond), 25.0 * kKb, 0.1 * kKb);
+  // A window straddling the end of the transfer sees a partial overlap.
+  EXPECT_NEAR(meter.RateAt(5 * kSecond), 12.5 * kKb, 0.1 * kKb);
+}
+
+TEST(UsageMeterTest, BackToBackTransfersReadSteadyRate) {
+  UsageMeter meter(2 * kSecond);
+  // Continuous 40 KB/s: 20 KB windows covering (i*0.5, (i+1)*0.5].
+  for (int i = 0; i < 40; ++i) {
+    meter.Record(i * 500 * kMillisecond, (i + 1) * 500 * kMillisecond, 20.0 * kKb);
+  }
+  // Phase independence: any query instant reads 40 KB/s.
+  for (Time at = 15 * kSecond; at <= 20 * kSecond; at += 333 * kMillisecond) {
+    EXPECT_NEAR(meter.RateAt(at), 40.0 * kKb, 0.5 * kKb) << "at " << at;
+  }
+}
+
+TEST(SlidingMaxTest, TracksMaximumInWindow) {
+  SlidingMax sliding(2 * kSecond);
+  EXPECT_FALSE(sliding.has_value());
+  sliding.Push(0, 10.0);
+  sliding.Push(kSecond, 5.0);
+  EXPECT_DOUBLE_EQ(sliding.value(), 10.0);
+  // The 10 ages out once the window slides past it.
+  sliding.Push(3 * kSecond, 4.0);
+  EXPECT_DOUBLE_EQ(sliding.value(), 5.0);
+  sliding.Push(4 * kSecond, 1.0);
+  EXPECT_DOUBLE_EQ(sliding.value(), 4.0);
+}
+
+TEST(SlidingMaxTest, RisesInstantly) {
+  SlidingMax sliding(2 * kSecond);
+  sliding.Push(0, 10.0);
+  sliding.Push(1, 100.0);
+  EXPECT_DOUBLE_EQ(sliding.value(), 100.0);
+}
+
+TEST(SlidingMaxTest, HoldsWithoutNewSamples) {
+  // Anchored at the last push: passive estimation holds its last belief.
+  SlidingMax sliding(2 * kSecond);
+  sliding.Push(0, 42.0);
+  EXPECT_DOUBLE_EQ(sliding.value(), 42.0);
+  EXPECT_EQ(sliding.last_push(), 0);
+}
+
+TEST(SlidingMaxTest, ResetClears) {
+  SlidingMax sliding(kSecond);
+  sliding.Push(0, 1.0);
+  sliding.Reset();
+  EXPECT_FALSE(sliding.has_value());
+  EXPECT_DOUBLE_EQ(sliding.value(), 0.0);
+}
+
+TEST(UsageMeterTest, ResetZeroes) {
+  UsageMeter meter(kSecond);
+  meter.Record(0, 100.0);
+  meter.Reset();
+  EXPECT_DOUBLE_EQ(meter.RateAt(0), 0.0);
+}
+
+TEST(ConnectionEstimatorTest, PrimedRttBeforeObservations) {
+  ConnectionEstimator estimator;
+  EXPECT_EQ(estimator.smoothed_rtt(), 21 * kMillisecond);
+  EXPECT_FALSE(estimator.has_bandwidth());
+  EXPECT_DOUBLE_EQ(estimator.bandwidth_bps(), 0.0);
+}
+
+TEST(ConnectionEstimatorTest, BandwidthFromWindowSubtractsRtt) {
+  ConnectionEstimator estimator;
+  // 64 KB window in 0.5 s + 21 ms of request/ack overhead.
+  estimator.OnThroughput({kSecond, 64.0 * kKb, 521 * kMillisecond});
+  EXPECT_NEAR(estimator.bandwidth_bps(), 128.0 * kKb, 1.0 * kKb);
+  EXPECT_EQ(estimator.last_observation(), kSecond);
+}
+
+TEST(ConnectionEstimatorTest, SmoothingUsesThroughputAlpha) {
+  ConnectionEstimator estimator;
+  estimator.OnThroughput({0, 64.0 * kKb, 521 * kMillisecond});   // 128 KB/s
+  estimator.OnThroughput({0, 64.0 * kKb, 1021 * kMillisecond});  // 64 KB/s
+  // new = 0.875*64 + 0.125*128 = 72 KB/s
+  EXPECT_NEAR(estimator.bandwidth_bps(), 72.0 * kKb, 1.0 * kKb);
+}
+
+TEST(ConnectionEstimatorTest, RttRiseCapLimitsAnomalies) {
+  ConnectionEstimator estimator;  // primed at 21 ms, cap 50%
+  estimator.OnRoundTrip({0, 1000 * kMillisecond});  // wild outlier
+  // Capped at 21*1.5 = 31.5ms, then EWMA: 0.75*31.5 + 0.25*21 = 28.875.
+  EXPECT_NEAR(static_cast<double>(estimator.smoothed_rtt()), 28875.0, 1.0);
+}
+
+TEST(ConnectionEstimatorTest, RttFallsFreely) {
+  ConnectionEstimator estimator;  // primed at 21 ms
+  estimator.OnRoundTrip({0, 1 * kMillisecond});
+  // No cap on drops: 0.75*1 + 0.25*21 = 6 ms.
+  EXPECT_NEAR(static_cast<double>(estimator.smoothed_rtt()), 6000.0, 1.0);
+}
+
+TEST(ConnectionEstimatorTest, CapDisabledWhenNonPositive) {
+  EstimatorConfig config;
+  config.rtt_rise_cap = 0.0;
+  ConnectionEstimator estimator(config);
+  estimator.OnRoundTrip({0, 1000 * kMillisecond});
+  EXPECT_GT(estimator.smoothed_rtt(), 700 * kMillisecond);
+}
+
+TEST(ConnectionEstimatorTest, TinyWindowDoesNotExplode) {
+  ConnectionEstimator estimator;
+  // Window completed in about one RTT: effective transfer time floors.
+  estimator.OnThroughput({0, 1.0 * kKb, 21 * kMillisecond});
+  EXPECT_LT(estimator.bandwidth_bps(), 1.0 * kKb / 0.0001 + 1.0);
+  EXPECT_GT(estimator.bandwidth_bps(), 0.0);
+}
+
+// --- Supply model ---
+
+class SupplyModelTest : public ::testing::Test {
+ protected:
+  // Feeds a steady stream of windows on |connection| observing |raw_bps|,
+  // one per |period|, from |start| for |count| windows.
+  void FeedSteady(ConnectionId connection, double raw_bps, Time start, int count,
+                  Duration period = 500 * kMillisecond) {
+    for (int i = 0; i < count; ++i) {
+      const Time at = start + i * period;
+      const double bytes = raw_bps * DurationToSeconds(period);
+      // elapsed = transfer time + smoothed rtt so the raw estimate ~raw_bps.
+      const Duration elapsed = period + 21 * kMillisecond;
+      model_.OnThroughput(connection, {at, bytes, elapsed});
+    }
+  }
+
+  SupplyModel model_;
+};
+
+TEST_F(SupplyModelTest, SingleConnectionSupplyTracksObservedRate) {
+  model_.AddConnection(1);
+  FeedSteady(1, 120.0 * kKb, 0, 20);
+  EXPECT_NEAR(model_.TotalSupply(), 120.0 * kKb, 6.0 * kKb);
+}
+
+TEST_F(SupplyModelTest, TwoConcurrentStreamsSumToCapacity) {
+  model_.AddConnection(1);
+  model_.AddConnection(2);
+  // Both observe 60 KB/s concurrently (sharing a 120 KB/s link).
+  for (int i = 0; i < 40; ++i) {
+    const Time at = i * 500 * kMillisecond;
+    const double bytes = 30.0 * kKb;
+    model_.OnThroughput(1, {at, bytes, 521 * kMillisecond});
+    model_.OnThroughput(2, {at + 10 * kMillisecond, bytes, 521 * kMillisecond});
+  }
+  EXPECT_NEAR(model_.TotalSupply(), 120.0 * kKb, 12.0 * kKb);
+}
+
+TEST_F(SupplyModelTest, AvailabilityFairShareForNewConnection) {
+  model_.AddConnection(1);
+  model_.AddConnection(2);
+  FeedSteady(1, 120.0 * kKb, 0, 20);
+  const Time now = 20 * 500 * kMillisecond;
+  // Connection 2 has no recent use: it gets the fair share of one more
+  // active connection joining.
+  const double availability = model_.AvailabilityFor(2, now);
+  EXPECT_NEAR(availability, model_.TotalSupply() / 2.0, 2.0 * kKb);
+}
+
+TEST_F(SupplyModelTest, HeadroomSplitsProportionallyToUse) {
+  model_.AddConnection(1);
+  model_.AddConnection(2);
+  // Both connections burst at ~100 KB/s link rate but consume different
+  // long-run rates (50 vs 10 KB/s), leaving headroom to compete for.
+  for (int i = 0; i < 40; ++i) {
+    const Time at = i * kSecond;
+    model_.OnThroughput(1, {at, 50.0 * kKb, 521 * kMillisecond});
+    model_.OnThroughput(2, {at + 100 * kMillisecond, 10.0 * kKb, 121 * kMillisecond});
+  }
+  const Time now = 40 * kSecond;
+  const double a1 = model_.AvailabilityFor(1, now);
+  const double a2 = model_.AvailabilityFor(2, now);
+  const double supply = model_.TotalSupply();
+  EXPECT_GT(a1, a2);                       // heavier user gets more headroom
+  EXPECT_GE(a2, supply / 2.0 - kKb);       // floor: fair share
+  EXPECT_LE(a1, supply + 1.0);             // cap: never more than the supply
+}
+
+TEST_F(SupplyModelTest, SaturatedLinkYieldsFairSharesOnly) {
+  model_.AddConnection(1);
+  model_.AddConnection(2);
+  // Two saturating streams each observe ~60 KB/s of a 120 KB/s link; all
+  // capacity is in use, so there is no headroom to compete for.
+  for (int i = 0; i < 40; ++i) {
+    const Time at = i * 500 * kMillisecond;
+    model_.OnThroughput(1, {at, 30.0 * kKb, 521 * kMillisecond});
+    model_.OnThroughput(2, {at + 10 * kMillisecond, 30.0 * kKb, 521 * kMillisecond});
+  }
+  // Sample at the final observation: the streams are still flowing there.
+  const Time now = 39 * 500 * kMillisecond + 10 * kMillisecond;
+  EXPECT_NEAR(model_.AvailabilityFor(1, now), model_.TotalSupply() / 2.0, 3.0 * kKb);
+  EXPECT_NEAR(model_.AvailabilityFor(2, now), model_.TotalSupply() / 2.0, 3.0 * kKb);
+}
+
+TEST_F(SupplyModelTest, UnknownConnectionGetsFairShare) {
+  model_.AddConnection(1);
+  FeedSteady(1, 100.0 * kKb, 0, 20);
+  const double availability = model_.AvailabilityFor(99, 10 * kSecond);
+  EXPECT_NEAR(availability, model_.TotalSupply() / 2.0, 2.0 * kKb);
+}
+
+TEST_F(SupplyModelTest, NoSupplyMeansZeroAvailability) {
+  model_.AddConnection(1);
+  EXPECT_DOUBLE_EQ(model_.AvailabilityFor(1, 0), 0.0);
+}
+
+TEST_F(SupplyModelTest, RemoveConnectionForgetsIt) {
+  model_.AddConnection(1);
+  FeedSteady(1, 100.0 * kKb, 0, 5);
+  model_.RemoveConnection(1);
+  EXPECT_EQ(model_.EstimatorFor(1), nullptr);
+  // Observations for removed connections are ignored.
+  model_.OnThroughput(1, {10 * kSecond, 1000.0, kSecond});
+  EXPECT_EQ(model_.EstimatorFor(1), nullptr);
+}
+
+TEST_F(SupplyModelTest, ActiveCountDropsWithIdleness) {
+  model_.AddConnection(1);
+  model_.AddConnection(2);
+  FeedSteady(1, 100.0 * kKb, 0, 10);
+  FeedSteady(2, 100.0 * kKb, 0, 10);
+  const Time busy = 10 * 500 * kMillisecond;
+  EXPECT_EQ(model_.ActiveConnectionCount(busy), 2);
+  // After 30 s of silence both decayed; count floors at 1.
+  EXPECT_EQ(model_.ActiveConnectionCount(busy + 30 * kSecond), 1);
+}
+
+// Property sweep: supply estimation converges to the true rate for a wide
+// range of link speeds.
+class SupplyConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(SupplyConvergence, ConvergesWithinTenPercent) {
+  const double true_bps = GetParam();
+  SupplyModel model;
+  model.AddConnection(1);
+  for (int i = 0; i < 30; ++i) {
+    const Time at = i * 500 * kMillisecond;
+    model.OnThroughput(1, {at, true_bps * 0.5, 521 * kMillisecond});
+  }
+  EXPECT_NEAR(model.TotalSupply(), true_bps, 0.1 * true_bps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SupplyConvergence,
+                         ::testing::Values(10.0 * kKb, 40.0 * kKb, 120.0 * kKb, 500.0 * kKb,
+                                           2000.0 * kKb));
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,218 @@
+// Integration tests: whole-system behaviours the paper's evaluation claims.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bitstream_app.h"
+#include "src/apps/speech_frontend.h"
+#include "src/apps/video_player.h"
+#include "src/apps/web_browser.h"
+#include "src/metrics/experiment.h"
+#include "src/metrics/trial.h"
+
+namespace odyssey {
+namespace {
+
+// --- Agility of supply estimation (Figure 8 behaviours) ---
+
+class SupplyAgilityTest : public ::testing::Test {
+ protected:
+  // Runs a max-rate bitstream over |waveform| and samples the supply
+  // estimate every 100 ms.  Returns the series relative to measurement
+  // start.
+  Series RunWaveform(Waveform waveform, uint64_t seed = 1) {
+    ExperimentRig rig(seed, StrategyKind::kOdyssey);
+    BitstreamApp app(&rig.client(), "bitstream");
+    const Time measure = rig.Replay(MakeWaveform(waveform));
+    app.Start();
+    Sampler sampler(&rig.sim(), 100 * kMillisecond, measure, [&rig] {
+      return rig.centralized()->TotalSupply(rig.sim().now());
+    });
+    rig.sim().ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
+    rig.sim().RunUntil(measure + kWaveformLength);
+    return sampler.series();
+  }
+};
+
+TEST_F(SupplyAgilityTest, StepUpDetectedQuickly) {
+  const Series series = RunWaveform(Waveform::kStepUp);
+  // Paper: the Step-Up increase is detected almost instantaneously.
+  const double settle =
+      SettlingTime(series, 30.0, 0.9 * kHighBandwidth, 1.15 * kHighBandwidth);
+  ASSERT_GE(settle, 0.0);
+  EXPECT_LE(settle, 1.5);
+}
+
+TEST_F(SupplyAgilityTest, StepDownSettlesWithinAFewSeconds) {
+  const Series series = RunWaveform(Waveform::kStepDown);
+  // Paper: settling time ~2.0 s, limited by the window in flight when
+  // bandwidth falls.
+  const double settle = SettlingTime(series, 30.0, 0.85 * kLowBandwidth, 1.2 * kLowBandwidth);
+  ASSERT_GE(settle, 0.0);
+  EXPECT_LE(settle, 5.0);
+  EXPECT_GE(settle, 0.5);
+}
+
+TEST_F(SupplyAgilityTest, SteadyEstimateBeforeTransition) {
+  const Series series = RunWaveform(Waveform::kStepUp);
+  for (const auto& point : series) {
+    if (point.t_seconds > 5.0 && point.t_seconds < 29.0) {
+      EXPECT_NEAR(point.value, kLowBandwidth, 0.15 * kLowBandwidth)
+          << "at t=" << point.t_seconds;
+    }
+  }
+}
+
+TEST_F(SupplyAgilityTest, ImpulseUpLeadingEdgeTraced) {
+  const Series series = RunWaveform(Waveform::kImpulseUp);
+  double peak = 0.0;
+  for (const auto& point : series) {
+    if (point.t_seconds >= 29.0 && point.t_seconds <= 32.0) {
+      peak = std::max(peak, point.value);
+    }
+  }
+  // The two-second impulse to 120 KB/s must be visible.
+  EXPECT_GT(peak, 0.75 * kHighBandwidth);
+}
+
+TEST_F(SupplyAgilityTest, ImpulseDownReturnsToHigh) {
+  const Series series = RunWaveform(Waveform::kImpulseDown);
+  const double settle =
+      SettlingTime(series, 31.0, 0.85 * kHighBandwidth, 1.15 * kHighBandwidth);
+  ASSERT_GE(settle, 0.0);
+  EXPECT_LE(settle, 6.0);
+}
+
+// --- Agility of demand estimation (Figure 9 behaviours) ---
+
+TEST(DemandAgilityTest, SecondStreamConvergesTowardFairShare) {
+  ExperimentRig rig(1, StrategyKind::kOdyssey);
+  BitstreamApp first(&rig.client(), "bitstream-1");
+  BitstreamApp second(&rig.client(), "bitstream-2");
+  rig.Replay(MakeConstant(kHighBandwidth, 3 * kMinute), /*prime=*/false);
+  first.Start();  // 100% utilization
+  rig.sim().ScheduleAt(kMinute, [&] { second.Start(); });
+  rig.sim().RunUntil(kMinute + 30 * kSecond);
+  // With both streams saturating, each connection's share settles near the
+  // fair share of 60 KB/s.
+  const double share2 =
+      rig.centralized()->ConnectionAvailability(second.connection(), rig.sim().now());
+  EXPECT_NEAR(share2, kHighBandwidth / 2.0, 0.2 * kHighBandwidth);
+  const double total = rig.centralized()->TotalSupply(rig.sim().now());
+  EXPECT_NEAR(total, kHighBandwidth, 0.15 * kHighBandwidth);
+}
+
+TEST(DemandAgilityTest, LowUtilizationStreamsDoNotInflateSupply) {
+  ExperimentRig rig(2, StrategyKind::kOdyssey);
+  BitstreamApp first(&rig.client(), "bitstream-1");
+  BitstreamApp second(&rig.client(), "bitstream-2");
+  rig.Replay(MakeConstant(kHighBandwidth, 3 * kMinute), /*prime=*/false);
+  first.Start(0.10 * kHighBandwidth);
+  rig.sim().ScheduleAt(kMinute, [&] { second.Start(0.10 * kHighBandwidth); });
+  rig.sim().RunUntil(2 * kMinute);
+  const double total = rig.centralized()->TotalSupply(rig.sim().now());
+  EXPECT_NEAR(total, kHighBandwidth, 0.2 * kHighBandwidth);
+}
+
+// --- Centralized versus uncoordinated management (Figure 14 behaviours) ---
+
+struct ConcurrentResult {
+  int video_drops = 0;
+  double video_fidelity = 0.0;
+  double web_seconds = 0.0;
+  double web_fidelity = 0.0;
+  double speech_seconds = 0.0;
+};
+
+ConcurrentResult RunConcurrent(StrategyKind strategy, uint64_t seed) {
+  ExperimentRig rig(seed, strategy);
+  VideoPlayerOptions video_options;
+  video_options.frames_to_play = 2000;  // runs past the measured window
+  VideoPlayer video(&rig.client(), video_options);
+  WebBrowser web(&rig.client(), WebBrowserOptions{});
+  SpeechFrontEnd speech(&rig.client(), SpeechFrontEndOptions{});
+
+  // A shortened urban walk: high, low, high, low, high (30 s each).
+  ReplayTrace trace;
+  trace.Append(30 * kSecond, kHighBandwidth, kOneWayLatency);
+  trace.Append(30 * kSecond, kLowBandwidth, kOneWayLatency);
+  trace.Append(30 * kSecond, kHighBandwidth, kOneWayLatency);
+  trace.Append(30 * kSecond, kLowBandwidth, kOneWayLatency);
+  trace.Append(30 * kSecond, kHighBandwidth, kOneWayLatency);
+  const Time measure = rig.Replay(trace);
+  const Time end = measure + trace.TotalDuration();
+
+  video.Start();
+  web.Start();
+  speech.Start();
+  rig.sim().RunUntil(end);
+
+  ConcurrentResult result;
+  result.video_drops = video.DropsBetween(measure, end);
+  result.video_fidelity = video.MeanFidelityBetween(measure, end);
+  result.web_seconds = web.MeanSecondsBetween(measure, end);
+  result.web_fidelity = web.MeanFidelityBetween(measure, end);
+  result.speech_seconds = speech.MeanSecondsBetween(measure, end);
+  return result;
+}
+
+TEST(ConcurrentStrategiesTest, OdysseyDropsFarFewerFramesThanBlindOptimism) {
+  const ConcurrentResult odyssey = RunConcurrent(StrategyKind::kOdyssey, 1);
+  const ConcurrentResult blind = RunConcurrent(StrategyKind::kBlindOptimism, 1);
+  // Paper: "Odyssey drops a factor of 2 to 5 fewer frames than the other
+  // strategies."
+  EXPECT_LT(odyssey.video_drops * 2, blind.video_drops);
+  // The trade: blind optimism plays higher fidelity but misses goals.
+  EXPECT_GE(blind.video_fidelity, odyssey.video_fidelity);
+}
+
+TEST(ConcurrentStrategiesTest, OdysseyBeatsLaissezFaireOnDrops) {
+  // Aggregate several seeds: at Odyssey's drop levels a single short trace
+  // is noisy.
+  int odyssey_drops = 0;
+  int laissez_drops = 0;
+  for (uint64_t seed = 2; seed <= 5; ++seed) {
+    odyssey_drops += RunConcurrent(StrategyKind::kOdyssey, seed).video_drops;
+    laissez_drops += RunConcurrent(StrategyKind::kLaissezFaire, seed).video_drops;
+  }
+  EXPECT_LT(odyssey_drops, laissez_drops);
+}
+
+TEST(ConcurrentStrategiesTest, OdysseyWebPagesLoadFaster) {
+  const ConcurrentResult odyssey = RunConcurrent(StrategyKind::kOdyssey, 3);
+  const ConcurrentResult blind = RunConcurrent(StrategyKind::kBlindOptimism, 3);
+  // Paper: "Web pages are loaded and displayed roughly twice as fast."
+  EXPECT_LT(odyssey.web_seconds, blind.web_seconds);
+  EXPECT_LT(odyssey.web_fidelity, blind.web_fidelity + 1e-9);
+}
+
+TEST(ConcurrentStrategiesTest, AllAppsMakeProgressUnderEveryStrategy) {
+  for (const StrategyKind strategy :
+       {StrategyKind::kOdyssey, StrategyKind::kLaissezFaire, StrategyKind::kBlindOptimism}) {
+    const ConcurrentResult result = RunConcurrent(strategy, 4);
+    EXPECT_GT(result.web_seconds, 0.0) << StrategyKindName(strategy);
+    EXPECT_GT(result.speech_seconds, 0.0) << StrategyKindName(strategy);
+    EXPECT_GT(result.video_fidelity, 0.0) << StrategyKindName(strategy);
+  }
+}
+
+// --- Determinism ---
+
+TEST(DeterminismTest, SameSeedSameResult) {
+  const ConcurrentResult a = RunConcurrent(StrategyKind::kOdyssey, 7);
+  const ConcurrentResult b = RunConcurrent(StrategyKind::kOdyssey, 7);
+  EXPECT_EQ(a.video_drops, b.video_drops);
+  EXPECT_DOUBLE_EQ(a.video_fidelity, b.video_fidelity);
+  EXPECT_DOUBLE_EQ(a.web_seconds, b.web_seconds);
+  EXPECT_DOUBLE_EQ(a.speech_seconds, b.speech_seconds);
+}
+
+TEST(DeterminismTest, DifferentSeedsJitter) {
+  const ConcurrentResult a = RunConcurrent(StrategyKind::kOdyssey, 8);
+  const ConcurrentResult b = RunConcurrent(StrategyKind::kOdyssey, 9);
+  // Trials differ (jittered compute costs) but only modestly.
+  EXPECT_NE(a.web_seconds, b.web_seconds);
+  EXPECT_NEAR(a.web_seconds, b.web_seconds, 0.5 * a.web_seconds);
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,276 @@
+// Unit tests for the Odyssey object namespace and the OdysseyClient facade.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/core/object_namespace.h"
+#include "src/core/odyssey_client.h"
+#include "src/core/warden.h"
+#include "src/net/link.h"
+#include "src/sim/simulation.h"
+#include "src/strategies/laissez_faire.h"
+
+namespace odyssey {
+namespace {
+
+// A warden that records the operations it receives.
+class ProbeWarden : public Warden {
+ public:
+  explicit ProbeWarden(std::string name) : Warden(std::move(name)) {}
+
+  void Tsop(AppId app, const std::string& path, int opcode, const std::string& in,
+            TsopCallback done) override {
+    last_app = app;
+    last_path = path;
+    last_opcode = opcode;
+    last_in = in;
+    done(OkStatus(), "probe-out");
+  }
+
+  void Read(AppId, const std::string& path, ReadCallback done) override {
+    done(OkStatus(), "read:" + path);
+  }
+
+  void Write(AppId, const std::string& path, std::string data, WriteCallback done) override {
+    last_path = path;
+    last_in = std::move(data);
+    done(OkStatus());
+  }
+
+  AppId last_app = 0;
+  std::string last_path;
+  int last_opcode = 0;
+  std::string last_in;
+};
+
+TEST(ObjectNamespaceTest, InstallAndResolve) {
+  ObjectNamespace ns;
+  ProbeWarden warden("video");
+  ASSERT_TRUE(ns.Install(&warden).ok());
+  ObjectNamespace::Resolution resolution;
+  ASSERT_TRUE(ns.Resolve("/odyssey/video/movies/m1", &resolution).ok());
+  EXPECT_EQ(resolution.warden, &warden);
+  EXPECT_EQ(resolution.relative_path, "movies/m1");
+}
+
+TEST(ObjectNamespaceTest, ResolveWardenRootYieldsEmptyRelative) {
+  ObjectNamespace ns;
+  ProbeWarden warden("web");
+  ASSERT_TRUE(ns.Install(&warden).ok());
+  ObjectNamespace::Resolution resolution;
+  ASSERT_TRUE(ns.Resolve("/odyssey/web", &resolution).ok());
+  EXPECT_EQ(resolution.relative_path, "");
+}
+
+TEST(ObjectNamespaceTest, RejectsDuplicateInstall) {
+  ObjectNamespace ns;
+  ProbeWarden a("video");
+  ProbeWarden b("video");
+  ASSERT_TRUE(ns.Install(&a).ok());
+  EXPECT_EQ(ns.Install(&b).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ObjectNamespaceTest, RejectsBadNames) {
+  ObjectNamespace ns;
+  ProbeWarden slashy("a/b");
+  EXPECT_EQ(ns.Install(&slashy).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ns.Install(nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectNamespaceTest, NonOdysseyPathsNotFound) {
+  ObjectNamespace ns;
+  ProbeWarden warden("video");
+  ASSERT_TRUE(ns.Install(&warden).ok());
+  ObjectNamespace::Resolution resolution;
+  EXPECT_FALSE(ns.Resolve("/usr/lib/libc.so", &resolution).ok());
+  EXPECT_FALSE(ns.Resolve("/odyssey/unknown/x", &resolution).ok());
+  EXPECT_FALSE(ObjectNamespace::IsOdysseyPath("/etc/passwd"));
+  EXPECT_TRUE(ObjectNamespace::IsOdysseyPath("/odyssey/video/x"));
+}
+
+TEST(ObjectNamespaceTest, ListsWardenNames) {
+  ObjectNamespace ns;
+  ProbeWarden a("alpha");
+  ProbeWarden b("beta");
+  ASSERT_TRUE(ns.Install(&a).ok());
+  ASSERT_TRUE(ns.Install(&b).ok());
+  EXPECT_EQ(ns.WardenNames(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+class OdysseyClientTest : public ::testing::Test {
+ protected:
+  OdysseyClientTest()
+      : link_(&sim_, 1e6, 0),
+        client_(&sim_, &link_, std::make_unique<LaissezFaireStrategy>()) {}
+
+  Simulation sim_;
+  Link link_;
+  OdysseyClient client_;
+};
+
+TEST_F(OdysseyClientTest, TsopRoutesThroughNamespace) {
+  auto owned = std::make_unique<ProbeWarden>("probe");
+  ProbeWarden* warden = owned.get();
+  ASSERT_NE(client_.InstallWarden(std::move(owned)), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+
+  Status seen;
+  std::string out;
+  client_.Tsop(app, "/odyssey/probe/obj", 7, "payload", [&](Status status, std::string data) {
+    seen = status;
+    out = std::move(data);
+  });
+  EXPECT_TRUE(seen.ok());
+  EXPECT_EQ(out, "probe-out");
+  EXPECT_EQ(warden->last_app, app);
+  EXPECT_EQ(warden->last_path, "obj");
+  EXPECT_EQ(warden->last_opcode, 7);
+  EXPECT_EQ(warden->last_in, "payload");
+}
+
+TEST_F(OdysseyClientTest, TsopOnUnknownPathFails) {
+  const AppId app = client_.RegisterApplication("app");
+  Status seen;
+  client_.Tsop(app, "/odyssey/nothing/obj", 1, "", [&](Status status, std::string) {
+    seen = status;
+  });
+  EXPECT_EQ(seen.code(), StatusCode::kNotFound);
+}
+
+TEST_F(OdysseyClientTest, ReadAndWriteRoute) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("probe")), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+  std::string data;
+  client_.Read(app, "/odyssey/probe/file", [&](Status, std::string d) { data = std::move(d); });
+  EXPECT_EQ(data, "read:file");
+  Status write_status(StatusCode::kUnavailable);
+  client_.Write(app, "/odyssey/probe/file", "hello",
+                [&](Status status) { write_status = status; });
+  EXPECT_TRUE(write_status.ok());
+}
+
+TEST_F(OdysseyClientTest, DefaultWardenOpsUnsupported) {
+  // Warden base class rejects everything it does not implement.
+  class EmptyWarden : public Warden {
+   public:
+    EmptyWarden() : Warden("empty") {}
+  };
+  ASSERT_NE(client_.InstallWarden(std::make_unique<EmptyWarden>()), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+  Status tsop_status;
+  client_.Tsop(app, "/odyssey/empty/x", 1, "", [&](Status s, std::string) { tsop_status = s; });
+  EXPECT_EQ(tsop_status.code(), StatusCode::kUnsupported);
+  Status read_status;
+  client_.Read(app, "/odyssey/empty/x", [&](Status s, std::string) { read_status = s; });
+  EXPECT_EQ(read_status.code(), StatusCode::kUnsupported);
+  Status write_status;
+  client_.Write(app, "/odyssey/empty/x", "", [&](Status s) { write_status = s; });
+  EXPECT_EQ(write_status.code(), StatusCode::kUnsupported);
+}
+
+TEST_F(OdysseyClientTest, DuplicateWardenInstallFails) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("dup")), nullptr);
+  EXPECT_EQ(client_.InstallWarden(std::make_unique<ProbeWarden>("dup")), nullptr);
+}
+
+TEST_F(OdysseyClientTest, OpenYieldsUsableDescriptor) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("probe")), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+  const auto open = client_.Open(app, "/odyssey/probe/deep/path");
+  ASSERT_TRUE(open.status.ok());
+  EXPECT_GE(open.fd, 3);
+
+  std::string out;
+  client_.TsopFd(app, open.fd, 5, "x", [&](Status, std::string data) { out = std::move(data); });
+  EXPECT_EQ(out, "probe-out");
+  std::string read_data;
+  client_.ReadFd(app, open.fd, [&](Status, std::string data) { read_data = std::move(data); });
+  EXPECT_EQ(read_data, "read:deep/path");
+  Status write_status;
+  client_.WriteFd(app, open.fd, "payload", [&](Status s) { write_status = s; });
+  EXPECT_TRUE(write_status.ok());
+  EXPECT_TRUE(client_.Close(app, open.fd).ok());
+}
+
+TEST_F(OdysseyClientTest, DescriptorsAreScopedToTheirApp) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("probe")), nullptr);
+  const AppId owner = client_.RegisterApplication("owner");
+  const AppId intruder = client_.RegisterApplication("intruder");
+  const auto open = client_.Open(owner, "/odyssey/probe/x");
+  ASSERT_TRUE(open.status.ok());
+  Status status;
+  client_.TsopFd(intruder, open.fd, 1, "", [&](Status s, std::string) { status = s; });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client_.Close(intruder, open.fd).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client_.Close(owner, open.fd).ok());
+}
+
+TEST_F(OdysseyClientTest, ClosedDescriptorRejected) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("probe")), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+  const auto open = client_.Open(app, "/odyssey/probe/x");
+  ASSERT_TRUE(client_.Close(app, open.fd).ok());
+  Status status;
+  client_.TsopFd(app, open.fd, 1, "", [&](Status s, std::string) { status = s; });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client_.Close(app, open.fd).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OdysseyClientTest, OpenUnknownPathFails) {
+  const AppId app = client_.RegisterApplication("app");
+  const auto open = client_.Open(app, "/odyssey/missing/x");
+  EXPECT_FALSE(open.status.ok());
+  EXPECT_EQ(open.fd, -1);
+}
+
+TEST_F(OdysseyClientTest, DescriptorsAreDistinct) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("probe")), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+  const auto a = client_.Open(app, "/odyssey/probe/a");
+  const auto b = client_.Open(app, "/odyssey/probe/b");
+  EXPECT_NE(a.fd, b.fd);
+  std::string read_a;
+  client_.ReadFd(app, a.fd, [&](Status, std::string data) { read_a = std::move(data); });
+  std::string read_b;
+  client_.ReadFd(app, b.fd, [&](Status, std::string data) { read_b = std::move(data); });
+  EXPECT_EQ(read_a, "read:a");
+  EXPECT_EQ(read_b, "read:b");
+}
+
+TEST_F(OdysseyClientTest, RequestByPathValidatesTheObject) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("probe")), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+  ResourceDescriptor descriptor{ResourceId::kBatteryPower, 0.0, 1e9, nullptr};
+  // Figure 3(a): request(in path, in resource-descriptor, out request-id).
+  const RequestResult ok = client_.Request(app, "/odyssey/probe/obj", descriptor);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(client_.Cancel(ok.id).ok());
+  const RequestResult bad = client_.Request(app, "/not/odyssey", descriptor);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(OdysseyClientTest, RequestByDescriptorValidatesOwnership) {
+  ASSERT_NE(client_.InstallWarden(std::make_unique<ProbeWarden>("probe")), nullptr);
+  const AppId app = client_.RegisterApplication("app");
+  const AppId other = client_.RegisterApplication("other");
+  const auto open = client_.Open(app, "/odyssey/probe/obj");
+  ASSERT_TRUE(open.status.ok());
+  ResourceDescriptor descriptor{ResourceId::kBatteryPower, 0.0, 1e9, nullptr};
+  EXPECT_TRUE(client_.RequestFd(app, open.fd, descriptor).ok());
+  EXPECT_FALSE(client_.RequestFd(other, open.fd, descriptor).ok());
+  EXPECT_FALSE(client_.RequestFd(app, 9999, descriptor).ok());
+}
+
+TEST_F(OdysseyClientTest, OpenConnectionAttachesToViceroy) {
+  const AppId app = client_.RegisterApplication("app");
+  Endpoint* endpoint = client_.OpenConnection(app, "server");
+  ASSERT_NE(endpoint, nullptr);
+  // The laissez-faire strategy now tracks the connection: feeding the log
+  // changes the app's availability.
+  endpoint->log().RecordThroughput(0, 64.0 * 1024.0, 521 * kMillisecond);
+  EXPECT_GT(client_.CurrentLevel(app, ResourceId::kNetworkBandwidth), 0.0);
+}
+
+}  // namespace
+}  // namespace odyssey

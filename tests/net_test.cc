@@ -1,0 +1,207 @@
+// Unit tests for the emulated network: the shared link and the modulator.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/net/modulator.h"
+#include "src/sim/simulation.h"
+#include "src/tracemod/waveforms.h"
+
+namespace odyssey {
+namespace {
+
+constexpr double kKb = 1024.0;
+
+TEST(LinkTest, SingleFlowTransfersAtCapacity) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time done_at = -1;
+  link.StartFlow(50.0 * kKb, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, 500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(link.bytes_delivered(), 50.0 * kKb);
+}
+
+TEST(LinkTest, TwoFlowsShareCapacityEqually) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time a_done = -1;
+  Time b_done = -1;
+  link.StartFlow(50.0 * kKb, [&] { a_done = sim.now(); });
+  link.StartFlow(50.0 * kKb, [&] { b_done = sim.now(); });
+  sim.Run();
+  // Each flow gets 50 KB/s, so both 50 KB flows take 1 s.
+  EXPECT_EQ(a_done, kSecond);
+  EXPECT_EQ(b_done, kSecond);
+}
+
+TEST(LinkTest, ShortFlowFinishesThenLongFlowSpeedsUp) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time short_done = -1;
+  Time long_done = -1;
+  link.StartFlow(25.0 * kKb, [&] { short_done = sim.now(); });
+  link.StartFlow(75.0 * kKb, [&] { long_done = sim.now(); });
+  sim.Run();
+  // Shared until the short flow drains at t=0.5s (25KB at 50KB/s); the long
+  // flow then has 50KB left at full rate: 0.5s more.
+  EXPECT_EQ(short_done, 500 * kMillisecond);
+  EXPECT_EQ(long_done, kSecond);
+}
+
+TEST(LinkTest, LateFlowJoinsSharing) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time a_done = -1;
+  Time b_done = -1;
+  link.StartFlow(100.0 * kKb, [&] { a_done = sim.now(); });
+  sim.Schedule(500 * kMillisecond, [&] {
+    link.StartFlow(25.0 * kKb, [&] { b_done = sim.now(); });
+  });
+  sim.Run();
+  // A runs alone for 0.5s (50KB done), then shares: A's remaining 50KB at
+  // 50KB/s = 1s -> done at 1.5s.  B's 25KB at 50KB/s = 0.5s -> done at 1.0s,
+  // after which A is alone again... recompute: at t=1.0 B done, A has 25KB
+  // left, full rate -> done at 1.25s.
+  EXPECT_EQ(b_done, kSecond);
+  EXPECT_EQ(a_done, 1250 * kMillisecond);
+}
+
+TEST(LinkTest, CapacityChangeMidFlow) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time done_at = -1;
+  link.StartFlow(100.0 * kKb, [&] { done_at = sim.now(); });
+  sim.Schedule(500 * kMillisecond, [&] { link.SetCapacity(50.0 * kKb); });
+  sim.Run();
+  // 50KB in the first 0.5s, then 50KB at 50KB/s = 1s -> 1.5s total.
+  EXPECT_EQ(done_at, 1500 * kMillisecond);
+}
+
+TEST(LinkTest, ZeroCapacityStallsUntilRestored) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time done_at = -1;
+  link.StartFlow(100.0 * kKb, [&] { done_at = sim.now(); });
+  sim.Schedule(500 * kMillisecond, [&] { link.SetCapacity(0.0); });
+  sim.Schedule(10 * kSecond, [&] { link.SetCapacity(100.0 * kKb); });
+  sim.Run();
+  // 50KB before the shadow; stalled 0.5s..10s; remaining 50KB takes 0.5s.
+  EXPECT_EQ(done_at, 10500 * kMillisecond);
+}
+
+TEST(LinkTest, CancelFlowNeverCompletes) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  bool completed = false;
+  const FlowId id = link.StartFlow(100.0 * kKb, [&] { completed = true; });
+  sim.Schedule(100 * kMillisecond, [&] { link.CancelFlow(id); });
+  sim.Run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(link.active_flow_count(), 0u);
+}
+
+TEST(LinkTest, ZeroByteFlowCompletesAsync) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  bool completed = false;
+  link.StartFlow(0.0, [&] { completed = true; });
+  EXPECT_FALSE(completed);  // never synchronously inside StartFlow
+  sim.Run();
+  EXPECT_TRUE(completed);
+}
+
+TEST(LinkTest, CompletionCallbackCanStartNextFlow) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time second_done = -1;
+  link.StartFlow(50.0 * kKb, [&] {
+    link.StartFlow(50.0 * kKb, [&] { second_done = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(second_done, kSecond);
+}
+
+TEST(LinkTest, ManyFlowsConserveBytes) {
+  Simulation sim;
+  Link link(&sim, 64.0 * kKb, 0);
+  int completed = 0;
+  for (int i = 1; i <= 20; ++i) {
+    link.StartFlow(static_cast<double>(i) * kKb, [&] { ++completed; });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_NEAR(link.bytes_delivered(), 210.0 * kKb, 1.0);
+}
+
+TEST(LinkTest, FairShareRateAccountsForFlows) {
+  Simulation sim;
+  Link link(&sim, 100.0, 0);
+  EXPECT_DOUBLE_EQ(link.FairShareRate(), 100.0);
+  link.StartFlow(1000.0, nullptr);
+  link.StartFlow(1000.0, nullptr);
+  EXPECT_DOUBLE_EQ(link.FairShareRate(), 50.0);
+}
+
+TEST(ModulatorTest, AppliesSegmentsOnSchedule) {
+  Simulation sim;
+  Link link(&sim, 1.0, 0);
+  Modulator modulator(&sim, &link);
+  ReplayTrace trace;
+  trace.Append(10 * kSecond, 100.0, 1000);
+  trace.Append(10 * kSecond, 200.0, 2000);
+  modulator.Replay(trace);
+  EXPECT_DOUBLE_EQ(link.capacity_bps(), 100.0);
+  EXPECT_EQ(link.latency(), 1000);
+  sim.RunUntil(15 * kSecond);
+  EXPECT_DOUBLE_EQ(link.capacity_bps(), 200.0);
+  EXPECT_EQ(link.latency(), 2000);
+}
+
+TEST(ModulatorTest, FinalSegmentPersists) {
+  Simulation sim;
+  Link link(&sim, 1.0, 0);
+  Modulator modulator(&sim, &link);
+  modulator.Replay(MakeConstant(123.0, kSecond));
+  sim.RunUntil(100 * kSecond);
+  EXPECT_DOUBLE_EQ(link.capacity_bps(), 123.0);
+}
+
+TEST(ModulatorTest, TransitionListenersFireInOrder) {
+  Simulation sim;
+  Link link(&sim, 1.0, 0);
+  Modulator modulator(&sim, &link);
+  std::vector<double> seen;
+  modulator.AddTransitionListener(
+      [&](const TraceSegment& segment) { seen.push_back(segment.bandwidth_bps); });
+  modulator.Replay(MakeStepUp());
+  sim.RunUntil(kWaveformLength);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], kLowBandwidth);
+  EXPECT_DOUBLE_EQ(seen[1], kHighBandwidth);
+}
+
+TEST(ModulatorTest, TheoreticalBandwidthTracksTrace) {
+  Simulation sim;
+  Link link(&sim, 1.0, 0);
+  Modulator modulator(&sim, &link);
+  sim.Schedule(5 * kSecond, [&] { modulator.Replay(MakeStepUp()); });
+  sim.RunUntil(5 * kSecond);
+  EXPECT_DOUBLE_EQ(modulator.TheoreticalBandwidthAt(6 * kSecond), kLowBandwidth);
+  EXPECT_DOUBLE_EQ(modulator.TheoreticalBandwidthAt(36 * kSecond), kHighBandwidth);
+}
+
+TEST(ModulatorTest, ReplayRestartsCleanly) {
+  Simulation sim;
+  Link link(&sim, 1.0, 0);
+  Modulator modulator(&sim, &link);
+  modulator.Replay(MakeStepUp());
+  modulator.Replay(MakeConstant(42.0, kSecond));  // cancels the pending step
+  sim.RunUntil(2 * kWaveformLength);
+  EXPECT_DOUBLE_EQ(link.capacity_bps(), 42.0);
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,285 @@
+// Property-based tests: invariants that must hold across swept parameter
+// spaces, exercised with parameterized gtest suites.
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/bitstream_app.h"
+#include "src/apps/video_player.h"
+#include "src/core/upcall.h"
+#include "src/estimator/supply_model.h"
+#include "src/metrics/experiment.h"
+#include "src/net/link.h"
+#include "src/rpc/endpoint.h"
+#include "src/sim/simulation.h"
+
+namespace odyssey {
+namespace {
+
+constexpr double kKb = 1024.0;
+
+// --- Link conservation: delivered bytes never exceed capacity * time ---
+
+class LinkConservation : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(LinkConservation, DeliveredBytesBoundedByCapacity) {
+  const double capacity = std::get<0>(GetParam());
+  const int flows = std::get<1>(GetParam());
+  Simulation sim(7);
+  Link link(&sim, capacity, 0);
+  int completed = 0;
+  for (int i = 0; i < flows; ++i) {
+    link.StartFlow(37.0 * kKb + i * 11.0, [&] { ++completed; });
+  }
+  sim.RunUntil(10 * kSecond);
+  const double max_deliverable = capacity * 10.0 + 1.0;
+  EXPECT_LE(link.bytes_delivered(), max_deliverable);
+  // And everything that could complete, did.
+  double total_offered = 0.0;
+  for (int i = 0; i < flows; ++i) {
+    total_offered += 37.0 * kKb + i * 11.0;
+  }
+  if (total_offered <= capacity * 10.0) {
+    EXPECT_EQ(completed, flows);
+    EXPECT_NEAR(link.bytes_delivered(), total_offered, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinkConservation,
+    ::testing::Combine(::testing::Values(10.0 * kKb, 40.0 * kKb, 120.0 * kKb, 1000.0 * kKb),
+                       ::testing::Values(1, 3, 8, 20)));
+
+// --- Processor sharing is fair: equal flows finish together ---
+
+class LinkFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkFairness, EqualFlowsFinishTogether) {
+  const int flows = GetParam();
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  std::vector<Time> done(flows, -1);
+  for (int i = 0; i < flows; ++i) {
+    link.StartFlow(20.0 * kKb, [&done, i, &sim] { done[i] = sim.now(); });
+  }
+  sim.Run();
+  for (int i = 1; i < flows; ++i) {
+    EXPECT_EQ(done[i], done[0]);
+  }
+  // n equal flows at C/n each: total time = n * bytes / C.
+  EXPECT_NEAR(DurationToSeconds(done[0]), flows * 20.0 / 100.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LinkFairness, ::testing::Values(2, 3, 5, 9, 16));
+
+// --- RPC timing: a fetch takes at least the ideal transfer time ---
+
+class RpcTiming : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RpcTiming, FetchTimeBoundedBelowByIdeal) {
+  const double capacity = std::get<0>(GetParam());
+  const double bytes = std::get<1>(GetParam());
+  Simulation sim;
+  Link link(&sim, capacity, 10500);
+  Endpoint endpoint(&sim, &link, "server");
+  Time done_at = -1;
+  endpoint.Fetch(bytes, 0, [&] { done_at = sim.now(); });
+  sim.Run();
+  ASSERT_GE(done_at, 0);
+  const double ideal_seconds = bytes / capacity;
+  EXPECT_GE(DurationToSeconds(done_at), ideal_seconds);
+  // ...and overhead is bounded: request round trips per window plus slack.
+  const double windows = std::max(1.0, bytes / kDefaultWindowBytes) + 1.0;
+  EXPECT_LE(DurationToSeconds(done_at), ideal_seconds + windows * 0.1 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RpcTiming,
+    ::testing::Combine(::testing::Values(20.0 * kKb, 40.0 * kKb, 120.0 * kKb, 500.0 * kKb),
+                       ::testing::Values(1.0 * kKb, 30.0 * kKb, 64.0 * kKb, 300.0 * kKb)));
+
+// --- Estimator: supply estimate converges for any constant link rate ---
+
+class EstimatorConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorConvergence, BitstreamDrivesEstimateToLinkRate) {
+  const double rate = GetParam();
+  ExperimentRig rig(3, StrategyKind::kOdyssey);
+  BitstreamApp app(&rig.client(), "bitstream");
+  rig.Replay(MakeConstant(rate, 2 * kMinute), /*prime=*/false);
+  app.Start();
+  rig.sim().RunUntil(kMinute);
+  EXPECT_NEAR(rig.centralized()->TotalSupply(rig.sim().now()), rate, 0.12 * rate)
+      << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EstimatorConvergence,
+                         ::testing::Values(20.0 * kKb, 40.0 * kKb, 80.0 * kKb, 120.0 * kKb,
+                                           240.0 * kKb, 1000.0 * kKb));
+
+// --- Availability invariants over random usage patterns ---
+
+class AvailabilityInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvailabilityInvariants, SharesRespectFloorAndCeiling) {
+  Rng rng(GetParam());
+  SupplyModel model;
+  constexpr int kConnections = 4;
+  for (ConnectionId c = 1; c <= kConnections; ++c) {
+    model.AddConnection(c);
+  }
+  // Random interleaved observations.
+  Time now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += static_cast<Duration>(rng.Uniform(50, 400)) * kMillisecond;
+    const ConnectionId c = 1 + rng.UniformInt(kConnections);
+    const double bytes = rng.Uniform(4.0, 64.0) * kKb;
+    const Duration elapsed =
+        static_cast<Duration>(rng.Uniform(50, 800)) * kMillisecond + 21 * kMillisecond;
+    model.OnThroughput(c, {now, bytes, elapsed});
+  }
+  const double supply = model.TotalSupply();
+  ASSERT_GT(supply, 0.0);
+  const int active = model.ActiveConnectionCount(now);
+  double total_available = 0.0;
+  for (ConnectionId c = 1; c <= kConnections; ++c) {
+    const double a = model.AvailabilityFor(c, now);
+    // Ceiling: nobody is ever promised more than the whole supply.
+    EXPECT_LE(a, supply + 1e-9);
+    // Floor: an active connection always gets at least a fair share.
+    EXPECT_GE(a, supply / (active + 1) - 1e-9);
+    total_available += a;
+  }
+  // Shares are availabilities, not reservations, so they may overlap; but
+  // their sum is bounded by fair shares plus the headroom handed out once
+  // per connection in the worst case.
+  EXPECT_LE(total_available, 2.0 * kConnections * supply);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Upcall ordering under stress ---
+
+class UpcallStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpcallStress, OrderPreservedAcrossManyPostsAndApps) {
+  const int per_app = GetParam();
+  Simulation sim(11);
+  UpcallDispatcher dispatcher(&sim);
+  constexpr int kApps = 5;
+  std::vector<std::vector<int>> delivered(kApps);
+  // Interleave posts across apps from timer events.
+  for (int i = 0; i < per_app; ++i) {
+    sim.Schedule(static_cast<Duration>(sim.rng().UniformInt(1000)), [&, i] {
+      for (AppId app = 1; app <= kApps; ++app) {
+        dispatcher.Post(app, i, ResourceId::kNetworkBandwidth, i,
+                        [&delivered, app, i](RequestId, ResourceId, double) {
+                          delivered[app - 1].push_back(i);
+                        });
+      }
+    });
+  }
+  sim.Run();
+  for (int app = 0; app < kApps; ++app) {
+    ASSERT_EQ(delivered[app].size(), static_cast<size_t>(per_app));
+    // Exactly once each; order matches post order *per posting event*.
+    std::vector<int> sorted = delivered[app];
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < per_app; ++i) {
+      EXPECT_EQ(sorted[i], i);
+    }
+  }
+  EXPECT_EQ(dispatcher.delivered_count(), static_cast<uint64_t>(per_app * kApps));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UpcallStress, ::testing::Values(1, 10, 100));
+
+// --- Video sustainability: a track within budget plays nearly drop-free ---
+
+class VideoSustainability : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(VideoSustainability, TrackWithinBudgetPlaysCleanly) {
+  const int track = std::get<0>(GetParam());
+  const double headroom = std::get<1>(GetParam());
+  ExperimentRig rig(4, StrategyKind::kOdyssey);
+
+  // Give the link exactly the track's requirement times the headroom.
+  MovieMeta movie = VideoServer::MakeDefaultMovie("m", 300);
+  const double required =
+      VideoWarden::RequiredBandwidth(movie.tracks[track].frame_bytes, movie.fps);
+  rig.video_server().AddMovie(std::move(movie));
+
+  VideoPlayerOptions options;
+  options.movie = "m";
+  options.fixed_track = track;
+  options.frames_to_play = 300;
+  VideoPlayer player(&rig.client(), options);
+  rig.Replay(MakeConstant(required * headroom, 2 * kMinute), /*prime=*/false);
+  player.Start();
+  rig.sim().RunUntil(kMinute);
+  ASSERT_TRUE(player.finished());
+  if (headroom >= 1.1) {
+    EXPECT_LE(player.DropsBetween(0, kMinute), 9);  // <3% even with VBR jitter
+  } else {
+    // At 60% of required bandwidth, drops must be heavy.
+    EXPECT_GE(player.DropsBetween(0, kMinute), 60);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VideoSustainability,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0.6, 1.1, 1.5)));
+
+// --- Trace algebra invariants ---
+
+class TraceInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceInvariants, SerializationRoundTripsRandomTraces) {
+  Rng rng(GetParam());
+  ReplayTrace trace;
+  const int segments = 1 + static_cast<int>(rng.UniformInt(12));
+  for (int i = 0; i < segments; ++i) {
+    trace.Append(static_cast<Duration>(rng.Uniform(0.1, 90.0) * kSecond),
+                 rng.Uniform(1.0, 2000.0) * kKb,
+                 static_cast<Duration>(rng.UniformInt(50000)));
+  }
+  ReplayTrace parsed;
+  ASSERT_TRUE(ReplayTrace::Parse(trace.Serialize(), &parsed));
+  ASSERT_EQ(parsed.segments().size(), trace.segments().size());
+  for (size_t i = 0; i < trace.segments().size(); ++i) {
+    // Serialization is decimal text; tolerate rounding at the micro scale.
+    EXPECT_NEAR(parsed.segments()[i].duration, trace.segments()[i].duration, 1);
+    EXPECT_NEAR(parsed.segments()[i].bandwidth_bps, trace.segments()[i].bandwidth_bps,
+                trace.segments()[i].bandwidth_bps * 1e-4);
+    EXPECT_EQ(parsed.segments()[i].latency, trace.segments()[i].latency);
+  }
+  // Concat preserves total duration; scaling preserves it too.
+  EXPECT_EQ(trace.Concat(parsed).TotalDuration(), 2 * trace.TotalDuration());
+  EXPECT_EQ(trace.ScaledBandwidth(0.5).TotalDuration(), trace.TotalDuration());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceInvariants, ::testing::Values(21, 22, 23, 24, 25));
+
+// --- Determinism across the whole stack ---
+
+class StackDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StackDeterminism, IdenticalSeedsIdenticalEstimates) {
+  const auto run = [&](uint64_t seed) {
+    ExperimentRig rig(seed, StrategyKind::kOdyssey);
+    BitstreamApp app(&rig.client(), "bitstream");
+    rig.Replay(MakeStepDown());
+    app.Start();
+    rig.sim().RunUntil(70 * kSecond);
+    return rig.centralized()->TotalSupply(rig.sim().now());
+  };
+  EXPECT_DOUBLE_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackDeterminism, ::testing::Values(1, 99, 12345));
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,211 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+namespace {
+
+TEST(TimeTest, SecondsRoundTrip) {
+  EXPECT_EQ(SecondsToDuration(1.0), kSecond);
+  EXPECT_EQ(SecondsToDuration(0.001), kMillisecond);
+  EXPECT_EQ(SecondsToDuration(0.0), 0);
+  EXPECT_DOUBLE_EQ(DurationToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(DurationToMillis(kSecond), 1000.0);
+}
+
+TEST(TimeTest, SecondsToDurationRounds) {
+  EXPECT_EQ(SecondsToDuration(1e-7), 0);       // below resolution
+  EXPECT_EQ(SecondsToDuration(1.5e-6), 2);     // rounds to nearest
+  EXPECT_EQ(SecondsToDuration(-1.5e-6), -2);   // symmetric for negatives
+}
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(30, [&] { order.push_back(3); });
+  queue.ScheduleAt(10, [&] { order.push_back(1); });
+  queue.ScheduleAt(20, [&] { order.push_back(2); });
+  Time when = 0;
+  while (queue.RunNext(&when)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  Time when = 0;
+  while (queue.RunNext(&when)) {
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  EventHandle handle = queue.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  Time when = 0;
+  EXPECT_FALSE(queue.RunNext(&when));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue queue;
+  int fires = 0;
+  EventHandle handle = queue.ScheduleAt(10, [&] { ++fires; });
+  Time when = 0;
+  EXPECT_TRUE(queue.RunNext(&when));
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();  // must not crash or affect anything
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();  // no-op
+}
+
+TEST(EventQueueTest, PeekSkipsTombstones) {
+  EventQueue queue;
+  EventHandle early = queue.ScheduleAt(10, [] {});
+  queue.ScheduleAt(20, [] {});
+  early.Cancel();
+  Time when = 0;
+  ASSERT_TRUE(queue.PeekTime(&when));
+  EXPECT_EQ(when, 20);
+}
+
+TEST(SimulationTest, ClockAdvancesWithEvents) {
+  Simulation sim;
+  Time seen = -1;
+  sim.Schedule(5 * kSecond, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 5 * kSecond);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  bool ran = false;
+  sim.Schedule(kSecond, [&] {
+    sim.Schedule(-5, [&] { ran = true; });
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), kSecond);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadlineAndSetsClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1 * kSecond, [&] { ++fired; });
+  sim.Schedule(10 * kSecond, [&] { ++fired; });
+  sim.RunUntil(5 * kSecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+  sim.RunUntil(20 * kSecond);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StepRunsOneEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  std::vector<Time> times;
+  sim.Schedule(kSecond, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(kSecond, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], kSecond);
+  EXPECT_EQ(times[1], 2 * kSecond);
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounded) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, JitterFactorStaysPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.JitterFactor(0.5), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,152 @@
+// Unit tests for the three bandwidth-management strategies (§6.2.3).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/net/modulator.h"
+#include "src/rpc/endpoint.h"
+#include "src/sim/simulation.h"
+#include "src/strategies/blind_optimism.h"
+#include "src/strategies/centralized.h"
+#include "src/strategies/laissez_faire.h"
+#include "src/tracemod/waveforms.h"
+
+namespace odyssey {
+namespace {
+
+constexpr double kKb = 1024.0;
+
+class StrategyFixture : public ::testing::Test {
+ protected:
+  StrategyFixture() : link_(&sim_, 120.0 * kKb, 10500) {}
+
+  // Runs a bulk fetch on |endpoint| and drains the simulation.
+  void FetchAndRun(Endpoint& endpoint, double bytes) {
+    endpoint.Fetch(bytes, 0, nullptr);
+    sim_.Run();
+  }
+
+  Simulation sim_;
+  Link link_;
+};
+
+TEST_F(StrategyFixture, CentralizedEstimatesSupplyFromTraffic) {
+  CentralizedStrategy strategy(&sim_);
+  Endpoint endpoint(&sim_, &link_, "server");
+  strategy.AttachConnection(1, &endpoint);
+  FetchAndRun(endpoint, 512.0 * kKb);
+  EXPECT_NEAR(strategy.TotalSupply(sim_.now()), 120.0 * kKb, 12.0 * kKb);
+  EXPECT_NEAR(strategy.AvailabilityFor(1, sim_.now()), 120.0 * kKb, 12.0 * kKb);
+  EXPECT_GT(strategy.SmoothedRttFor(1), 0);
+}
+
+TEST_F(StrategyFixture, CentralizedChangeCallbackFires) {
+  CentralizedStrategy strategy(&sim_);
+  Endpoint endpoint(&sim_, &link_, "server");
+  strategy.AttachConnection(1, &endpoint);
+  int changes = 0;
+  strategy.SetChangeCallback([&] { ++changes; });
+  FetchAndRun(endpoint, 128.0 * kKb);
+  EXPECT_GT(changes, 0);
+}
+
+TEST_F(StrategyFixture, CentralizedDetachStopsAccounting) {
+  CentralizedStrategy strategy(&sim_);
+  Endpoint endpoint(&sim_, &link_, "server");
+  strategy.AttachConnection(1, &endpoint);
+  strategy.DetachConnection(&endpoint);
+  FetchAndRun(endpoint, 128.0 * kKb);
+  EXPECT_DOUBLE_EQ(strategy.TotalSupply(sim_.now()), 0.0);
+}
+
+TEST_F(StrategyFixture, CentralizedUnknownAppZero) {
+  CentralizedStrategy strategy(&sim_);
+  EXPECT_DOUBLE_EQ(strategy.AvailabilityFor(42, 0), 0.0);
+  EXPECT_EQ(strategy.SmoothedRttFor(42), 0);
+}
+
+TEST_F(StrategyFixture, LaissezFaireSeesOnlyOwnLog) {
+  LaissezFaireStrategy strategy;
+  Endpoint a(&sim_, &link_, "a");
+  Endpoint b(&sim_, &link_, "b");
+  strategy.AttachConnection(1, &a);
+  strategy.AttachConnection(2, &b);
+  FetchAndRun(a, 512.0 * kKb);
+  // App 1 estimated from its own traffic; app 2 has seen nothing.
+  EXPECT_GT(strategy.AvailabilityFor(1, sim_.now()), 100.0 * kKb);
+  EXPECT_DOUBLE_EQ(strategy.AvailabilityFor(2, sim_.now()), 0.0);
+}
+
+TEST_F(StrategyFixture, LaissezFaireOverestimatesUnderIntermittentContention) {
+  // Both connections observe the full link rate whenever the other is idle:
+  // each app concludes it has ~120 KB/s even though sustained concurrent use
+  // would yield 60 KB/s each.  This is the §6.2.3 pathology.
+  LaissezFaireStrategy strategy;
+  Endpoint a(&sim_, &link_, "a");
+  Endpoint b(&sim_, &link_, "b");
+  strategy.AttachConnection(1, &a);
+  strategy.AttachConnection(2, &b);
+  // Alternate bursts with idle gaps.
+  a.Fetch(256.0 * kKb, 0, nullptr);
+  sim_.Run();
+  b.Fetch(256.0 * kKb, 0, nullptr);
+  sim_.Run();
+  const double sum = strategy.AvailabilityFor(1, sim_.now()) +
+                     strategy.AvailabilityFor(2, sim_.now());
+  EXPECT_GT(sum, 1.5 * 120.0 * kKb);  // the two apps believe in >1.5 links
+}
+
+TEST_F(StrategyFixture, BlindOptimismTracksTransitionsInstantly) {
+  Modulator modulator(&sim_, &link_);
+  BlindOptimismStrategy strategy(&modulator);
+  modulator.Replay(MakeStepUp());
+  EXPECT_DOUBLE_EQ(strategy.AvailabilityFor(1, sim_.now()), kLowBandwidth);
+  sim_.RunUntil(31 * kSecond);
+  EXPECT_DOUBLE_EQ(strategy.AvailabilityFor(1, sim_.now()), kHighBandwidth);
+}
+
+TEST_F(StrategyFixture, BlindOptimismIgnoresCompetition) {
+  Modulator modulator(&sim_, &link_);
+  BlindOptimismStrategy strategy(&modulator);
+  modulator.Replay(MakeConstant(120.0 * kKb, kMinute));
+  // Every app is told the full theoretical bandwidth.
+  EXPECT_DOUBLE_EQ(strategy.AvailabilityFor(1, 0), 120.0 * kKb);
+  EXPECT_DOUBLE_EQ(strategy.AvailabilityFor(2, 0), 120.0 * kKb);
+  EXPECT_DOUBLE_EQ(strategy.TotalSupply(0), 120.0 * kKb);
+}
+
+TEST_F(StrategyFixture, BlindOptimismStillEstimatesRtt) {
+  Modulator modulator(&sim_, &link_);
+  BlindOptimismStrategy strategy(&modulator);
+  modulator.Replay(MakeConstant(120.0 * kKb, kMinute));
+  Endpoint endpoint(&sim_, &link_, "server");
+  strategy.AttachConnection(1, &endpoint);
+  endpoint.Ping(nullptr);
+  sim_.Run();
+  EXPECT_GT(strategy.SmoothedRttFor(1), 0);
+}
+
+TEST_F(StrategyFixture, BlindOptimismChangeCallbackAtTransition) {
+  Modulator modulator(&sim_, &link_);
+  BlindOptimismStrategy strategy(&modulator);
+  int changes = 0;
+  strategy.SetChangeCallback([&] { ++changes; });
+  modulator.Replay(MakeStepUp());
+  sim_.RunUntil(kWaveformLength);
+  EXPECT_EQ(changes, 2);  // initial segment + the step
+}
+
+TEST_F(StrategyFixture, StrategiesHaveDistinctNames) {
+  Modulator modulator(&sim_, &link_);
+  CentralizedStrategy centralized(&sim_);
+  LaissezFaireStrategy laissez;
+  BlindOptimismStrategy blind(&modulator);
+  EXPECT_EQ(centralized.name(), "odyssey");
+  EXPECT_EQ(laissez.name(), "laissez-faire");
+  EXPECT_EQ(blind.name(), "blind-optimism");
+}
+
+}  // namespace
+}  // namespace odyssey

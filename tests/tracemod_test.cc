@@ -1,0 +1,180 @@
+// Unit tests for replay traces and the paper's reference waveforms.
+
+#include <gtest/gtest.h>
+
+#include "src/tracemod/replay_trace.h"
+#include "src/tracemod/waveforms.h"
+
+namespace odyssey {
+namespace {
+
+TEST(ReplayTraceTest, EmptyTraceYieldsZeroSegment) {
+  ReplayTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.TotalDuration(), 0);
+  EXPECT_DOUBLE_EQ(trace.At(5 * kSecond).bandwidth_bps, 0.0);
+}
+
+TEST(ReplayTraceTest, AtSelectsSegmentByTime) {
+  ReplayTrace trace;
+  trace.Append(10 * kSecond, 100.0, 1000);
+  trace.Append(20 * kSecond, 200.0, 2000);
+  EXPECT_DOUBLE_EQ(trace.At(0).bandwidth_bps, 100.0);
+  EXPECT_DOUBLE_EQ(trace.At(10 * kSecond - 1).bandwidth_bps, 100.0);
+  EXPECT_DOUBLE_EQ(trace.At(10 * kSecond).bandwidth_bps, 200.0);
+  EXPECT_DOUBLE_EQ(trace.At(29 * kSecond).bandwidth_bps, 200.0);
+}
+
+TEST(ReplayTraceTest, PastEndHoldsFinalSegment) {
+  ReplayTrace trace;
+  trace.Append(10 * kSecond, 100.0, 1000);
+  EXPECT_DOUBLE_EQ(trace.At(1000 * kSecond).bandwidth_bps, 100.0);
+  EXPECT_EQ(trace.At(1000 * kSecond).latency, 1000);
+}
+
+TEST(ReplayTraceTest, TotalDurationSumsSegments) {
+  ReplayTrace trace;
+  trace.Append(10 * kSecond, 1.0, 0);
+  trace.Append(5 * kSecond, 2.0, 0);
+  EXPECT_EQ(trace.TotalDuration(), 15 * kSecond);
+}
+
+TEST(ReplayTraceTest, WithPrimingPrefixesFirstSegment) {
+  ReplayTrace trace = MakeStepUp();
+  ReplayTrace primed = trace.WithPriming(30 * kSecond);
+  EXPECT_EQ(primed.TotalDuration(), trace.TotalDuration() + 30 * kSecond);
+  EXPECT_DOUBLE_EQ(primed.At(0).bandwidth_bps, kLowBandwidth);
+  EXPECT_DOUBLE_EQ(primed.At(59 * kSecond).bandwidth_bps, kLowBandwidth);
+  EXPECT_DOUBLE_EQ(primed.At(61 * kSecond).bandwidth_bps, kHighBandwidth);
+}
+
+TEST(ReplayTraceTest, PrimingEmptyTraceIsEmpty) {
+  ReplayTrace trace;
+  EXPECT_TRUE(trace.WithPriming(kSecond).empty());
+}
+
+TEST(ReplayTraceTest, ConcatJoinsSegments) {
+  ReplayTrace a = MakeConstant(100.0, kSecond);
+  ReplayTrace b = MakeConstant(200.0, kSecond);
+  ReplayTrace joined = a.Concat(b);
+  EXPECT_EQ(joined.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(joined.At(0).bandwidth_bps, 100.0);
+  EXPECT_DOUBLE_EQ(joined.At(kSecond + 1).bandwidth_bps, 200.0);
+}
+
+TEST(ReplayTraceTest, ScaledBandwidthScalesOnlyBandwidth) {
+  ReplayTrace trace = MakeConstant(100.0, kSecond, 777);
+  ReplayTrace scaled = trace.ScaledBandwidth(2.5);
+  EXPECT_DOUBLE_EQ(scaled.At(0).bandwidth_bps, 250.0);
+  EXPECT_EQ(scaled.At(0).latency, 777);
+  EXPECT_EQ(scaled.TotalDuration(), kSecond);
+}
+
+TEST(ReplayTraceTest, SerializeParseRoundTrip) {
+  ReplayTrace trace = MakeUrbanScenario();
+  ReplayTrace parsed;
+  ASSERT_TRUE(ReplayTrace::Parse(trace.Serialize(), &parsed));
+  EXPECT_EQ(parsed, trace);
+}
+
+TEST(ReplayTraceTest, ParseIgnoresCommentsAndBlanks) {
+  ReplayTrace parsed;
+  ASSERT_TRUE(ReplayTrace::Parse("# comment\n\n1.5 1000 250  # trailing\n", &parsed));
+  ASSERT_EQ(parsed.segments().size(), 1u);
+  EXPECT_EQ(parsed.segments()[0].duration, SecondsToDuration(1.5));
+  EXPECT_DOUBLE_EQ(parsed.segments()[0].bandwidth_bps, 1000.0);
+  EXPECT_EQ(parsed.segments()[0].latency, 250);
+}
+
+TEST(ReplayTraceTest, ParseRejectsMalformedLines) {
+  ReplayTrace parsed;
+  EXPECT_FALSE(ReplayTrace::Parse("1.0 only-two\n", &parsed));
+  EXPECT_FALSE(ReplayTrace::Parse("-1.0 100 0\n", &parsed));
+  EXPECT_FALSE(ReplayTrace::Parse("1.0 -100 0\n", &parsed));
+}
+
+// --- Figure 7: the reference waveforms ---
+
+TEST(WaveformTest, StepUpShape) {
+  ReplayTrace trace = MakeStepUp();
+  EXPECT_EQ(trace.TotalDuration(), kWaveformLength);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(0), kLowBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(29 * kSecond), kLowBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(30 * kSecond), kHighBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(59 * kSecond), kHighBandwidth);
+}
+
+TEST(WaveformTest, StepDownShape) {
+  ReplayTrace trace = MakeStepDown();
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(0), kHighBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(31 * kSecond), kLowBandwidth);
+}
+
+TEST(WaveformTest, ImpulseUpIsTwoSecondsWide) {
+  ReplayTrace trace = MakeImpulseUp();
+  EXPECT_EQ(trace.TotalDuration(), kWaveformLength);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(28 * kSecond), kLowBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(29 * kSecond), kHighBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(30 * kSecond), kHighBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(31 * kSecond), kLowBandwidth);
+}
+
+TEST(WaveformTest, ImpulseDownIsTwoSecondsWide) {
+  ReplayTrace trace = MakeImpulseDown();
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(28 * kSecond), kHighBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(30 * kSecond), kLowBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(31 * kSecond), kHighBandwidth);
+}
+
+TEST(WaveformTest, AllWaveformsHaveNames) {
+  for (const Waveform waveform : AllWaveforms()) {
+    EXPECT_FALSE(WaveformName(waveform).empty());
+    EXPECT_EQ(MakeWaveform(waveform).TotalDuration(), kWaveformLength);
+  }
+}
+
+TEST(WaveformTest, CustomParamsRespected) {
+  WaveformParams params;
+  params.high_bps = 500.0;
+  params.low_bps = 50.0;
+  params.length = 10 * kSecond;
+  params.impulse_width = 4 * kSecond;
+  ReplayTrace trace = MakeImpulseUp(params);
+  EXPECT_EQ(trace.TotalDuration(), 10 * kSecond);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(5 * kSecond), 500.0);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(1 * kSecond), 50.0);
+}
+
+// --- Figure 13: the urban scenario ---
+
+TEST(UrbanScenarioTest, FifteenMinutesTotal) {
+  ReplayTrace trace = MakeUrbanScenario();
+  EXPECT_EQ(trace.TotalDuration(), 15 * kMinute);
+  EXPECT_EQ(trace.segments().size(), 9u);
+}
+
+TEST(UrbanScenarioTest, StartsAndEndsWellConnected) {
+  ReplayTrace trace = MakeUrbanScenario();
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(0), kHighBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(15 * kMinute - 1), kHighBandwidth);
+  // The final well-connected stretch is 4 minutes.
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(11 * kMinute + 1), kHighBandwidth);
+  EXPECT_DOUBLE_EQ(trace.BandwidthAt(11 * kMinute - 1), kLowBandwidth);
+}
+
+TEST(UrbanScenarioTest, SegmentMinutesMatchFigure13) {
+  ReplayTrace trace = MakeUrbanScenario();
+  const int expected_minutes[] = {3, 1, 1, 1, 2, 1, 1, 1, 4};
+  for (size_t i = 0; i < trace.segments().size(); ++i) {
+    EXPECT_EQ(trace.segments()[i].duration, expected_minutes[i] * kMinute) << "segment " << i;
+  }
+}
+
+TEST(EthernetBaselineTest, FastAndFlat) {
+  ReplayTrace trace = MakeEthernetBaseline(kMinute);
+  EXPECT_EQ(trace.TotalDuration(), kMinute);
+  EXPECT_GT(trace.BandwidthAt(0), 8.0 * kHighBandwidth);
+}
+
+}  // namespace
+}  // namespace odyssey
