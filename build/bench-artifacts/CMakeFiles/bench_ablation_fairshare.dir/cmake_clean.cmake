@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fairshare"
+  "../bench/bench_ablation_fairshare.pdb"
+  "CMakeFiles/bench_ablation_fairshare.dir/bench_ablation_fairshare.cc.o"
+  "CMakeFiles/bench_ablation_fairshare.dir/bench_ablation_fairshare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_video"
+  "../bench/bench_fig10_video.pdb"
+  "CMakeFiles/bench_fig10_video.dir/bench_fig10_video.cc.o"
+  "CMakeFiles/bench_fig10_video.dir/bench_fig10_video.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_web.cc" "bench-artifacts/CMakeFiles/bench_fig11_web.dir/bench_fig11_web.cc.o" "gcc" "bench-artifacts/CMakeFiles/bench_fig11_web.dir/bench_fig11_web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odyssey_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_wardens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_tracemod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_web"
+  "../bench/bench_fig11_web.pdb"
+  "CMakeFiles/bench_fig11_web.dir/bench_fig11_web.cc.o"
+  "CMakeFiles/bench_fig11_web.dir/bench_fig11_web.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

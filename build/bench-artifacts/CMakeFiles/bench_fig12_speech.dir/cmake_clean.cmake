@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_speech"
+  "../bench/bench_fig12_speech.pdb"
+  "CMakeFiles/bench_fig12_speech.dir/bench_fig12_speech.cc.o"
+  "CMakeFiles/bench_fig12_speech.dir/bench_fig12_speech.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_filter.dir/background_filter.cpp.o"
+  "CMakeFiles/background_filter.dir/background_filter.cpp.o.d"
+  "background_filter"
+  "background_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_warden.dir/custom_warden.cpp.o"
+  "CMakeFiles/custom_warden.dir/custom_warden.cpp.o.d"
+  "custom_warden"
+  "custom_warden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_warden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnection.dir/disconnection.cpp.o"
+  "CMakeFiles/disconnection.dir/disconnection.cpp.o.d"
+  "disconnection"
+  "disconnection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_walk.dir/urban_walk.cpp.o"
+  "CMakeFiles/urban_walk.dir/urban_walk.cpp.o.d"
+  "urban_walk"
+  "urban_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

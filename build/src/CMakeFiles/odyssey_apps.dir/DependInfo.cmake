@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bitstream_app.cc" "src/CMakeFiles/odyssey_apps.dir/apps/bitstream_app.cc.o" "gcc" "src/CMakeFiles/odyssey_apps.dir/apps/bitstream_app.cc.o.d"
+  "/root/repo/src/apps/filter_app.cc" "src/CMakeFiles/odyssey_apps.dir/apps/filter_app.cc.o" "gcc" "src/CMakeFiles/odyssey_apps.dir/apps/filter_app.cc.o.d"
+  "/root/repo/src/apps/prefetch_agent.cc" "src/CMakeFiles/odyssey_apps.dir/apps/prefetch_agent.cc.o" "gcc" "src/CMakeFiles/odyssey_apps.dir/apps/prefetch_agent.cc.o.d"
+  "/root/repo/src/apps/speech_frontend.cc" "src/CMakeFiles/odyssey_apps.dir/apps/speech_frontend.cc.o" "gcc" "src/CMakeFiles/odyssey_apps.dir/apps/speech_frontend.cc.o.d"
+  "/root/repo/src/apps/video_player.cc" "src/CMakeFiles/odyssey_apps.dir/apps/video_player.cc.o" "gcc" "src/CMakeFiles/odyssey_apps.dir/apps/video_player.cc.o.d"
+  "/root/repo/src/apps/web_browser.cc" "src/CMakeFiles/odyssey_apps.dir/apps/web_browser.cc.o" "gcc" "src/CMakeFiles/odyssey_apps.dir/apps/web_browser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odyssey_wardens.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_tracemod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_apps.dir/apps/bitstream_app.cc.o"
+  "CMakeFiles/odyssey_apps.dir/apps/bitstream_app.cc.o.d"
+  "CMakeFiles/odyssey_apps.dir/apps/filter_app.cc.o"
+  "CMakeFiles/odyssey_apps.dir/apps/filter_app.cc.o.d"
+  "CMakeFiles/odyssey_apps.dir/apps/prefetch_agent.cc.o"
+  "CMakeFiles/odyssey_apps.dir/apps/prefetch_agent.cc.o.d"
+  "CMakeFiles/odyssey_apps.dir/apps/speech_frontend.cc.o"
+  "CMakeFiles/odyssey_apps.dir/apps/speech_frontend.cc.o.d"
+  "CMakeFiles/odyssey_apps.dir/apps/video_player.cc.o"
+  "CMakeFiles/odyssey_apps.dir/apps/video_player.cc.o.d"
+  "CMakeFiles/odyssey_apps.dir/apps/web_browser.cc.o"
+  "CMakeFiles/odyssey_apps.dir/apps/web_browser.cc.o.d"
+  "libodyssey_apps.a"
+  "libodyssey_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/battery_model.cc" "src/CMakeFiles/odyssey_core.dir/core/battery_model.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/battery_model.cc.o.d"
+  "/root/repo/src/core/cache_manager.cc" "src/CMakeFiles/odyssey_core.dir/core/cache_manager.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/cache_manager.cc.o.d"
+  "/root/repo/src/core/money_meter.cc" "src/CMakeFiles/odyssey_core.dir/core/money_meter.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/money_meter.cc.o.d"
+  "/root/repo/src/core/object_namespace.cc" "src/CMakeFiles/odyssey_core.dir/core/object_namespace.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/object_namespace.cc.o.d"
+  "/root/repo/src/core/odyssey_client.cc" "src/CMakeFiles/odyssey_core.dir/core/odyssey_client.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/odyssey_client.cc.o.d"
+  "/root/repo/src/core/request_table.cc" "src/CMakeFiles/odyssey_core.dir/core/request_table.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/request_table.cc.o.d"
+  "/root/repo/src/core/resource.cc" "src/CMakeFiles/odyssey_core.dir/core/resource.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/resource.cc.o.d"
+  "/root/repo/src/core/ship_planner.cc" "src/CMakeFiles/odyssey_core.dir/core/ship_planner.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/ship_planner.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/odyssey_core.dir/core/status.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/status.cc.o.d"
+  "/root/repo/src/core/upcall.cc" "src/CMakeFiles/odyssey_core.dir/core/upcall.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/upcall.cc.o.d"
+  "/root/repo/src/core/viceroy.cc" "src/CMakeFiles/odyssey_core.dir/core/viceroy.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/viceroy.cc.o.d"
+  "/root/repo/src/core/warden.cc" "src/CMakeFiles/odyssey_core.dir/core/warden.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/core/warden.cc.o.d"
+  "/root/repo/src/strategies/blind_optimism.cc" "src/CMakeFiles/odyssey_core.dir/strategies/blind_optimism.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/strategies/blind_optimism.cc.o.d"
+  "/root/repo/src/strategies/centralized.cc" "src/CMakeFiles/odyssey_core.dir/strategies/centralized.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/strategies/centralized.cc.o.d"
+  "/root/repo/src/strategies/laissez_faire.cc" "src/CMakeFiles/odyssey_core.dir/strategies/laissez_faire.cc.o" "gcc" "src/CMakeFiles/odyssey_core.dir/strategies/laissez_faire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odyssey_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_tracemod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_core.dir/core/battery_model.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/battery_model.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/cache_manager.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/cache_manager.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/money_meter.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/money_meter.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/object_namespace.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/object_namespace.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/odyssey_client.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/odyssey_client.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/request_table.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/request_table.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/resource.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/resource.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/ship_planner.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/ship_planner.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/status.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/status.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/upcall.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/upcall.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/viceroy.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/viceroy.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/core/warden.cc.o"
+  "CMakeFiles/odyssey_core.dir/core/warden.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/strategies/blind_optimism.cc.o"
+  "CMakeFiles/odyssey_core.dir/strategies/blind_optimism.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/strategies/centralized.cc.o"
+  "CMakeFiles/odyssey_core.dir/strategies/centralized.cc.o.d"
+  "CMakeFiles/odyssey_core.dir/strategies/laissez_faire.cc.o"
+  "CMakeFiles/odyssey_core.dir/strategies/laissez_faire.cc.o.d"
+  "libodyssey_core.a"
+  "libodyssey_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

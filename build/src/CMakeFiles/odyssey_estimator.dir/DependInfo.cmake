@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimator/connection_estimator.cc" "src/CMakeFiles/odyssey_estimator.dir/estimator/connection_estimator.cc.o" "gcc" "src/CMakeFiles/odyssey_estimator.dir/estimator/connection_estimator.cc.o.d"
+  "/root/repo/src/estimator/supply_model.cc" "src/CMakeFiles/odyssey_estimator.dir/estimator/supply_model.cc.o" "gcc" "src/CMakeFiles/odyssey_estimator.dir/estimator/supply_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odyssey_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_tracemod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_estimator.dir/estimator/connection_estimator.cc.o"
+  "CMakeFiles/odyssey_estimator.dir/estimator/connection_estimator.cc.o.d"
+  "CMakeFiles/odyssey_estimator.dir/estimator/supply_model.cc.o"
+  "CMakeFiles/odyssey_estimator.dir/estimator/supply_model.cc.o.d"
+  "libodyssey_estimator.a"
+  "libodyssey_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

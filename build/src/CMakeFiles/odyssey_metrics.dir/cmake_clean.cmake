@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_metrics.dir/metrics/experiment.cc.o"
+  "CMakeFiles/odyssey_metrics.dir/metrics/experiment.cc.o.d"
+  "CMakeFiles/odyssey_metrics.dir/metrics/stats.cc.o"
+  "CMakeFiles/odyssey_metrics.dir/metrics/stats.cc.o.d"
+  "CMakeFiles/odyssey_metrics.dir/metrics/table.cc.o"
+  "CMakeFiles/odyssey_metrics.dir/metrics/table.cc.o.d"
+  "CMakeFiles/odyssey_metrics.dir/metrics/trial.cc.o"
+  "CMakeFiles/odyssey_metrics.dir/metrics/trial.cc.o.d"
+  "libodyssey_metrics.a"
+  "libodyssey_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

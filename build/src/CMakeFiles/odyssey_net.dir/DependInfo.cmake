@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/odyssey_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/odyssey_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/modulator.cc" "src/CMakeFiles/odyssey_net.dir/net/modulator.cc.o" "gcc" "src/CMakeFiles/odyssey_net.dir/net/modulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odyssey_tracemod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

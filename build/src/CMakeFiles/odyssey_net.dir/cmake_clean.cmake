@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_net.dir/net/link.cc.o"
+  "CMakeFiles/odyssey_net.dir/net/link.cc.o.d"
+  "CMakeFiles/odyssey_net.dir/net/modulator.cc.o"
+  "CMakeFiles/odyssey_net.dir/net/modulator.cc.o.d"
+  "libodyssey_net.a"
+  "libodyssey_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_rpc.dir/rpc/endpoint.cc.o"
+  "CMakeFiles/odyssey_rpc.dir/rpc/endpoint.cc.o.d"
+  "libodyssey_rpc.a"
+  "libodyssey_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_servers.dir/servers/distillation_server.cc.o"
+  "CMakeFiles/odyssey_servers.dir/servers/distillation_server.cc.o.d"
+  "CMakeFiles/odyssey_servers.dir/servers/file_server.cc.o"
+  "CMakeFiles/odyssey_servers.dir/servers/file_server.cc.o.d"
+  "CMakeFiles/odyssey_servers.dir/servers/janus_server.cc.o"
+  "CMakeFiles/odyssey_servers.dir/servers/janus_server.cc.o.d"
+  "CMakeFiles/odyssey_servers.dir/servers/telemetry_server.cc.o"
+  "CMakeFiles/odyssey_servers.dir/servers/telemetry_server.cc.o.d"
+  "CMakeFiles/odyssey_servers.dir/servers/video_server.cc.o"
+  "CMakeFiles/odyssey_servers.dir/servers/video_server.cc.o.d"
+  "libodyssey_servers.a"
+  "libodyssey_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

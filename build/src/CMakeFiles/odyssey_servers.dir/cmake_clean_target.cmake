@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodyssey_servers.a"
+)

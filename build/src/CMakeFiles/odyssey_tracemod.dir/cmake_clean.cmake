@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_tracemod.dir/tracemod/replay_trace.cc.o"
+  "CMakeFiles/odyssey_tracemod.dir/tracemod/replay_trace.cc.o.d"
+  "CMakeFiles/odyssey_tracemod.dir/tracemod/waveforms.cc.o"
+  "CMakeFiles/odyssey_tracemod.dir/tracemod/waveforms.cc.o.d"
+  "libodyssey_tracemod.a"
+  "libodyssey_tracemod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_tracemod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

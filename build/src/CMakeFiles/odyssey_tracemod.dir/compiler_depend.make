@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for odyssey_tracemod.
+# This may be replaced when dependencies are built.

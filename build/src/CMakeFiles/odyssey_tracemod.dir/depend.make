@@ -1,0 +1,2 @@
+# Empty dependencies file for odyssey_tracemod.
+# This may be replaced when dependencies are built.

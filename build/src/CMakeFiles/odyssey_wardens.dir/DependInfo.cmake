@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wardens/bitstream_warden.cc" "src/CMakeFiles/odyssey_wardens.dir/wardens/bitstream_warden.cc.o" "gcc" "src/CMakeFiles/odyssey_wardens.dir/wardens/bitstream_warden.cc.o.d"
+  "/root/repo/src/wardens/file_warden.cc" "src/CMakeFiles/odyssey_wardens.dir/wardens/file_warden.cc.o" "gcc" "src/CMakeFiles/odyssey_wardens.dir/wardens/file_warden.cc.o.d"
+  "/root/repo/src/wardens/speech_warden.cc" "src/CMakeFiles/odyssey_wardens.dir/wardens/speech_warden.cc.o" "gcc" "src/CMakeFiles/odyssey_wardens.dir/wardens/speech_warden.cc.o.d"
+  "/root/repo/src/wardens/telemetry_warden.cc" "src/CMakeFiles/odyssey_wardens.dir/wardens/telemetry_warden.cc.o" "gcc" "src/CMakeFiles/odyssey_wardens.dir/wardens/telemetry_warden.cc.o.d"
+  "/root/repo/src/wardens/video_warden.cc" "src/CMakeFiles/odyssey_wardens.dir/wardens/video_warden.cc.o" "gcc" "src/CMakeFiles/odyssey_wardens.dir/wardens/video_warden.cc.o.d"
+  "/root/repo/src/wardens/web_warden.cc" "src/CMakeFiles/odyssey_wardens.dir/wardens/web_warden.cc.o" "gcc" "src/CMakeFiles/odyssey_wardens.dir/wardens/web_warden.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odyssey_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/odyssey_tracemod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

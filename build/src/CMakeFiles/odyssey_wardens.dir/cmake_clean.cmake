@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey_wardens.dir/wardens/bitstream_warden.cc.o"
+  "CMakeFiles/odyssey_wardens.dir/wardens/bitstream_warden.cc.o.d"
+  "CMakeFiles/odyssey_wardens.dir/wardens/file_warden.cc.o"
+  "CMakeFiles/odyssey_wardens.dir/wardens/file_warden.cc.o.d"
+  "CMakeFiles/odyssey_wardens.dir/wardens/speech_warden.cc.o"
+  "CMakeFiles/odyssey_wardens.dir/wardens/speech_warden.cc.o.d"
+  "CMakeFiles/odyssey_wardens.dir/wardens/telemetry_warden.cc.o"
+  "CMakeFiles/odyssey_wardens.dir/wardens/telemetry_warden.cc.o.d"
+  "CMakeFiles/odyssey_wardens.dir/wardens/video_warden.cc.o"
+  "CMakeFiles/odyssey_wardens.dir/wardens/video_warden.cc.o.d"
+  "CMakeFiles/odyssey_wardens.dir/wardens/web_warden.cc.o"
+  "CMakeFiles/odyssey_wardens.dir/wardens/web_warden.cc.o.d"
+  "libodyssey_wardens.a"
+  "libodyssey_wardens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_wardens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

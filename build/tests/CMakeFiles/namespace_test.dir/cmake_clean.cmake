@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namespace_test.dir/namespace_test.cc.o"
+  "CMakeFiles/namespace_test.dir/namespace_test.cc.o.d"
+  "namespace_test"
+  "namespace_test.pdb"
+  "namespace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namespace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ship_planner_test.dir/ship_planner_test.cc.o"
+  "CMakeFiles/ship_planner_test.dir/ship_planner_test.cc.o.d"
+  "ship_planner_test"
+  "ship_planner_test.pdb"
+  "ship_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ship_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

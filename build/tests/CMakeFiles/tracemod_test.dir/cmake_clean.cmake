@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracemod_test.dir/tracemod_test.cc.o"
+  "CMakeFiles/tracemod_test.dir/tracemod_test.cc.o.d"
+  "tracemod_test"
+  "tracemod_test.pdb"
+  "tracemod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracemod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

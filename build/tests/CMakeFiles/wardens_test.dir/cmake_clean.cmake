@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wardens_test.dir/wardens_test.cc.o"
+  "CMakeFiles/wardens_test.dir/wardens_test.cc.o.d"
+  "wardens_test"
+  "wardens_test.pdb"
+  "wardens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wardens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
