@@ -131,8 +131,22 @@ void WebBrowser::FetchNext() {
   client_->Tsop(app_, std::string(kOdysseyRoot) + "web/session", kWebFetch, "",
                 [this, started](Status status, std::string out) {
                   WebFetchReply reply;
+                  if (status.code() == StatusCode::kDeadlineExceeded ||
+                      status.code() == StatusCode::kUnavailable) {
+                    // Transport failure: the page never arrived.  Record a
+                    // zero-fidelity outcome and keep the loop alive — the
+                    // level chooser sees the collapsed availability estimate
+                    // and degrades, and full service resumes with the
+                    // network.  Stopping forever on a radio shadow would be
+                    // the opposite of agility.
+                    ++failed_fetches_;
+                    outcomes_.push_back(WebFetchOutcome{
+                        started, client_->sim()->now() - started, 0.0, true});
+                    client_->sim()->Schedule(options_.failure_pause, [this] { FetchNext(); });
+                    return;
+                  }
                   if (!status.ok() || !UnpackStruct(out, &reply)) {
-                    running_ = false;
+                    running_ = false;  // unrecoverable (bad URL, closed session)
                     return;
                   }
                   // Decode and display before the page is usable.

@@ -27,12 +27,16 @@ struct WebBrowserOptions {
   Duration goal = kWebGoal;
   // Idle time between fetches; the paper fetches "as fast as possible".
   Duration think_time = 0;
+  // Pause before the loop resumes after a transport failure, so a dead
+  // link is probed rather than hammered.
+  Duration failure_pause = 500 * kMillisecond;
 };
 
 struct WebFetchOutcome {
   Time started = 0;
   Duration elapsed = 0;  // fetch + display
   double fidelity = 0.0;
+  bool failed = false;  // the transport gave up; fidelity is 0
 };
 
 class WebBrowser {
@@ -49,6 +53,8 @@ class WebBrowser {
 
   const std::vector<WebFetchOutcome>& outcomes() const { return outcomes_; }
   int current_level() const { return current_level_; }
+  bool running() const { return running_; }
+  int failed_fetches() const { return failed_fetches_; }
 
   // Mean fetch-and-display seconds over fetches started in [begin, end).
   double MeanSecondsBetween(Time begin, Time end) const;
@@ -75,6 +81,7 @@ class WebBrowser {
   bool running_ = false;
   // Run-level variation of the client's rendering cost.
   double render_factor_ = 1.0;
+  int failed_fetches_ = 0;
   std::vector<WebFetchOutcome> outcomes_;
 };
 

@@ -9,6 +9,12 @@ OdysseyClient::OdysseyClient(Simulation* sim, Link* link,
                              Duration upcall_latency)
     : sim_(sim), link_(link), viceroy_(sim, std::move(strategy), upcall_latency) {}
 
+OdysseyClient::~OdysseyClient() {
+  for (const auto& endpoint : endpoints_) {
+    viceroy_.DetachConnection(endpoint.get());
+  }
+}
+
 Warden* OdysseyClient::InstallWarden(std::unique_ptr<Warden> warden) {
   Warden* raw = warden.get();
   const Status status = namespace_.Install(raw);
@@ -27,8 +33,24 @@ AppId OdysseyClient::RegisterApplication(std::string name) {
 Endpoint* OdysseyClient::OpenConnection(AppId app, const std::string& service_name) {
   endpoints_.push_back(std::make_unique<Endpoint>(sim_, link_, service_name));
   Endpoint* endpoint = endpoints_.back().get();
+  endpoint->set_retry_policy(retry_policy_);
+  endpoint->set_fault_injector(fault_injector_);
   viceroy_.AttachConnection(app, endpoint);
   return endpoint;
+}
+
+void OdysseyClient::set_retry_policy(const RetryPolicy& policy) {
+  retry_policy_ = policy;
+  for (auto& endpoint : endpoints_) {
+    endpoint->set_retry_policy(policy);
+  }
+}
+
+void OdysseyClient::set_fault_injector(FaultInjector* injector) {
+  fault_injector_ = injector;
+  for (auto& endpoint : endpoints_) {
+    endpoint->set_fault_injector(injector);
+  }
 }
 
 RequestResult OdysseyClient::Request(AppId app, const ResourceDescriptor& descriptor) {

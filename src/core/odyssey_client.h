@@ -43,6 +43,11 @@ class OdysseyClient {
   OdysseyClient(Simulation* sim, Link* link, std::unique_ptr<BandwidthStrategy> strategy,
                 Duration upcall_latency = 0);
 
+  // Detaches every open connection from the viceroy before members are torn
+  // down: endpoints_ is destroyed before viceroy_, and the strategy must not
+  // unsubscribe from logs that no longer exist.
+  ~OdysseyClient();
+
   OdysseyClient(const OdysseyClient&) = delete;
   OdysseyClient& operator=(const OdysseyClient&) = delete;
 
@@ -57,8 +62,19 @@ class OdysseyClient {
 
   // Opens a connection from a warden to a remote service and attaches it to
   // the viceroy on behalf of |app|.  The endpoint lives as long as the
-  // client.
+  // client and inherits the client's retry policy and fault injector.
   Endpoint* OpenConnection(AppId app, const std::string& service_name);
+
+  // Failure semantics applied to connections opened afterwards (and, for
+  // convenience, to already-open ones): per-call timeouts, bounded retries
+  // with seeded backoff jitter.  Default-constructed RetryPolicy (timeout 0)
+  // restores the fair-weather protocol.
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // Routes all connection traffic through |injector| (null detaches).  The
+  // injector must outlive the client's traffic.
+  void set_fault_injector(FaultInjector* injector);
 
   // --- The Odyssey API (Figure 3) ---
 
@@ -135,6 +151,8 @@ class OdysseyClient {
   Simulation* sim_;
   Link* link_;
   Viceroy viceroy_;
+  RetryPolicy retry_policy_;
+  FaultInjector* fault_injector_ = nullptr;
   ObjectNamespace namespace_;
   std::vector<std::unique_ptr<Warden>> wardens_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;

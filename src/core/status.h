@@ -23,6 +23,9 @@ enum class StatusCode {
   kUnsupported,
   kAlreadyExists,
   kUnavailable,
+  // An RPC exhausted its per-call timeout and bounded retries (see
+  // rpc::RetryPolicy); the transport gave up rather than hang.
+  kDeadlineExceeded,
 };
 
 // Short name for a status code ("OK", "OUT_OF_BOUNDS", ...).
@@ -74,6 +77,9 @@ inline Status AlreadyExistsError(std::string message) {
 }
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace odyssey

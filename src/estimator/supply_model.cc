@@ -44,6 +44,19 @@ void SupplyModel::OnThroughput(ConnectionId connection, const ThroughputObservat
   supply_.Push(obs.at, raw_bps > aggregate ? raw_bps : aggregate);
 }
 
+void SupplyModel::OnFailure(ConnectionId connection, const FailureObservation& obs) {
+  if (!connections_.contains(connection)) {
+    return;
+  }
+  // A failed exchange is the only downward evidence a dead link produces:
+  // no window completes, so no throughput sample would ever age the stale
+  // highs out of the envelope.  Push a zero-capacity sample so the supply
+  // estimate decays to zero within one envelope window of sustained
+  // failure, and availability with it — turning an outage into a
+  // disconnection decision instead of optimistic paralysis.
+  supply_.Push(obs.at, 0.0);
+}
+
 double SupplyModel::AvailabilityFor(ConnectionId connection, Time now) const {
   const double supply = TotalSupply();
   if (supply <= 0.0) {

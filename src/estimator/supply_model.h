@@ -56,6 +56,7 @@ class SupplyModel {
   // Feeds observations from connection logs.
   void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs);
   void OnThroughput(ConnectionId connection, const ThroughputObservation& obs);
+  void OnFailure(ConnectionId connection, const FailureObservation& obs);
 
   // Estimated total bandwidth available to the client, bytes/second.
   double TotalSupply() const { return supply_.value(); }

@@ -1,0 +1,90 @@
+#include "src/net/fault_injector.h"
+
+#include <algorithm>
+
+namespace odyssey {
+
+FaultInjector::FaultInjector(Simulation* sim, Link* link)
+    : sim_(sim), link_(link), rng_(plan_.seed) {}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  plan_ = plan;
+  std::sort(plan_.drop_messages.begin(), plan_.drop_messages.end());
+  rng_ = Rng(plan_.seed);
+  messages_offered_ = 0;
+  messages_dropped_ = 0;
+  flows_killed_ = 0;
+
+  for (const OutageWindow& outage : plan_.outages) {
+    sim_->ScheduleAt(outage.start, [this] {
+      if (++active_outages_ == 1) {
+        link_->SetOutage(true);
+      }
+    });
+    sim_->ScheduleAt(outage.start + outage.duration, [this] {
+      if (--active_outages_ == 0) {
+        link_->SetOutage(false);
+      }
+    });
+  }
+  for (const LatencySpike& spike : plan_.latency_spikes) {
+    sim_->ScheduleAt(spike.start, [this, extra = spike.extra] {
+      active_latency_extra_ += extra;
+      link_->SetExtraLatency(active_latency_extra_);
+    });
+    sim_->ScheduleAt(spike.start + spike.duration, [this, extra = spike.extra] {
+      active_latency_extra_ -= extra;
+      link_->SetExtraLatency(active_latency_extra_);
+    });
+  }
+  for (const Time at : plan_.flow_kills) {
+    sim_->ScheduleAt(at, [this] { KillAllFlows(); });
+  }
+  // Server stalls need no scheduling: ServerStallExtra is evaluated against
+  // the windows on each exchange.
+}
+
+bool FaultInjector::ShouldDropMessage() {
+  const uint64_t index = ++messages_offered_;
+  bool drop =
+      std::binary_search(plan_.drop_messages.begin(), plan_.drop_messages.end(), index);
+  if (!drop && plan_.drop_probability > 0.0) {
+    // Always consume exactly one draw per offered message so the stream
+    // stays aligned with the message sequence regardless of outcomes.
+    drop = rng_.NextDouble() < plan_.drop_probability;
+  }
+  if (drop) {
+    ++messages_dropped_;
+  }
+  return drop;
+}
+
+Duration FaultInjector::ServerStallExtra(Time now) const {
+  Duration extra = 0;
+  for (const ServerStall& stall : plan_.server_stalls) {
+    if (now >= stall.start && now < stall.start + stall.duration) {
+      extra += stall.extra_compute;
+    }
+  }
+  return extra;
+}
+
+bool FaultInjector::InOutage(Time now) const {
+  for (const OutageWindow& outage : plan_.outages) {
+    if (now >= outage.start && now < outage.start + outage.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::KillAllFlows() {
+  // Snapshot first: CancelFlow mutates the flow set.
+  const std::vector<FlowId> victims = link_->ActiveFlowIds();
+  for (const FlowId id : victims) {
+    link_->CancelFlow(id);
+  }
+  flows_killed_ += victims.size();
+}
+
+}  // namespace odyssey

@@ -1,0 +1,164 @@
+// Deterministic, seedable fault injection for the emulated network.
+//
+// The paper's central claim is agility when the network misbehaves, so the
+// transport must be testable under loss, outage and stall — not only under
+// the fair-weather waveforms of Figure 7.  A FaultPlan is a declarative
+// schedule of faults; a FaultInjector arms a plan against a Link and exposes
+// per-message hooks that rpc::Endpoint consults.  Every fault lives in
+// virtual time on the event queue and every probabilistic decision draws
+// from a generator seeded by the plan, so a failure scenario reproduces
+// byte-for-byte from (plan, seed) — which is what makes the fault-matrix
+// tests tractable.
+//
+// Composition is strictly additive: with no injector installed (or an empty
+// plan armed) the Link and Endpoint happy paths are untouched.
+
+#ifndef SRC_NET_FAULT_INJECTOR_H_
+#define SRC_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+// A radio shadow: the link's effective capacity drops to zero for the
+// window, then the nominal (modulator-controlled) capacity resumes.
+struct OutageWindow {
+  Time start = 0;
+  Duration duration = 0;
+};
+
+// A latency excursion: |extra| is added to the link's one-way latency for
+// the window (queueing delay, cell handoff, interference retransmissions).
+struct LatencySpike {
+  Time start = 0;
+  Duration duration = 0;
+  Duration extra = 0;
+};
+
+// A server brown-out: |extra_compute| is added to the server-side
+// processing time of every exchange started inside the window.
+struct ServerStall {
+  Time start = 0;
+  Duration duration = 0;
+  Duration extra_compute = 0;
+};
+
+// A declarative fault schedule.  Times are absolute virtual times (relative
+// to simulation start).  The builder methods return *this so plans compose
+// fluently:
+//
+//   FaultPlan plan;
+//   plan.WithSeed(7).WithDropProbability(0.3).WithOutage(10 * kSecond, 5 * kSecond);
+struct FaultPlan {
+  // Seed of the injector's private random stream (message drops, any future
+  // probabilistic fault).  Independent of the Simulation seed so the same
+  // fault schedule can be replayed against different trial seeds.
+  uint64_t seed = 1;
+
+  // Probability that any single RPC message (request, response, window
+  // request, window payload, acknowledgement) is silently lost in transit.
+  double drop_probability = 0.0;
+
+  // Deterministic drops: global 1-based indices of messages to lose
+  // regardless of drop_probability (message n is the n-th message offered
+  // to the injector since Arm).  Lets unit tests lose exactly one leg.
+  std::vector<uint64_t> drop_messages;
+
+  std::vector<OutageWindow> outages;
+  std::vector<LatencySpike> latency_spikes;
+  std::vector<ServerStall> server_stalls;
+
+  // Instants at which every in-flight flow on the link is killed
+  // mid-transfer (base-station handoff dropping the queue).
+  std::vector<Time> flow_kills;
+
+  FaultPlan& WithSeed(uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  FaultPlan& WithDropProbability(double p) {
+    drop_probability = p;
+    return *this;
+  }
+  FaultPlan& WithDroppedMessage(uint64_t index) {
+    drop_messages.push_back(index);
+    return *this;
+  }
+  FaultPlan& WithOutage(Time start, Duration duration) {
+    outages.push_back(OutageWindow{start, duration});
+    return *this;
+  }
+  FaultPlan& WithLatencySpike(Time start, Duration duration, Duration extra) {
+    latency_spikes.push_back(LatencySpike{start, duration, extra});
+    return *this;
+  }
+  FaultPlan& WithServerStall(Time start, Duration duration, Duration extra_compute) {
+    server_stalls.push_back(ServerStall{start, duration, extra_compute});
+    return *this;
+  }
+  FaultPlan& WithFlowKill(Time at) {
+    flow_kills.push_back(at);
+    return *this;
+  }
+
+  bool empty() const {
+    return drop_probability <= 0.0 && drop_messages.empty() && outages.empty() &&
+           latency_spikes.empty() && server_stalls.empty() && flow_kills.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulation* sim, Link* link);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every fault in |plan| on the event queue and resets the
+  // injector's random stream to plan.seed.  Arming replaces any previously
+  // armed plan's probabilistic state but cannot unschedule windows that
+  // were already queued; arm once per scenario.
+  void Arm(const FaultPlan& plan);
+
+  // --- Hooks consulted by rpc::Endpoint ---
+
+  // Whether the next message offered to the network is lost.  Consumes one
+  // draw from the injector's stream (and one message index), so the drop
+  // pattern is a pure function of the plan and the message sequence.
+  bool ShouldDropMessage();
+
+  // Extra server-side compute for an exchange whose server work starts at
+  // |now| (sum of all stall windows covering it).
+  Duration ServerStallExtra(Time now) const;
+
+  // --- Introspection (tests, diagnostics) ---
+
+  const FaultPlan& plan() const { return plan_; }
+  bool InOutage(Time now) const;
+  uint64_t messages_offered() const { return messages_offered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t flows_killed() const { return flows_killed_; }
+
+ private:
+  void KillAllFlows();
+
+  Simulation* sim_;
+  Link* link_;
+  FaultPlan plan_;
+  Rng rng_;
+  int active_outages_ = 0;
+  Duration active_latency_extra_ = 0;
+  uint64_t messages_offered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t flows_killed_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_NET_FAULT_INJECTOR_H_

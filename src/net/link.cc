@@ -22,11 +22,32 @@ void Link::SetCapacity(double capacity_bps) {
   CompleteAndReschedule();
 }
 
+void Link::SetOutage(bool outage) {
+  if (outage == outage_) {
+    return;
+  }
+  Advance();
+  outage_ = outage;
+  CompleteAndReschedule();
+}
+
 double Link::FairShareRate() const {
   if (flows_.empty()) {
-    return capacity_bps_;
+    return effective_capacity_bps();
   }
-  return capacity_bps_ / static_cast<double>(flows_.size());
+  return effective_capacity_bps() / static_cast<double>(flows_.size());
+}
+
+std::vector<FlowId> Link::ActiveFlowIds() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size() + zero_byte_flows_.size());
+  for (const auto& [id, flow] : flows_) {
+    ids.push_back(id);
+  }
+  for (const auto& [id, handle] : zero_byte_flows_) {
+    ids.push_back(id);
+  }
+  return ids;
 }
 
 FlowId Link::StartFlow(double bytes, std::function<void()> on_complete) {
@@ -34,8 +55,15 @@ FlowId Link::StartFlow(double bytes, std::function<void()> on_complete) {
   const FlowId id = next_id_++;
   if (bytes <= kEpsilonBytes) {
     // Degenerate flow: deliver on the next event-loop turn so the callback
-    // never fires before StartFlow returns.
-    sim_->Schedule(0, std::move(on_complete));
+    // never fires before StartFlow returns.  The handle is kept so that
+    // CancelFlow honors its contract for zero-byte flows too.
+    zero_byte_flows_[id] =
+        sim_->Schedule(0, [this, id, cb = std::move(on_complete)] {
+          zero_byte_flows_.erase(id);
+          if (cb) {
+            cb();
+          }
+        });
     return id;
   }
   flows_[id] = Flow{bytes, std::move(on_complete)};
@@ -44,6 +72,12 @@ FlowId Link::StartFlow(double bytes, std::function<void()> on_complete) {
 }
 
 void Link::CancelFlow(FlowId id) {
+  const auto zit = zero_byte_flows_.find(id);
+  if (zit != zero_byte_flows_.end()) {
+    zit->second.Cancel();
+    zero_byte_flows_.erase(zit);
+    return;
+  }
   Advance();
   flows_.erase(id);
   CompleteAndReschedule();
@@ -56,7 +90,7 @@ void Link::Advance() {
     return;
   }
   const double elapsed_s = DurationToSeconds(now - last_update_);
-  const double rate = capacity_bps_ / static_cast<double>(flows_.size());
+  const double rate = effective_capacity_bps() / static_cast<double>(flows_.size());
   const double progress = rate * elapsed_s;
   for (auto& [id, flow] : flows_) {
     const double delivered = progress < flow.remaining ? progress : flow.remaining;
@@ -89,7 +123,7 @@ void Link::CompleteAndReschedule() {
   }
 
   pending_completion_.Cancel();
-  if (flows_.empty() || capacity_bps_ <= 0.0) {
+  if (flows_.empty() || effective_capacity_bps() <= 0.0) {
     return;  // stalled (radio shadow) or idle: wait for a capacity change
   }
   double min_remaining = std::numeric_limits<double>::max();
@@ -98,7 +132,7 @@ void Link::CompleteAndReschedule() {
       min_remaining = flow.remaining;
     }
   }
-  const double rate = capacity_bps_ / static_cast<double>(flows_.size());
+  const double rate = effective_capacity_bps() / static_cast<double>(flows_.size());
   const Duration eta = SecondsToDuration(min_remaining / rate);
   pending_completion_ = sim_->Schedule(eta < 1 ? 1 : eta, [this] {
     Advance();

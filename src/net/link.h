@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/simulation.h"
@@ -40,9 +41,28 @@ class Link {
   void SetCapacity(double capacity_bps);
   void SetLatency(Duration latency) { latency_ = latency; }
 
+  // Fault-injection gate: while in outage the effective capacity is zero
+  // regardless of the nominal capacity, so modulator transitions during the
+  // outage are honored once it lifts.  Orthogonal to SetCapacity.
+  void SetOutage(bool outage);
+  bool in_outage() const { return outage_; }
+
+  // Fault-injection latency excursion, added on top of the nominal latency
+  // (negative extras clamp at zero total).
+  void SetExtraLatency(Duration extra) { extra_latency_ = extra; }
+
   double capacity_bps() const { return capacity_bps_; }
-  Duration latency() const { return latency_; }
-  size_t active_flow_count() const { return flows_.size(); }
+  // Capacity actually serving flows right now (zero while in outage).
+  double effective_capacity_bps() const { return outage_ ? 0.0 : capacity_bps_; }
+  Duration latency() const {
+    const Duration total = latency_ + extra_latency_;
+    return total < 0 ? 0 : total;
+  }
+  size_t active_flow_count() const { return flows_.size() + zero_byte_flows_.size(); }
+
+  // Ids of every flow currently in flight, for fault injection's
+  // kill-all-flows primitive.
+  std::vector<FlowId> ActiveFlowIds() const;
 
   // Instantaneous per-flow rate if one more flow were added; used only by
   // diagnostics.
@@ -75,7 +95,12 @@ class Link {
   Simulation* sim_;
   double capacity_bps_;
   Duration latency_;
+  Duration extra_latency_ = 0;
+  bool outage_ = false;
   std::map<FlowId, Flow> flows_;
+  // Degenerate zero-byte flows whose completion is already on the event
+  // queue; tracked so CancelFlow can still suppress the callback.
+  std::map<FlowId, EventHandle> zero_byte_flows_;
   FlowId next_id_ = 1;
   Time last_update_ = 0;
   EventHandle pending_completion_;

@@ -1,8 +1,22 @@
 #include "src/rpc/endpoint.h"
 
+#include <string>
 #include <utility>
 
 namespace odyssey {
+namespace {
+
+// Patience granted to an attempt that moves |bytes| of payload: the policy's
+// base timeout plus transfer time at the policy's floor rate.
+Duration AttemptBudget(const RetryPolicy& policy, double bytes, Duration server_compute) {
+  Duration allowance = 0;
+  if (bytes > 0.0 && policy.min_rate_bytes_per_sec > 0.0) {
+    allowance = SecondsToDuration(bytes / policy.min_rate_bytes_per_sec);
+  }
+  return policy.timeout + server_compute + allowance;
+}
+
+}  // namespace
 
 ConnectionId Endpoint::next_id_ = 1;
 
@@ -10,82 +24,217 @@ Endpoint::Endpoint(Simulation* sim, Link* link, std::string name)
     : sim_(sim), link_(link), name_(std::move(name)), id_(next_id_++), log_(id_) {}
 
 void Endpoint::Call(double request_bytes, double response_bytes, Duration server_compute,
-                    Done done) {
-  const Time start = sim_->now();
-  // Request transmission, then one-way latency to the server.
-  link_->StartFlow(request_bytes, [this, start, response_bytes, server_compute,
-                                   done = std::move(done)]() mutable {
-    sim_->Schedule(link_->latency() + server_compute, [this, start, response_bytes,
-                                                       server_compute,
-                                                       done = std::move(done)]() mutable {
-      // Response transmission, then one-way latency back to the client.
-      link_->StartFlow(response_bytes, [this, start, server_compute,
-                                        done = std::move(done)]() mutable {
-        sim_->Schedule(link_->latency(), [this, start, server_compute,
-                                          done = std::move(done)]() mutable {
-          const Duration rtt = (sim_->now() - start) - server_compute;
-          log_.RecordRoundTrip(sim_->now(), rtt < 0 ? 0 : rtt);
-          if (done) {
-            done();
-          }
-        });
-      });
-    });
-  });
+                    StatusDone done) {
+  CallAttempt(request_bytes, response_bytes, server_compute, 1, std::move(done));
 }
 
-void Endpoint::Ping(Done done) {
+void Endpoint::Ping(StatusDone done) {
   Call(kControlMessageBytes, kControlMessageBytes, 0, std::move(done));
 }
 
-void Endpoint::FetchWindow(double bytes, Done done) {
-  const Time start = sim_->now();
-  // Window request upstream...
-  link_->StartFlow(kControlMessageBytes, [this, start, bytes, done = std::move(done)]() mutable {
-    sim_->Schedule(link_->latency(), [this, start, bytes, done = std::move(done)]() mutable {
-      // ...then the window's data downstream.
-      link_->StartFlow(bytes, [this, start, bytes, done = std::move(done)]() mutable {
-        sim_->Schedule(link_->latency(), [this, start, bytes, done = std::move(done)]() mutable {
-          bytes_transferred_ += bytes;
-          log_.RecordThroughput(sim_->now(), bytes, sim_->now() - start);
-          if (done) {
-            done();
-          }
-        });
-      });
-    });
-  });
+void Endpoint::FetchWindow(double bytes, StatusDone done) {
+  WindowAttempt(bytes, 1, std::move(done));
 }
 
-void Endpoint::Fetch(double total_bytes, Duration server_compute, Done done) {
+void Endpoint::Fetch(double total_bytes, Duration server_compute, StatusDone done) {
   // The transfer request is a small exchange: it logs a round trip and
   // absorbs the server's compute time before data begins to flow.
   Call(kControlMessageBytes, kControlMessageBytes, server_compute,
-       [this, total_bytes, done = std::move(done)]() mutable {
+       [this, total_bytes, done = std::move(done)](Status status) mutable {
+         if (!status.ok()) {
+           if (done) {
+             done(std::move(status));
+           }
+           return;
+         }
          TransferWindows(total_bytes, std::move(done));
        });
 }
 
-void Endpoint::Send(double total_bytes, Duration server_compute, Done done) {
+void Endpoint::Send(double total_bytes, Duration server_compute, StatusDone done) {
   // Under the shared-capacity link model an upstream window is timed the
   // same way as a downstream one: control message one way, data the other.
   Call(kControlMessageBytes, kControlMessageBytes, server_compute,
-       [this, total_bytes, done = std::move(done)]() mutable {
+       [this, total_bytes, done = std::move(done)](Status status) mutable {
+         if (!status.ok()) {
+           if (done) {
+             done(std::move(status));
+           }
+           return;
+         }
          TransferWindows(total_bytes, std::move(done));
        });
 }
 
-void Endpoint::TransferWindows(double remaining, Done done) {
+void Endpoint::TransferWindows(double remaining, StatusDone done) {
   if (remaining <= 0.0) {
     if (done) {
-      done();
+      done(OkStatus());
     }
     return;
   }
   const double this_window = remaining < window_bytes_ ? remaining : window_bytes_;
-  FetchWindow(this_window, [this, remaining, this_window, done = std::move(done)]() mutable {
-    TransferWindows(remaining - this_window, std::move(done));
+  FetchWindow(this_window,
+              [this, remaining, this_window, done = std::move(done)](Status status) mutable {
+                if (!status.ok()) {
+                  if (done) {
+                    done(std::move(status));
+                  }
+                  return;
+                }
+                TransferWindows(remaining - this_window, std::move(done));
+              });
+}
+
+void Endpoint::CallAttempt(double request_bytes, double response_bytes, Duration server_compute,
+                           int attempt, StatusDone done) {
+  const Time start = sim_->now();
+  auto state = std::make_shared<AttemptState>();
+  auto cb = std::make_shared<StatusDone>(std::move(done));
+
+  if (policy_.enabled()) {
+    ArmTimeout(AttemptBudget(policy_, request_bytes + response_bytes, server_compute), state,
+               [this, request_bytes, response_bytes, server_compute, attempt, cb] {
+                 RetryOrFail(attempt,
+                             [this, request_bytes, response_bytes, server_compute, cb](int next) {
+                               CallAttempt(request_bytes, response_bytes, server_compute, next,
+                                           std::move(*cb));
+                             },
+                             cb);
+               });
+  }
+
+  // Request transmission, then one-way latency to the server.
+  SendMessage(request_bytes, state, [this, start, response_bytes, server_compute, state, cb] {
+    // A stalled server adds compute the client did not budget for, so a
+    // stall window is visible to the retry machinery as a slow exchange.
+    const Duration stall =
+        injector_ != nullptr ? injector_->ServerStallExtra(sim_->now() + link_->latency()) : 0;
+    sim_->Schedule(
+        link_->latency() + server_compute + stall,
+        [this, start, response_bytes, server_compute, state, cb] {
+          if (state->aborted) {
+            return;
+          }
+          // Response transmission, then one-way latency back to the client.
+          SendMessage(response_bytes, state, [this, start, server_compute, state, cb] {
+            sim_->Schedule(link_->latency(), [this, start, server_compute, state, cb] {
+              if (state->aborted) {
+                return;
+              }
+              state->completed = true;
+              // Only this attempt's own span is logged, so retransmissions
+              // never inflate the estimator's round-trip samples.
+              const Duration rtt = (sim_->now() - start) - server_compute;
+              log_.RecordRoundTrip(sim_->now(), rtt < 0 ? 0 : rtt);
+              if (*cb) {
+                (*cb)(OkStatus());
+              }
+            });
+          });
+        });
   });
+}
+
+void Endpoint::WindowAttempt(double bytes, int attempt, StatusDone done) {
+  const Time start = sim_->now();
+  auto state = std::make_shared<AttemptState>();
+  auto cb = std::make_shared<StatusDone>(std::move(done));
+
+  if (policy_.enabled()) {
+    ArmTimeout(AttemptBudget(policy_, bytes, 0), state, [this, bytes, attempt, cb] {
+      RetryOrFail(attempt,
+                  [this, bytes, cb](int next) { WindowAttempt(bytes, next, std::move(*cb)); },
+                  cb);
+    });
+  }
+
+  // Window request upstream...
+  SendMessage(kControlMessageBytes, state, [this, start, bytes, state, cb] {
+    // A stalled server delays its turn-around on the window request.
+    const Duration stall =
+        injector_ != nullptr ? injector_->ServerStallExtra(sim_->now() + link_->latency()) : 0;
+    sim_->Schedule(link_->latency() + stall, [this, start, bytes, state, cb] {
+      if (state->aborted) {
+        return;
+      }
+      // ...then the window's data downstream.
+      SendMessage(bytes, state, [this, start, bytes, state, cb] {
+        sim_->Schedule(link_->latency(), [this, start, bytes, state, cb] {
+          if (state->aborted) {
+            return;
+          }
+          state->completed = true;
+          bytes_transferred_ += bytes;
+          // The logged span covers only the successful attempt.
+          log_.RecordThroughput(sim_->now(), bytes, sim_->now() - start);
+          if (*cb) {
+            (*cb)(OkStatus());
+          }
+        });
+      });
+    });
+  });
+}
+
+void Endpoint::SendMessage(double bytes, const AttemptPtr& state, std::function<void()> next) {
+  if (injector_ != nullptr && injector_->ShouldDropMessage()) {
+    // Lost in transit: nothing progresses until the attempt's timeout
+    // settles it (or forever, under the fair-weather protocol).
+    return;
+  }
+  state->flow = link_->StartFlow(bytes, [state, next = std::move(next)] {
+    state->flow = 0;
+    if (state->aborted) {
+      return;
+    }
+    next();
+  });
+}
+
+EventHandle Endpoint::ArmTimeout(Duration budget, const AttemptPtr& state,
+                                 std::function<void()> on_timeout) {
+  return sim_->Schedule(budget, [this, state, on_timeout = std::move(on_timeout)] {
+    if (state->completed) {
+      return;
+    }
+    state->aborted = true;
+    ++timeouts_;
+    if (state->flow != 0) {
+      link_->CancelFlow(state->flow);
+      state->flow = 0;
+    }
+    on_timeout();
+  });
+}
+
+void Endpoint::RetryOrFail(int attempt, std::function<void(int)> retry,
+                           const std::shared_ptr<StatusDone>& done) {
+  if (attempt < policy_.max_attempts) {
+    ++retries_;
+    sim_->Schedule(BackoffDelay(attempt),
+                   [retry = std::move(retry), attempt] { retry(attempt + 1); });
+    return;
+  }
+  ++exchanges_failed_;
+  log_.RecordFailure(sim_->now(), attempt);
+  if (*done) {
+    (*done)(Status(StatusCode::kDeadlineExceeded,
+                   name_ + ": exchange exhausted " + std::to_string(attempt) + " attempts"));
+  }
+}
+
+Duration Endpoint::BackoffDelay(int attempt) {
+  double delay = static_cast<double>(policy_.backoff_base);
+  for (int i = 1; i < attempt; ++i) {
+    delay *= policy_.backoff_multiplier;
+  }
+  if (policy_.jitter > 0.0) {
+    // Seeded jitter from the simulation's stream keeps trials reproducible
+    // while decorrelating concurrent endpoints' retry schedules.
+    delay *= sim_->rng().Uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+  }
+  return delay < 1.0 ? 1 : static_cast<Duration>(delay);
 }
 
 }  // namespace odyssey

@@ -10,13 +10,27 @@
 // All calls are asynchronous: completion callbacks fire after the modeled
 // latency, transmission and server-compute delays have elapsed in virtual
 // time.
+//
+// Failure semantics: with a RetryPolicy installed (see set_retry_policy),
+// every exchange carries a per-attempt timeout; a lost or stalled attempt
+// is retried with exponential backoff plus seeded jitter up to a bounded
+// attempt budget, after which the status-aware completion fires with
+// kDeadlineExceeded and a FailureObservation enters the log.  Only the
+// final successful attempt's own timing is logged, so retransmissions never
+// inflate the estimator's round-trip or throughput samples.  Without a
+// policy (the default) behavior is the original fair-weather protocol:
+// infinite patience, no retries — existing timing-sensitive callers are
+// unaffected.
 
 #ifndef SRC_RPC_ENDPOINT_H_
 #define SRC_RPC_ENDPOINT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "src/core/status.h"
+#include "src/net/fault_injector.h"
 #include "src/net/link.h"
 #include "src/rpc/observation_log.h"
 #include "src/sim/simulation.h"
@@ -34,9 +48,42 @@ inline constexpr double kControlMessageBytes = 64.0;
 // this reproduces the ~2 s Step-Down settling time the paper reports.
 inline constexpr double kDefaultWindowBytes = 64.0 * 1024.0;
 
+// Timeout, retry and backoff policy for one endpoint.  A zero |timeout|
+// disables the whole mechanism (the default): calls wait forever, exactly
+// as the paper's fair-weather protocol did.
+struct RetryPolicy {
+  // Per-attempt deadline for the network portion of an exchange; known
+  // server compute is budgeted on top, so a slow server is not mistaken
+  // for a dead link.  Zero disables timeouts and retries.
+  Duration timeout = 0;
+  // Total attempts per exchange (first try + retries), >= 1.
+  int max_attempts = 4;
+  // Delay before retry k (1-based) is backoff_base * multiplier^(k-1),
+  // multiplicatively jittered by +/- jitter to decorrelate retry storms.
+  Duration backoff_base = 100 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  double jitter = 0.2;
+  // Floor transfer rate used to size an attempt's deadline: moving |bytes|
+  // earns an extra bytes / min_rate_bytes_per_sec of patience on top of
+  // |timeout|, so a large window on a slow-but-alive link is not mistaken
+  // for a dead one.
+  double min_rate_bytes_per_sec = 16.0 * 1024.0;
+
+  bool enabled() const { return timeout > 0; }
+
+  // A conventional profile for fault-tolerant operation: 2 s attempts,
+  // 4 attempts, 100 ms initial backoff doubling per retry.
+  static RetryPolicy Default() {
+    RetryPolicy policy;
+    policy.timeout = 2 * kSecond;
+    return policy;
+  }
+};
+
 class Endpoint {
  public:
   using Done = std::function<void()>;
+  using StatusDone = std::function<void(Status)>;
 
   // |name| identifies the remote service for diagnostics.  Each endpoint is
   // assigned a process-unique ConnectionId.
@@ -55,33 +102,108 @@ class Endpoint {
   double window_bytes() const { return window_bytes_; }
   void set_window_bytes(double bytes) { window_bytes_ = bytes; }
 
+  // Installs the failure semantics.  Affects exchanges started afterwards.
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  // Routes this endpoint's messages through |injector| (null detaches).
+  // The injector must outlive the endpoint's traffic.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  // --- Status-aware interface ---
+
   // Small request/response exchange.  |server_compute| is the (known)
   // server-side processing time, excluded from the logged round trip.
-  void Call(double request_bytes, double response_bytes, Duration server_compute, Done done);
+  void Call(double request_bytes, double response_bytes, Duration server_compute,
+            StatusDone done);
 
   // Minimal exchange with control-sized messages; logs a round trip.
-  void Ping(Done done);
+  void Ping(StatusDone done);
 
   // Transfers one window's worth of data from the server, logging a
   // throughput entry spanning request to last byte.
-  void FetchWindow(double bytes, Done done);
+  void FetchWindow(double bytes, StatusDone done);
 
   // Full bulk fetch: a control exchange (logging a round trip, covering the
   // transfer request and any server compute), then |total_bytes| moved in
-  // window-sized units, each logging a throughput entry.
-  void Fetch(double total_bytes, Duration server_compute, Done done);
+  // window-sized units, each logging a throughput entry.  Fails with the
+  // first window's error; completed windows stay counted.
+  void Fetch(double total_bytes, Duration server_compute, StatusDone done);
 
   // Pushes |total_bytes| to the server in window-sized units; each window's
   // send-to-acknowledgement time logs a throughput entry.  Symmetric to
   // Fetch under the link's shared-capacity model.
-  void Send(double total_bytes, Duration server_compute, Done done);
+  void Send(double total_bytes, Duration server_compute, StatusDone done);
+
+  // --- Legacy interface (status discarded; kept for fair-weather callers) ---
+
+  void Call(double request_bytes, double response_bytes, Duration server_compute, Done done) {
+    Call(request_bytes, response_bytes, server_compute, Wrap(std::move(done)));
+  }
+  void Ping(Done done) { Ping(Wrap(std::move(done))); }
+  void FetchWindow(double bytes, Done done) { FetchWindow(bytes, Wrap(std::move(done))); }
+  void Fetch(double total_bytes, Duration server_compute, Done done) {
+    Fetch(total_bytes, server_compute, Wrap(std::move(done)));
+  }
+  void Send(double total_bytes, Duration server_compute, Done done) {
+    Send(total_bytes, server_compute, Wrap(std::move(done)));
+  }
 
   // Total application payload bytes moved (both directions).
   double bytes_transferred() const { return bytes_transferred_; }
 
+  // --- Failure-path accounting (tests, diagnostics) ---
+
+  // Retries issued over the endpoint's lifetime (attempts beyond the first).
+  uint64_t retries() const { return retries_; }
+  // Exchanges that exhausted their attempt budget.
+  uint64_t exchanges_failed() const { return exchanges_failed_; }
+  // Attempts abandoned by the per-attempt timeout.
+  uint64_t timeouts() const { return timeouts_; }
+
  private:
+  // Per-attempt bookkeeping shared between an attempt's continuations and
+  // its timeout event, so exactly one of them settles the attempt.
+  struct AttemptState {
+    bool aborted = false;    // the timeout fired; late completions are dropped
+    bool completed = false;  // the attempt finished; the timeout is a no-op
+    FlowId flow = 0;         // in-flight flow, cancelled on abort (0 = none)
+  };
+  using AttemptPtr = std::shared_ptr<AttemptState>;
+
+  static StatusDone Wrap(Done done) {
+    return [done = std::move(done)](Status) {
+      if (done) {
+        done();
+      }
+    };
+  }
+
+  // One attempt of the request/response exchange.
+  void CallAttempt(double request_bytes, double response_bytes, Duration server_compute,
+                   int attempt, StatusDone done);
+  // One attempt of the windowed transfer.
+  void WindowAttempt(double bytes, int attempt, StatusDone done);
+
+  // Starts |bytes| through the link (or silently loses them, per the
+  // injector), invoking |next| only if the attempt is still live.
+  void SendMessage(double bytes, const AttemptPtr& state, std::function<void()> next);
+
+  // Arms the per-attempt timeout; |on_timeout| runs the retry-or-fail path.
+  EventHandle ArmTimeout(Duration budget, const AttemptPtr& state,
+                         std::function<void()> on_timeout);
+
+  // Retry after backoff, or fail the exchange and log the failure.  |done|
+  // is shared with the retry closure; exactly one of the two consumes it.
+  void RetryOrFail(int attempt, std::function<void(int)> retry,
+                   const std::shared_ptr<StatusDone>& done);
+
+  // Backoff before retry |attempt| (1-based retry count), jittered.
+  Duration BackoffDelay(int attempt);
+
   // Runs the window pipeline for |remaining| bytes, then |done|.
-  void TransferWindows(double remaining, Done done);
+  void TransferWindows(double remaining, StatusDone done);
 
   Simulation* sim_;
   Link* link_;
@@ -90,6 +212,11 @@ class Endpoint {
   ObservationLog log_;
   double window_bytes_ = kDefaultWindowBytes;
   double bytes_transferred_ = 0.0;
+  RetryPolicy policy_;
+  FaultInjector* injector_ = nullptr;
+  uint64_t retries_ = 0;
+  uint64_t exchanges_failed_ = 0;
+  uint64_t timeouts_ = 0;
 
   static ConnectionId next_id_;
 };

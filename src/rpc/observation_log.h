@@ -33,6 +33,16 @@ struct ThroughputObservation {
   Duration elapsed = 0;
 };
 
+// A transport failure: an exchange exhausted its timeout and bounded
+// retries.  Passive monitoring cannot see a dead link through samples that
+// never complete; failures are the only downward evidence an outage
+// produces, so strategies treat them as disconnection signals.
+struct FailureObservation {
+  Time at = 0;
+  // Attempts consumed before giving up (>= 1).
+  int attempts = 0;
+};
+
 // Receives observations as they are logged.  Implemented by the viceroy's
 // bandwidth strategies.
 class LogListener {
@@ -40,6 +50,11 @@ class LogListener {
   virtual ~LogListener() = default;
   virtual void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) = 0;
   virtual void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) = 0;
+  // Default no-op: only disconnection-aware strategies care.
+  virtual void OnFailure(ConnectionId connection, const FailureObservation& obs) {
+    (void)connection;
+    (void)obs;
+  }
 };
 
 class ObservationLog {
@@ -67,8 +82,16 @@ class ObservationLog {
     }
   }
 
+  void RecordFailure(Time at, int attempts) {
+    failures_.push_back(FailureObservation{at, attempts});
+    for (LogListener* listener : listeners_) {
+      listener->OnFailure(connection_, failures_.back());
+    }
+  }
+
   const std::vector<RoundTripObservation>& round_trips() const { return round_trips_; }
   const std::vector<ThroughputObservation>& throughputs() const { return throughputs_; }
+  const std::vector<FailureObservation>& failures() const { return failures_; }
 
   // Total bytes covered by throughput entries; used by demand accounting
   // sanity checks.
@@ -84,6 +107,7 @@ class ObservationLog {
   ConnectionId connection_;
   std::vector<RoundTripObservation> round_trips_;
   std::vector<ThroughputObservation> throughputs_;
+  std::vector<FailureObservation> failures_;
   std::vector<LogListener*> listeners_;
 };
 

@@ -62,6 +62,11 @@ void CentralizedStrategy::OnThroughput(ConnectionId connection, const Throughput
   NotifyChanged();
 }
 
+void CentralizedStrategy::OnFailure(ConnectionId connection, const FailureObservation& obs) {
+  model_.OnFailure(connection, obs);
+  NotifyChanged();
+}
+
 double CentralizedStrategy::ConnectionAvailability(ConnectionId connection, Time now) const {
   return model_.AvailabilityFor(connection, now);
 }

@@ -34,6 +34,7 @@ class CentralizedStrategy : public BandwidthStrategy, public LogListener {
   // LogListener:
   void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) override;
   void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) override;
+  void OnFailure(ConnectionId connection, const FailureObservation& obs) override;
 
   // Share estimate for one connection (Figure 9's lower curve).
   double ConnectionAvailability(ConnectionId connection, Time now) const;

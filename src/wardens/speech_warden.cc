@@ -183,13 +183,14 @@ void SpeechWarden::Recognize(AppId app, Session& session, const SpeechUtterance&
   done(InvalidArgumentError("unresolved speech plan"), "");
 }
 
-std::function<void()> SpeechWarden::GuardNetworkPlan(AppId app, const SpeechResult& result,
-                                                     TsopCallback done) {
+Endpoint::StatusDone SpeechWarden::GuardNetworkPlan(AppId app, const SpeechResult& result,
+                                                    TsopCallback done) {
   // Wraps a network plan's completion with a watchdog: if the client drops
   // into a radio shadow mid-utterance, the stalled transfer is abandoned
   // after kSpeechNetworkTimeout and the local Janus recognizes the
-  // utterance instead (§5.3's extreme case).  Exactly one of the two paths
-  // reports the result.
+  // utterance instead (§5.3's extreme case).  A transport failure reported
+  // by the endpoint's retry machinery takes the same local path without
+  // waiting the watchdog out.  Exactly one path reports the result.
   auto state = std::make_shared<GuardState>();
   state->done = std::move(done);
   Simulation* sim = client()->sim();
@@ -197,24 +198,32 @@ std::function<void()> SpeechWarden::GuardNetworkPlan(AppId app, const SpeechResu
     if (state->resolved) {
       return;
     }
-    state->resolved = true;
-    auto it = sessions_.find(app);
-    if (it != sessions_.end()) {
-      it->second.last_plan = static_cast<int>(SpeechMode::kAlwaysLocal);
-      ++it->second.network_timeouts;
-    }
-    client()->sim()->Schedule(server_->RecognizeLocal(), [state] {
-      state->done(OkStatus(), PackStruct(SpeechResult{
-                                  1.0, static_cast<int>(SpeechMode::kAlwaysLocal), 0}));
-    });
+    FallBackToLocal(app, state);
   });
-  return [state, result] {
+  return [this, app, state, result](Status status) {
     if (state->resolved) {
       return;  // the watchdog already went local; drop the late reply
+    }
+    if (!status.ok()) {
+      FallBackToLocal(app, state);
+      return;
     }
     state->resolved = true;
     state->done(OkStatus(), PackStruct(result));
   };
+}
+
+void SpeechWarden::FallBackToLocal(AppId app, const std::shared_ptr<GuardState>& state) {
+  state->resolved = true;
+  auto it = sessions_.find(app);
+  if (it != sessions_.end()) {
+    it->second.last_plan = static_cast<int>(SpeechMode::kAlwaysLocal);
+    ++it->second.network_timeouts;
+  }
+  client()->sim()->Schedule(server_->RecognizeLocal(), [state] {
+    state->done(OkStatus(), PackStruct(SpeechResult{
+                                1.0, static_cast<int>(SpeechMode::kAlwaysLocal), 0}));
+  });
 }
 
 }  // namespace odyssey

@@ -16,6 +16,7 @@
 #define SRC_WARDENS_SPEECH_WARDEN_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -101,9 +102,13 @@ class SpeechWarden : public Warden {
   Session& SessionFor(AppId app);
   void Recognize(AppId app, Session& session, const SpeechUtterance& utterance,
                  TsopCallback done);
-  // Wraps a network plan completion with the radio-shadow watchdog.
-  std::function<void()> GuardNetworkPlan(AppId app, const SpeechResult& result,
-                                         TsopCallback done);
+  // Wraps a network plan completion with the radio-shadow watchdog; an
+  // explicit transport failure falls back to local recognition immediately
+  // instead of waiting the watchdog out.
+  Endpoint::StatusDone GuardNetworkPlan(AppId app, const SpeechResult& result,
+                                        TsopCallback done);
+  // Recognizes locally after the network plan for |app| was abandoned.
+  void FallBackToLocal(AppId app, const std::shared_ptr<GuardState>& state);
 
   JanusServer* server_;
   std::map<AppId, Session> sessions_;

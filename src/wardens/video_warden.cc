@@ -195,13 +195,26 @@ void VideoWarden::PumpReadAhead(Session& session) {
       return;
     }
     sit->second.endpoint->FetchWindow(batch_bytes, [this, app, first, track, fidelity,
-                                                    batch_start] {
+                                                    batch_start](Status status) {
       auto it = sessions_.find(app);
       if (it == sessions_.end()) {
         return;
       }
       Session& s = it->second;
       s.fetch_in_flight = false;
+      if (!status.ok()) {
+        // The transport gave up on this batch.  The frames will be skipped
+        // by deadline-aiming on the next pump; pause briefly so read-ahead
+        // probes a dead link instead of hammering it.
+        ++s.stats.fetch_failures;
+        client()->sim()->Schedule(kFetchRetryPause, [this, app] {
+          auto again = sessions_.find(app);
+          if (again != sessions_.end() && !again->second.fetch_in_flight) {
+            PumpReadAhead(again->second);
+          }
+        });
+        return;
+      }
       s.last_batch_seconds = DurationToSeconds(client()->sim()->now() - batch_start);
       s.stats.frames_fetched += kBatchFrames;
       for (int i = 0; i < kBatchFrames; ++i) {

@@ -65,6 +65,7 @@ struct VideoWardenStats {
   int frames_discarded_late = 0;     // arrived after their display deadline
   int frames_discarded_upgrade = 0;  // low-fidelity prefetch dropped on upgrade
   int frames_skipped = 0;            // proactively skipped to stay on time
+  int fetch_failures = 0;            // read-ahead batches lost to transport failure
 };
 
 class VideoWarden : public Warden {
@@ -74,6 +75,9 @@ class VideoWarden : public Warden {
   static constexpr int kBatchFrames = 5;
   // Maximum frames buffered ahead of the display position.
   static constexpr int kPrefetchDepth = 12;
+  // Pause before read-ahead resumes after a failed batch, so a dead link is
+  // probed rather than hammered.
+  static constexpr Duration kFetchRetryPause = 500 * kMillisecond;
 
   explicit VideoWarden(VideoServer* server) : Warden("video"), server_(server) {}
 

@@ -61,9 +61,13 @@ void WebWarden::Tsop(AppId app, const std::string& path, int opcode, const std::
         return;
       }
       WebFetchReply result{reply.bytes, reply.fidelity};
-      session.endpoint->Fetch(reply.bytes, reply.compute, [result, done = std::move(done)] {
-        done(OkStatus(), PackStruct(result));
-      });
+      session.endpoint->Fetch(reply.bytes, reply.compute,
+                              [result, done = std::move(done)](Status status) {
+                                // A transport failure surfaces to the
+                                // cellophane, which decides whether to retry
+                                // at lower fidelity or report the page dead.
+                                done(status, status.ok() ? PackStruct(result) : "");
+                              });
       return;
     }
     case kWebOpenPage:
@@ -123,10 +127,16 @@ void WebWarden::HandleFetchPage(AppId app, TsopCallback done) {
   Endpoint* endpoint = session.endpoint;
   endpoint->Fetch(reply.html_bytes, reply.compute,
                   [endpoint, image_bytes = reply.image_bytes, result,
-                   done = std::move(done)]() mutable {
-                    endpoint->Fetch(image_bytes, 0, [result, done = std::move(done)] {
-                      done(OkStatus(), PackStruct(result));
-                    });
+                   done = std::move(done)](Status status) mutable {
+                    if (!status.ok()) {
+                      done(status, "");
+                      return;
+                    }
+                    endpoint->Fetch(image_bytes, 0,
+                                    [result, done = std::move(done)](Status image_status) {
+                                      done(image_status,
+                                           image_status.ok() ? PackStruct(result) : "");
+                                    });
                   });
 }
 

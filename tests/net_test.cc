@@ -103,6 +103,81 @@ TEST(LinkTest, CancelFlowNeverCompletes) {
   EXPECT_EQ(link.active_flow_count(), 0u);
 }
 
+TEST(LinkTest, CancelZeroByteFlowSuppressesCallback) {
+  // Regression: zero-byte flows complete through a pre-scheduled event, and
+  // CancelFlow used to lose the handle, so the callback fired anyway.
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  bool completed = false;
+  const FlowId id = link.StartFlow(0.0, [&] { completed = true; });
+  EXPECT_EQ(link.active_flow_count(), 1u);
+  link.CancelFlow(id);
+  EXPECT_EQ(link.active_flow_count(), 0u);
+  sim.Run();
+  EXPECT_FALSE(completed);
+}
+
+TEST(LinkTest, CancelFlowKeepsRemainingFlowsAccurate) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time survivor_done = -1;
+  const FlowId victim = link.StartFlow(100.0 * kKb, [] {});
+  link.StartFlow(100.0 * kKb, [&] { survivor_done = sim.now(); });
+  // Cancel the victim at 1 s: each flow moved 50 KB by then, and the
+  // survivor's remaining 50 KB speeds up to the full capacity.
+  sim.Schedule(kSecond, [&] { link.CancelFlow(victim); });
+  sim.Run();
+  EXPECT_EQ(survivor_done, 1500 * kMillisecond);
+  EXPECT_NEAR(link.bytes_delivered(), 150.0 * kKb, 1.0);
+}
+
+TEST(LinkTest, CancelUnknownFlowIsIgnored) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  bool completed = false;
+  const FlowId id = link.StartFlow(1.0 * kKb, [&] { completed = true; });
+  sim.Run();
+  EXPECT_TRUE(completed);
+  link.CancelFlow(id);       // already completed
+  link.CancelFlow(id + 99);  // never existed
+  EXPECT_EQ(link.active_flow_count(), 0u);
+}
+
+TEST(LinkTest, OutageGateStallsAndResumesFlows) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  Time done_at = -1;
+  link.StartFlow(150.0 * kKb, [&] { done_at = sim.now(); });
+  sim.Schedule(kSecond, [&] { link.SetOutage(true); });
+  sim.Schedule(3 * kSecond, [&] { link.SetOutage(false); });
+  sim.Run();
+  // 100 KB in the first second, stalled for two, the rest in 0.5 s.
+  EXPECT_EQ(done_at, 3500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(link.effective_capacity_bps(), 100.0 * kKb);
+}
+
+TEST(LinkTest, OutagePreservesNominalCapacity) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 0);
+  link.SetOutage(true);
+  EXPECT_DOUBLE_EQ(link.capacity_bps(), 100.0 * kKb);
+  EXPECT_DOUBLE_EQ(link.effective_capacity_bps(), 0.0);
+  link.SetCapacity(40.0 * kKb);  // modulator transition during the outage
+  link.SetOutage(false);
+  EXPECT_DOUBLE_EQ(link.effective_capacity_bps(), 40.0 * kKb);
+}
+
+TEST(LinkTest, ExtraLatencyIsAdditiveAndClampsAtZero) {
+  Simulation sim;
+  Link link(&sim, 100.0 * kKb, 10 * kMillisecond);
+  link.SetExtraLatency(5 * kMillisecond);
+  EXPECT_EQ(link.latency(), 15 * kMillisecond);
+  link.SetExtraLatency(-50 * kMillisecond);
+  EXPECT_EQ(link.latency(), 0);
+  link.SetExtraLatency(0);
+  EXPECT_EQ(link.latency(), 10 * kMillisecond);
+}
+
 TEST(LinkTest, ZeroByteFlowCompletesAsync) {
   Simulation sim;
   Link link(&sim, 100.0 * kKb, 0);

@@ -11,6 +11,7 @@
 #include "src/core/upcall.h"
 #include "src/estimator/supply_model.h"
 #include "src/metrics/experiment.h"
+#include "src/net/fault_injector.h"
 #include "src/net/link.h"
 #include "src/rpc/endpoint.h"
 #include "src/sim/simulation.h"
@@ -196,6 +197,93 @@ TEST_P(UpcallStress, OrderPreservedAcrossManyPostsAndApps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, UpcallStress, ::testing::Values(1, 10, 100));
+
+// --- Upcall §4.3 semantics under random Block/Unblock and network faults ---
+
+class UpcallInterleaving : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpcallInterleaving, ExactlyOnceInOrderUnderRandomBlockingAndFaults) {
+  const uint64_t seed = GetParam();
+  Simulation sim(seed);
+  UpcallDispatcher dispatcher(&sim, /*delivery_latency=*/1 * kMillisecond);
+
+  // Background RPC traffic through a faulty link, with retries enabled, so
+  // timeout/backoff/outage events interleave with dispatcher events on the
+  // same queue.
+  Link link(&sim, 100.0 * kKb, 10 * kMillisecond);
+  FaultInjector injector(&sim, &link);
+  FaultPlan plan;
+  plan.WithSeed(seed)
+      .WithDropProbability(0.3)
+      .WithOutage(2 * kSecond, 1 * kSecond)
+      .WithLatencySpike(4 * kSecond, 1 * kSecond, 200 * kMillisecond)
+      .WithFlowKill(3 * kSecond)
+      .WithFlowKill(5 * kSecond);
+  injector.Arm(plan);
+  Endpoint endpoint(&sim, &link, "server");
+  endpoint.set_retry_policy(RetryPolicy::Default());
+  endpoint.set_fault_injector(&injector);
+  int fetches_left = 60;
+  std::function<void()> pump = [&] {
+    if (--fetches_left < 0) {
+      return;
+    }
+    endpoint.Fetch(8.0 * kKb, 0,
+                   [&](Status) { sim.Schedule(50 * kMillisecond, [&] { pump(); }); });
+  };
+  pump();
+
+  constexpr int kApps = 3;
+  std::vector<uint64_t> posted(kApps, 0);
+  std::vector<std::vector<uint64_t>> delivered(kApps);
+  constexpr int kOps = 300;
+  for (int i = 0; i < kOps; ++i) {
+    sim.Schedule(static_cast<Duration>(sim.rng().UniformInt(8000)) * kMillisecond, [&] {
+      const AppId app = 1 + static_cast<AppId>(sim.rng().UniformInt(kApps));
+      const double r = sim.rng().NextDouble();
+      if (r < 0.6) {
+        // Carry the expected per-app sequence number in the request id so
+        // the handler can report which upcall it was.
+        const uint64_t expected = ++posted[app - 1];
+        const uint64_t seq =
+            dispatcher.Post(app, expected, ResourceId::kNetworkBandwidth, 0.0,
+                            [&dispatcher, &delivered, app](RequestId request, ResourceId, double) {
+                              // Never delivered while the app is blocked.
+                              EXPECT_FALSE(dispatcher.blocked(app));
+                              delivered[app - 1].push_back(request);
+                            });
+        EXPECT_EQ(seq, expected);
+      } else if (r < 0.8) {
+        dispatcher.Block(app);
+      } else {
+        dispatcher.Unblock(app);
+      }
+    });
+  }
+  // Drain: whatever is still blocked at the end gets released.
+  sim.Schedule(9 * kSecond, [&] {
+    for (AppId app = 1; app <= kApps; ++app) {
+      dispatcher.Unblock(app);
+    }
+  });
+  sim.Run();
+
+  uint64_t total_posted = 0;
+  for (int app = 0; app < kApps; ++app) {
+    total_posted += posted[app];
+    // Exactly once, in order: the delivered sequence is precisely 1..n.
+    ASSERT_EQ(delivered[app].size(), posted[app]) << "app " << app + 1;
+    for (size_t i = 0; i < delivered[app].size(); ++i) {
+      ASSERT_EQ(delivered[app][i], i + 1) << "app " << app + 1;
+    }
+    EXPECT_EQ(dispatcher.last_delivered_seq(app + 1), posted[app]);
+  }
+  EXPECT_EQ(dispatcher.delivered_count(), total_posted);
+  EXPECT_EQ(fetches_left, -1) << "background traffic stalled";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpcallInterleaving,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 // --- Video sustainability: a track within budget plays nearly drop-free ---
 

@@ -63,7 +63,7 @@ TEST(EndpointTest, PingLogsLatencyDominatedRoundTrip) {
   Simulation sim;
   Link link(&sim, 120.0 * kKb, 10500);
   Endpoint endpoint(&sim, &link, "server");
-  endpoint.Ping(nullptr);
+  endpoint.Ping(Endpoint::Done());
   sim.Run();
   ASSERT_EQ(endpoint.log().round_trips().size(), 1u);
   const Duration rtt = endpoint.log().round_trips()[0].rtt;
@@ -91,7 +91,7 @@ TEST(EndpointTest, FetchWindowLogsThroughput) {
   Simulation sim;
   Link link(&sim, 100.0 * kKb, 0);
   Endpoint endpoint(&sim, &link, "server");
-  endpoint.FetchWindow(50.0 * kKb, nullptr);
+  endpoint.FetchWindow(50.0 * kKb, Endpoint::Done());
   sim.Run();
   ASSERT_EQ(endpoint.log().throughputs().size(), 1u);
   const ThroughputObservation& obs = endpoint.log().throughputs()[0];
@@ -167,8 +167,8 @@ TEST(EndpointTest, ObservedThroughputReflectsContention) {
   Link link(&sim, 100.0 * kKb, 0);
   Endpoint a(&sim, &link, "a");
   Endpoint b(&sim, &link, "b");
-  a.FetchWindow(50.0 * kKb, nullptr);
-  b.FetchWindow(50.0 * kKb, nullptr);
+  a.FetchWindow(50.0 * kKb, Endpoint::Done());
+  b.FetchWindow(50.0 * kKb, Endpoint::Done());
   sim.Run();
   const ThroughputObservation& obs = a.log().throughputs()[0];
   const double observed_bps = obs.window_bytes / DurationToSeconds(obs.elapsed);

@@ -24,7 +24,7 @@ class StrategyFixture : public ::testing::Test {
 
   // Runs a bulk fetch on |endpoint| and drains the simulation.
   void FetchAndRun(Endpoint& endpoint, double bytes) {
-    endpoint.Fetch(bytes, 0, nullptr);
+    endpoint.Fetch(bytes, 0, Endpoint::Done());
     sim_.Run();
   }
 
@@ -33,8 +33,8 @@ class StrategyFixture : public ::testing::Test {
 };
 
 TEST_F(StrategyFixture, CentralizedEstimatesSupplyFromTraffic) {
-  CentralizedStrategy strategy(&sim_);
   Endpoint endpoint(&sim_, &link_, "server");
+  CentralizedStrategy strategy(&sim_);
   strategy.AttachConnection(1, &endpoint);
   FetchAndRun(endpoint, 512.0 * kKb);
   EXPECT_NEAR(strategy.TotalSupply(sim_.now()), 120.0 * kKb, 12.0 * kKb);
@@ -43,8 +43,8 @@ TEST_F(StrategyFixture, CentralizedEstimatesSupplyFromTraffic) {
 }
 
 TEST_F(StrategyFixture, CentralizedChangeCallbackFires) {
-  CentralizedStrategy strategy(&sim_);
   Endpoint endpoint(&sim_, &link_, "server");
+  CentralizedStrategy strategy(&sim_);
   strategy.AttachConnection(1, &endpoint);
   int changes = 0;
   strategy.SetChangeCallback([&] { ++changes; });
@@ -53,8 +53,8 @@ TEST_F(StrategyFixture, CentralizedChangeCallbackFires) {
 }
 
 TEST_F(StrategyFixture, CentralizedDetachStopsAccounting) {
-  CentralizedStrategy strategy(&sim_);
   Endpoint endpoint(&sim_, &link_, "server");
+  CentralizedStrategy strategy(&sim_);
   strategy.AttachConnection(1, &endpoint);
   strategy.DetachConnection(&endpoint);
   FetchAndRun(endpoint, 128.0 * kKb);
@@ -68,9 +68,9 @@ TEST_F(StrategyFixture, CentralizedUnknownAppZero) {
 }
 
 TEST_F(StrategyFixture, LaissezFaireSeesOnlyOwnLog) {
-  LaissezFaireStrategy strategy;
   Endpoint a(&sim_, &link_, "a");
   Endpoint b(&sim_, &link_, "b");
+  LaissezFaireStrategy strategy;
   strategy.AttachConnection(1, &a);
   strategy.AttachConnection(2, &b);
   FetchAndRun(a, 512.0 * kKb);
@@ -83,15 +83,15 @@ TEST_F(StrategyFixture, LaissezFaireOverestimatesUnderIntermittentContention) {
   // Both connections observe the full link rate whenever the other is idle:
   // each app concludes it has ~120 KB/s even though sustained concurrent use
   // would yield 60 KB/s each.  This is the §6.2.3 pathology.
-  LaissezFaireStrategy strategy;
   Endpoint a(&sim_, &link_, "a");
   Endpoint b(&sim_, &link_, "b");
+  LaissezFaireStrategy strategy;
   strategy.AttachConnection(1, &a);
   strategy.AttachConnection(2, &b);
   // Alternate bursts with idle gaps.
-  a.Fetch(256.0 * kKb, 0, nullptr);
+  a.Fetch(256.0 * kKb, 0, Endpoint::Done());
   sim_.Run();
-  b.Fetch(256.0 * kKb, 0, nullptr);
+  b.Fetch(256.0 * kKb, 0, Endpoint::Done());
   sim_.Run();
   const double sum = strategy.AvailabilityFor(1, sim_.now()) +
                      strategy.AvailabilityFor(2, sim_.now());
@@ -119,11 +119,11 @@ TEST_F(StrategyFixture, BlindOptimismIgnoresCompetition) {
 
 TEST_F(StrategyFixture, BlindOptimismStillEstimatesRtt) {
   Modulator modulator(&sim_, &link_);
+  Endpoint endpoint(&sim_, &link_, "server");
   BlindOptimismStrategy strategy(&modulator);
   modulator.Replay(MakeConstant(120.0 * kKb, kMinute));
-  Endpoint endpoint(&sim_, &link_, "server");
   strategy.AttachConnection(1, &endpoint);
-  endpoint.Ping(nullptr);
+  endpoint.Ping(Endpoint::Done());
   sim_.Run();
   EXPECT_GT(strategy.SmoothedRttFor(1), 0);
 }
