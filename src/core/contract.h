@@ -1,0 +1,73 @@
+// Runtime contract checks for Odyssey's load-bearing invariants.
+//
+// The correctness claims of the reproduction are invariants — exactly-once
+// in-order upcalls, monotone simulated time, seeded determinism, non-negative
+// byte accounting — and this header turns them into machine-enforced checks:
+//
+//   ODY_ASSERT(cond, "msg")   checked in every build type; aborts on failure.
+//   ODY_DCHECK(cond, "msg")   checked unless NDEBUG (Debug and sanitizer
+//                             builds); compiles to nothing on release hot
+//                             paths, but the condition must still parse.
+//   ODY_UNREACHABLE("msg")    marks control flow that must never execute;
+//                             always aborts if reached.
+//
+// Failures print the condition, file:line, and the optional message to
+// stderr before aborting, so a violated invariant dies loudly at the point
+// of violation instead of corrupting a trial silently.  The message, when
+// given, must be a string literal.
+
+#ifndef SRC_CORE_CONTRACT_H_
+#define SRC_CORE_CONTRACT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace odyssey {
+namespace internal {
+
+[[noreturn]] inline void ContractFailure(const char* kind, const char* condition,
+                                         const char* file, int line, const char* message) {
+  std::fprintf(stderr, "%s failed: %s (%s:%d)%s%s\n", kind, condition, file, line,
+               message[0] != '\0' ? ": " : "", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace odyssey
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ODY_PREDICT_TRUE(x) (__builtin_expect(static_cast<bool>(x), true))
+#else
+#define ODY_PREDICT_TRUE(x) (static_cast<bool>(x))
+#endif
+
+// Always-on invariant check.  The optional second argument is a string
+// literal appended to the failure report ("" if omitted).
+#define ODY_ASSERT(condition, ...)                                                      \
+  (ODY_PREDICT_TRUE(condition)                                                          \
+       ? static_cast<void>(0)                                                           \
+       : ::odyssey::internal::ContractFailure("ODY_ASSERT", #condition, __FILE__,       \
+                                              __LINE__, "" __VA_ARGS__))
+
+// Debug-only invariant check for hot paths.  Under NDEBUG the condition is
+// parsed (sizeof) but never evaluated, so checks are free in Release while
+// still failing to compile if they rot.
+#ifndef NDEBUG
+#define ODY_DCHECK(condition, ...)                                                      \
+  (ODY_PREDICT_TRUE(condition)                                                          \
+       ? static_cast<void>(0)                                                           \
+       : ::odyssey::internal::ContractFailure("ODY_DCHECK", #condition, __FILE__,       \
+                                              __LINE__, "" __VA_ARGS__))
+#else
+#define ODY_DCHECK(condition, ...) \
+  static_cast<void>(sizeof(static_cast<bool>(condition) ? 1 : 0))
+#endif
+
+// Marks control flow that must never be reached (e.g. an exhaustive switch's
+// default).  Always aborts, in every build type.
+#define ODY_UNREACHABLE(...)                                                            \
+  ::odyssey::internal::ContractFailure("ODY_UNREACHABLE", "reached unreachable code",   \
+                                       __FILE__, __LINE__, "" __VA_ARGS__)
+
+#endif  // SRC_CORE_CONTRACT_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/core/contract.h"
+
 namespace odyssey {
 
 uint64_t UpcallDispatcher::Post(AppId app, RequestId request, ResourceId resource, double level,
@@ -48,6 +50,11 @@ void UpcallDispatcher::DeliverNext(AppId app) {
   }
   PendingUpcall upcall = std::move(q.queue.front());
   q.queue.pop_front();
+  // Exactly-once, in-order delivery (§4.3): sequence numbers are assigned
+  // consecutively at Post time and the queue is FIFO, so the next delivery
+  // must be exactly the successor of the last — a gap means a lost upcall,
+  // a repeat means a duplicate.
+  ODY_ASSERT(upcall.seq == q.last_delivered + 1, "upcall delivered out of order");
   q.last_delivered = upcall.seq;
   ++delivered_;
   if (upcall.handler) {

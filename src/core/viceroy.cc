@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/core/contract.h"
+
 namespace odyssey {
 namespace {
 
@@ -44,6 +46,9 @@ void Viceroy::AttachConnection(AppId app, Endpoint* endpoint) {
 void Viceroy::DetachConnection(Endpoint* endpoint) { strategy_->DetachConnection(endpoint); }
 
 RequestResult Viceroy::Request(AppId app, const ResourceDescriptor& descriptor) {
+  // A window of tolerance is an interval (Figure 3b); an inverted one is a
+  // caller bug that would make every level "out of bounds".
+  ODY_DCHECK(descriptor.lower <= descriptor.upper, "inverted window of tolerance");
   RequestResult result;
   result.current_level = CurrentLevel(app, descriptor.resource);
   if (result.current_level < descriptor.lower || result.current_level > descriptor.upper) {
@@ -90,8 +95,12 @@ void Viceroy::Reevaluate() {
 }
 
 void Viceroy::EvaluateApp(AppId app, ResourceId resource, double level) {
+  // Availability is a physical quantity (bytes/s, microseconds, kilobytes,
+  // ...); a negative level means an estimator or accounting bug upstream.
+  ODY_DCHECK(level >= 0.0, "negative resource availability");
   for (const auto& entry : requests_.TakeViolated(resource, app, level)) {
-    upcalls_.Post(app, entry.id, resource, level, entry.descriptor.handler);
+    const uint64_t seq = upcalls_.Post(app, entry.id, resource, level, entry.descriptor.handler);
+    ODY_DCHECK(seq > upcalls_.last_delivered_seq(app), "posted upcall not ahead of deliveries");
   }
 }
 

@@ -9,12 +9,16 @@
 #ifndef SRC_ESTIMATOR_EWMA_H_
 #define SRC_ESTIMATOR_EWMA_H_
 
+#include "src/core/contract.h"
+
 namespace odyssey {
 
 class EwmaFilter {
  public:
   // |alpha| is the weight on the newest measurement, in [0, 1].
-  explicit EwmaFilter(double alpha) : alpha_(alpha) {}
+  explicit EwmaFilter(double alpha) : alpha_(alpha) {
+    ODY_ASSERT(alpha >= 0.0 && alpha <= 1.0, "EWMA alpha outside [0, 1]");
+  }
 
   bool has_value() const { return has_value_; }
   double value() const { return value_; }
@@ -27,7 +31,15 @@ class EwmaFilter {
       value_ = measured;
       has_value_ = true;
     } else {
+      const double previous = value_;
       value_ = alpha_ * measured + (1.0 - alpha_) * value_;
+      // With alpha in [0, 1] the smoothed value is a convex combination: it
+      // must land between the old value and the measurement (hot path, so a
+      // DCHECK; violation means NaN crept into the estimator's inputs).
+      ODY_DCHECK((value_ >= measured && value_ <= previous) ||
+                     (value_ <= measured && value_ >= previous),
+                 "EWMA left the [measured, previous] envelope");
+      static_cast<void>(previous);
     }
     return value_;
   }

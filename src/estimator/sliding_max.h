@@ -13,6 +13,7 @@
 
 #include <deque>
 
+#include "src/core/contract.h"
 #include "src/sim/time.h"
 
 namespace odyssey {
@@ -23,6 +24,9 @@ class SlidingMax {
 
   // Adds a sample; |at| must be non-decreasing across calls.
   void Push(Time at, double value) {
+    // The monotonic-deque envelope is only correct for time-ordered pushes;
+    // an out-of-order sample would silently corrupt the maximum.
+    ODY_DCHECK(at >= last_push_, "SlidingMax samples must be time-ordered");
     last_push_ = at;
     while (!samples_.empty() && samples_.back().value <= value) {
       samples_.pop_back();
@@ -31,6 +35,10 @@ class SlidingMax {
     while (!samples_.empty() && samples_.front().at + window_ < at) {
       samples_.pop_front();
     }
+    // The deque invariant: values strictly decreasing front-to-back, so
+    // front() is the window maximum.
+    ODY_DCHECK(samples_.front().value >= samples_.back().value,
+               "SlidingMax deque envelope violated");
   }
 
   bool has_value() const { return !samples_.empty(); }

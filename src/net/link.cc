@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/contract.h"
+
 namespace odyssey {
 namespace {
 
@@ -51,6 +53,9 @@ std::vector<FlowId> Link::ActiveFlowIds() const {
 }
 
 FlowId Link::StartFlow(double bytes, std::function<void()> on_complete) {
+  // Byte accounting is non-negative end to end: flows are created with a
+  // non-negative size and only ever drained (see Advance).
+  ODY_ASSERT(bytes >= 0.0, "flow created with negative bytes");
   Advance();
   const FlowId id = next_id_++;
   if (bytes <= kEpsilonBytes) {
@@ -89,13 +94,18 @@ void Link::Advance() {
     last_update_ = now;
     return;
   }
+  // Virtual time only moves forward, so the drained amount is non-negative
+  // and every flow's residual stays in [0, initial bytes].
+  ODY_DCHECK(now >= last_update_, "link advanced backwards in time");
   const double elapsed_s = DurationToSeconds(now - last_update_);
   const double rate = effective_capacity_bps() / static_cast<double>(flows_.size());
   const double progress = rate * elapsed_s;
+  ODY_DCHECK(progress >= 0.0, "negative delivery progress");
   for (auto& [id, flow] : flows_) {
     const double delivered = progress < flow.remaining ? progress : flow.remaining;
     flow.remaining -= delivered;
     bytes_delivered_ += delivered;
+    ODY_DCHECK(flow.remaining >= 0.0, "flow residual went negative");
   }
   last_update_ = now;
 }

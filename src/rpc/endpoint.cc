@@ -3,17 +3,25 @@
 #include <string>
 #include <utility>
 
+#include "src/core/contract.h"
+
 namespace odyssey {
 namespace {
 
 // Patience granted to an attempt that moves |bytes| of payload: the policy's
 // base timeout plus transfer time at the policy's floor rate.
 Duration AttemptBudget(const RetryPolicy& policy, double bytes, Duration server_compute) {
+  ODY_DCHECK(bytes >= 0.0, "attempt with negative payload bytes");
+  ODY_DCHECK(server_compute >= 0, "attempt with negative server compute");
   Duration allowance = 0;
   if (bytes > 0.0 && policy.min_rate_bytes_per_sec > 0.0) {
     allowance = SecondsToDuration(bytes / policy.min_rate_bytes_per_sec);
   }
-  return policy.timeout + server_compute + allowance;
+  // Deadline accounting must stay non-negative: a negative budget would arm
+  // a timeout in the simulation's past.
+  const Duration budget = policy.timeout + server_compute + allowance;
+  ODY_ASSERT(budget >= 0, "attempt budget went negative");
+  return budget;
 }
 
 }  // namespace
@@ -165,6 +173,7 @@ void Endpoint::WindowAttempt(double bytes, int attempt, StatusDone done) {
             return;
           }
           state->completed = true;
+          ODY_DCHECK(bytes >= 0.0, "window completed with negative bytes");
           bytes_transferred_ += bytes;
           // The logged span covers only the successful attempt.
           log_.RecordThroughput(sim_->now(), bytes, sim_->now() - start);

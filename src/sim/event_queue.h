@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/core/contract.h"
 #include "src/sim/time.h"
 
 namespace odyssey {
@@ -76,6 +77,10 @@ class EventQueue {
     }
     Entry entry = heap_.top();
     heap_.pop();
+    // Virtual time is monotone: the heap must never yield an event earlier
+    // than one it already fired (determinism depends on this ordering).
+    ODY_ASSERT(entry.when >= last_fired_, "event queue time went backwards");
+    last_fired_ = entry.when;
     *entry.cancelled = true;  // marks as fired; further Cancel() is a no-op
     *when = entry.when;
     entry.cb();
@@ -106,6 +111,7 @@ class EventQueue {
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   uint64_t next_seq_ = 0;
+  Time last_fired_ = 0;
 };
 
 }  // namespace odyssey

@@ -1,0 +1,72 @@
+// Death tests for the contract layer (src/core/contract.h) and for the
+// runtime invariants it guards: a violated contract must abort loudly with
+// the condition and location, never corrupt a trial silently.
+
+#include <gtest/gtest.h>
+
+#include "src/core/contract.h"
+#include "src/estimator/ewma.h"
+#include "src/estimator/sliding_max.h"
+#include "src/net/link.h"
+#include "src/sim/simulation.h"
+
+namespace odyssey {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, AssertPassesOnTrueCondition) {
+  ODY_ASSERT(1 + 1 == 2);
+  ODY_ASSERT(true, "with a message");
+  SUCCEED();
+}
+
+TEST(ContractDeathTest, AssertAbortsOnFalseCondition) {
+  EXPECT_DEATH(ODY_ASSERT(1 + 1 == 3), "ODY_ASSERT failed: 1 \\+ 1 == 3");
+}
+
+TEST(ContractDeathTest, AssertReportsMessageAndLocation) {
+  EXPECT_DEATH(ODY_ASSERT(false, "the message"), "contract_test\\.cc");
+  EXPECT_DEATH(ODY_ASSERT(false, "the message"), "the message");
+}
+
+TEST(ContractDeathTest, UnreachableAlwaysAborts) {
+  EXPECT_DEATH(ODY_UNREACHABLE("fell off the switch"), "ODY_UNREACHABLE");
+}
+
+#ifndef NDEBUG
+TEST(ContractDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(ODY_DCHECK(false, "debug only"), "ODY_DCHECK failed");
+}
+#else
+TEST(ContractDeathTest, DcheckCompilesOutInReleaseBuilds) {
+  int evaluations = 0;
+  // The condition must parse but never run.
+  ODY_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+// --- Deployed invariants ---
+
+TEST(ContractDeathTest, EwmaRejectsAlphaOutsideUnitInterval) {
+  EXPECT_DEATH(EwmaFilter(1.5), "alpha outside");
+  EXPECT_DEATH(EwmaFilter(-0.1), "alpha outside");
+}
+
+TEST(ContractDeathTest, LinkRejectsNegativeFlowBytes) {
+  Simulation sim(1);
+  Link link(&sim, /*capacity_bps=*/1e6, /*latency=*/kMillisecond);
+  EXPECT_DEATH(link.StartFlow(-1.0, nullptr), "negative bytes");
+}
+
+#ifndef NDEBUG
+TEST(ContractDeathTest, SlidingMaxRejectsTimeTravel) {
+  SlidingMax window(10 * kSecond);
+  window.Push(5 * kSecond, 1.0);
+  EXPECT_DEATH(window.Push(4 * kSecond, 2.0), "time-ordered");
+}
+#endif
+
+}  // namespace
+}  // namespace odyssey
