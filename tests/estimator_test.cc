@@ -307,8 +307,12 @@ TEST_F(SupplyModelTest, RemoveConnectionForgetsIt) {
 TEST_F(SupplyModelTest, ActiveCountDropsWithIdleness) {
   model_.AddConnection(1);
   model_.AddConnection(2);
-  FeedSteady(1, 100.0 * kKb, 0, 10);
-  FeedSteady(2, 100.0 * kKb, 0, 10);
+  // Interleave the feeds: observations reach the model in global time order,
+  // as the event loop delivers them.
+  for (int i = 0; i < 10; ++i) {
+    FeedSteady(1, 100.0 * kKb, i * 500 * kMillisecond, 1);
+    FeedSteady(2, 100.0 * kKb, i * 500 * kMillisecond, 1);
+  }
   const Time busy = 10 * 500 * kMillisecond;
   EXPECT_EQ(model_.ActiveConnectionCount(busy), 2);
   // After 30 s of silence both decayed; count floors at 1.
