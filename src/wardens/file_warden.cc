@@ -94,7 +94,10 @@ void FileWarden::Read(AppId app, const std::string& path, ReadCallback done) {
       return;
     }
     FileReadReply reply;
-    UnpackStruct(out, &reply);
+    if (!UnpackStruct(out, &reply)) {
+      done(InvalidArgumentError("malformed file read reply"), "");
+      return;
+    }
     done(OkStatus(),
          "file:" + path + "@v" + std::to_string(reply.version));
   });
