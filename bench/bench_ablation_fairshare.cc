@@ -13,6 +13,7 @@
 #include "src/apps/speech_frontend.h"
 #include "src/apps/video_player.h"
 #include "src/apps/web_browser.h"
+#include "src/core/contract.h"
 #include "src/metrics/experiment.h"
 
 namespace odyssey {
@@ -42,7 +43,9 @@ WorkloadResult RunWorkload(const SupplyModelConfig& config) {
     VideoServer video_server(rng);
     DistillationServer distillation(rng);
     JanusServer janus(rng);
-    video_server.AddMovie(VideoServer::MakeDefaultMovie(kDefaultMovie, kVideoFramesPerTrial));
+    const Status added =
+        video_server.AddMovie(VideoServer::MakeDefaultMovie(kDefaultMovie, kVideoFramesPerTrial));
+    ODY_ASSERT(added.ok(), "fresh video server rejected the default movie");
     distillation.PublishImage(kTestImageUrl, kWebImageBytes);
     client.InstallWarden(std::make_unique<VideoWarden>(&video_server));
     client.InstallWarden(std::make_unique<WebWarden>(&distillation));

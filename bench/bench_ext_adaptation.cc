@@ -16,15 +16,16 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/apps/filter_app.h"
 #include "src/apps/speech_frontend.h"
 #include "src/apps/video_player.h"
 #include "src/apps/web_browser.h"
 #include "src/core/battery_model.h"
 #include "src/core/cache_manager.h"
+#include "src/core/contract.h"
 #include "src/core/money_meter.h"
 #include "src/core/tsop_codec.h"
 #include "src/metrics/experiment.h"
-#include "src/apps/filter_app.h"
 #include "src/servers/file_server.h"
 #include "src/servers/telemetry_server.h"
 #include "src/wardens/file_warden.h"
@@ -61,7 +62,9 @@ FileRunResult RunFileConsistency(FileConsistency level) {
 
     // A server-side writer updates a random file every 2 s.
     std::function<void()> writer = [&] {
-      file_server.Update("doc/" + std::to_string(rig.sim().rng().UniformInt(8)));
+      const Status updated =
+          file_server.Update("doc/" + std::to_string(rig.sim().rng().UniformInt(8)));
+      ODY_ASSERT(updated.ok(), "writer touched an unpublished document");
       rig.sim().Schedule(2 * kSecond, writer);
     };
     rig.sim().Schedule(2 * kSecond, writer);
@@ -89,7 +92,10 @@ FileRunResult RunFileConsistency(FileConsistency level) {
 
     FileWardenStats stats;
     rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/", kFileStats, "",
-                      [&](Status, std::string out) { UnpackStruct(out, &stats); });
+                      [&](Status status, std::string out) {
+                        ODY_ASSERT(status.ok() && UnpackStruct(out, &stats),
+                                   "file stats tsop failed");
+                      });
     result.mean_read_ms.push_back(reads == 0 ? 0.0 : read_ms_sum / reads);
     result.stale_pct.push_back(reads == 0 ? 0.0 : 100.0 * stats.stale_serves / reads);
     result.fidelity.push_back(reads == 0 ? 0.0 : fidelity_sum / reads);
@@ -138,8 +144,10 @@ void RunPageSection() {
         const Time start = rig.sim().now();
         Time end = start;
         WebPageFetchReply reply;
-        rig.client().Tsop(app, path, kWebFetchPage, "", [&](Status, std::string out) {
-          UnpackStruct(out, &reply);
+        rig.client().Tsop(app, path, kWebFetchPage, "", [&](Status status, std::string out) {
+          if (!status.ok() || !UnpackStruct(out, &reply)) {
+            reply = WebPageFetchReply{};
+          }
           end = rig.sim().now();
         });
         rig.sim().RunUntil(start + kMinute);
@@ -184,8 +192,10 @@ void RunVocabularySection() {
       SpeechResult result;
       rig.client().Tsop(app, path, kSpeechRecognize,
                         PackStruct(SpeechUtterance{kSpeechRawBytes, goal}),
-                        [&](Status, std::string out) {
-                          UnpackStruct(out, &result);
+                        [&](Status status, std::string out) {
+                          if (!status.ok() || !UnpackStruct(out, &result)) {
+                            result = SpeechResult{};
+                          }
                           end = rig.sim().now();
                         });
       rig.sim().RunUntil(start + 30 * kSecond);
@@ -239,8 +249,12 @@ void RunResourceSection() {
     const Time measure = rig.Replay(MakeUrbanScenario());
     battery.Start();
     money.Start();
-    rig.client().Request(monitor, battery_window);
-    rig.client().Request(monitor, money_window);
+    // Both resources start inside their windows (full battery, full budget);
+    // a rejected request here would silently disable the warned-upcall path.
+    const RequestResult battery_request = rig.client().Request(monitor, battery_window);
+    ODY_ASSERT(battery_request.ok(), "battery already outside its window at registration");
+    const RequestResult money_request = rig.client().Request(monitor, money_window);
+    ODY_ASSERT(money_request.ok(), "money already outside its window at registration");
     video.Start();
     web.Start();
     speech.Start();
@@ -277,7 +291,8 @@ void RunTelemetrySection() {
       rig.Replay(MakeConstant(kHighBandwidth, 10 * kMinute), /*prime=*/false);
       filter.Start();
       rig.sim().ScheduleAt(kMinute, [&telemetry] {
-        telemetry.InjectEvent("stocks/ACME", 25.0);
+        const Status injected = telemetry.InjectEvent("stocks/ACME", 25.0);
+        ODY_ASSERT(injected.ok(), "event injected into an unknown feed");
       });
       rig.sim().RunUntil(2 * kMinute);
       filter.Stop();

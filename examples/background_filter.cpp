@@ -15,6 +15,7 @@
 
 #include "src/apps/filter_app.h"
 #include "src/apps/video_player.h"
+#include "src/core/contract.h"
 #include "src/metrics/experiment.h"
 #include "src/servers/telemetry_server.h"
 #include "src/wardens/telemetry_warden.h"
@@ -50,8 +51,10 @@ int main() {
   const Time events[] = {60 * kSecond, 180 * kSecond, 260 * kSecond};
   for (const Time at : events) {
     rig.sim().ScheduleAt(at, [&telemetry] {
-      telemetry.InjectEvent("stocks/ACME", 25.0);
-      telemetry.InjectEvent("scout/sector-7", 10.0);
+      const Status stock_event = telemetry.InjectEvent("stocks/ACME", 25.0);
+      ODY_ASSERT(stock_event.ok(), "event injected into an unknown feed");
+      const Status scout_event = telemetry.InjectEvent("scout/sector-7", 10.0);
+      ODY_ASSERT(scout_event.ok(), "event injected into an unknown feed");
     });
   }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "src/core/contract.h"
 #include "src/core/odyssey_client.h"
 #include "src/core/tsop_codec.h"
 #include "src/metrics/experiment.h"
@@ -175,7 +176,9 @@ int main() {
 
   MapInfo info;
   client.Tsop(app, "/odyssey/maps/pittsburgh", kMapOpen, "pittsburgh",
-              [&](Status, std::string out) { UnpackStruct(out, &info); });
+              [&](Status status, std::string out) {
+                ODY_ASSERT(status.ok() && UnpackStruct(out, &info), "map open failed");
+              });
 
   int level = 0;
   int fetched = 0;

@@ -33,8 +33,10 @@ void FilterApp::Start() {
 void FilterApp::Stop() {
   client_->Tsop(app_, std::string(kOdysseyRoot) + "telemetry/" + options_.feed,
                 kTelemetryUnsubscribe, "", [this](Status status, std::string out) {
-                  if (status.ok()) {
-                    UnpackStruct(out, &final_stats_);
+                  if (status.ok() && !UnpackStruct(out, &final_stats_)) {
+                    // Malformed stats reply: keep the defaults rather than
+                    // report half-unpacked numbers.
+                    final_stats_ = TelemetryStats{};
                   }
                 });
 }

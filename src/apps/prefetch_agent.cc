@@ -48,9 +48,11 @@ void PrefetchAgent::VisitArea(size_t index) {
   const Time start = client_->sim()->now();
   client_->Tsop(app_, std::string(kOdysseyRoot) + "files/" + area, kFileRead, "",
                 [this, index, area, start](Status status, std::string out) {
+                  // A failed read or malformed reply records a miss: |reply|
+                  // keeps its cache_hit=false default.
                   FileReadReply reply;
-                  if (status.ok()) {
-                    UnpackStruct(out, &reply);
+                  if (status.ok() && !UnpackStruct(out, &reply)) {
+                    reply = FileReadReply{};
                   }
                   visits_.push_back(AreaVisit{start, area, reply.cache_hit,
                                               client_->sim()->now() - start});

@@ -44,7 +44,12 @@ void SpeechFrontEnd::RecognizeNext() {
                       return;
                     }
                     SpeechResult result;
-                    UnpackStruct(out, &result);
+                    if (!UnpackStruct(out, &result)) {
+                      // A malformed recognition reply ends the session, the
+                      // same as a failed recognition call.
+                      running_ = false;
+                      return;
+                    }
                     outcomes_.push_back(RecognitionOutcome{
                         started, client_->sim()->now() - started, result.plan});
                     client_->sim()->Schedule(options_.think_time, [this] { RecognizeNext(); });

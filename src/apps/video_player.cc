@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/core/contract.h"
 #include "src/core/tsop_codec.h"
 
 namespace odyssey {
@@ -113,9 +114,11 @@ void VideoPlayer::DisplayFrame(int index) {
   VideoTakeFrameRequest request{index};
   client_->Tsop(app_, std::string(kOdysseyRoot) + "video/" + options_.movie, kVideoTakeFrame,
                 PackStruct(request), [this, index](Status status, std::string out) {
+                  // A failed call or malformed reply both count as a dropped
+                  // frame: |reply| keeps its absent defaults.
                   VideoTakeFrameReply reply;
-                  if (status.ok()) {
-                    UnpackStruct(out, &reply);
+                  if (status.ok() && !UnpackStruct(out, &reply)) {
+                    reply = VideoTakeFrameReply{};
                   }
                   outcomes_.push_back(FrameOutcome{client_->sim()->now(), index, reply.present,
                                                    reply.present ? reply.fidelity : 0.0});
@@ -123,7 +126,10 @@ void VideoPlayer::DisplayFrame(int index) {
   if (index + 1 >= options_.frames_to_play) {
     finished_ = true;
     if (window_active_) {
-      client_->Cancel(window_);
+      // The registration is live (window_active_), so cancel must succeed.
+      const Status cancelled = client_->Cancel(window_);
+      ODY_DCHECK(cancelled.ok(), "cancel of active video window failed");
+      static_cast<void>(cancelled);
       window_active_ = false;
     }
     return;

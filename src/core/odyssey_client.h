@@ -83,7 +83,7 @@ class OdysseyClient {
   // that identify Odyssey objects by file descriptors").
   using OdysseyFd = int;
 
-  struct OpenResult {
+  struct [[nodiscard]] OpenResult {
     Status status;
     OdysseyFd fd = -1;
   };

@@ -59,7 +59,7 @@ struct ResourceDescriptor {
 // Result of a request() call.  On kOk, |id| identifies the registration; on
 // kOutOfBounds, |current_level| reports the available resource level so the
 // application can pick a new fidelity and try again (§4.2).
-struct RequestResult {
+struct [[nodiscard]] RequestResult {
   bool ok() const { return status_ok; }
 
   bool status_ok = false;

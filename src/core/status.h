@@ -31,7 +31,10 @@ enum class StatusCode {
 // Short name for a status code ("OK", "OUT_OF_BOUNDS", ...).
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class makes every function returning a Status by
+// value warn (and, under ODYSSEY_WERROR, fail to compile) if the caller
+// drops the result: each request/cancel answer must be consumed (§4.2).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   explicit Status(StatusCode code, std::string message = "")

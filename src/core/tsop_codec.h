@@ -16,7 +16,7 @@ namespace odyssey {
 
 // Serializes a trivially copyable struct into a byte buffer.
 template <typename T>
-std::string PackStruct(const T& value) {
+[[nodiscard]] std::string PackStruct(const T& value) {
   static_assert(std::is_trivially_copyable_v<T>, "tsop structs must be trivially copyable");
   std::string buffer(sizeof(T), '\0');
   std::memcpy(buffer.data(), &value, sizeof(T));
@@ -24,9 +24,9 @@ std::string PackStruct(const T& value) {
 }
 
 // Deserializes a byte buffer into a trivially copyable struct.  Returns
-// false on size mismatch (malformed tsop argument).
+// false on size mismatch (malformed tsop argument); the caller must check.
 template <typename T>
-bool UnpackStruct(const std::string& buffer, T* out) {
+[[nodiscard]] bool UnpackStruct(const std::string& buffer, T* out) {
   static_assert(std::is_trivially_copyable_v<T>, "tsop structs must be trivially copyable");
   if (buffer.size() != sizeof(T)) {
     return false;

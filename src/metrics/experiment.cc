@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/core/contract.h"
 #include "src/servers/calibration.h"
 
 namespace odyssey {
@@ -43,7 +44,11 @@ ExperimentRig::ExperimentRig(uint64_t seed, StrategyKind strategy)
   }
   client_ = std::make_unique<OdysseyClient>(&sim_, &link_, std::move(bandwidth_strategy));
 
-  video_server_.AddMovie(VideoServer::MakeDefaultMovie(kDefaultMovie, kVideoFramesPerTrial));
+  // The rig is freshly constructed, so the catalog cannot already hold the
+  // default movie; a failure here would invalidate every trial.
+  const Status added =
+      video_server_.AddMovie(VideoServer::MakeDefaultMovie(kDefaultMovie, kVideoFramesPerTrial));
+  ODY_ASSERT(added.ok(), "experiment rig failed to seed the video catalog");
   distillation_server_.PublishImage(kTestImageUrl, kWebImageBytes);
 
   client_->InstallWarden(std::make_unique<VideoWarden>(&video_server_));

@@ -1,0 +1,18 @@
+// Compile-fail fixture: dropping a [[nodiscard]] Status must not compile.
+//
+// This file is NOT part of any build target.  The status_nodiscard_compile_fail
+// ctest (tests/CMakeLists.txt) compiles it with -Werror=unused-result and
+// expects the compiler to reject it; if it ever compiles, the nodiscard
+// contract on Status has regressed.
+
+#include "src/core/status.h"
+
+namespace odyssey {
+
+Status ProduceStatus() { return UnavailableError("always"); }
+
+void IgnoresTheResult() {
+  ProduceStatus();  // must fail: ignoring a [[nodiscard] ] Status
+}
+
+}  // namespace odyssey

@@ -298,7 +298,7 @@ TEST_P(VideoSustainability, TrackWithinBudgetPlaysCleanly) {
   MovieMeta movie = VideoServer::MakeDefaultMovie("m", 300);
   const double required =
       VideoWarden::RequiredBandwidth(movie.tracks[track].frame_bytes, movie.fps);
-  rig.video_server().AddMovie(std::move(movie));
+  ASSERT_TRUE(rig.video_server().AddMovie(std::move(movie)).ok());
 
   VideoPlayerOptions options;
   options.movie = "m";
@@ -339,7 +339,8 @@ TEST_P(TraceInvariants, SerializationRoundTripsRandomTraces) {
   ASSERT_EQ(parsed.segments().size(), trace.segments().size());
   for (size_t i = 0; i < trace.segments().size(); ++i) {
     // Serialization is decimal text; tolerate rounding at the micro scale.
-    EXPECT_NEAR(parsed.segments()[i].duration, trace.segments()[i].duration, 1);
+    EXPECT_NEAR(static_cast<double>(parsed.segments()[i].duration),
+                static_cast<double>(trace.segments()[i].duration), 1);
     EXPECT_NEAR(parsed.segments()[i].bandwidth_bps, trace.segments()[i].bandwidth_bps,
                 trace.segments()[i].bandwidth_bps * 1e-4);
     EXPECT_EQ(parsed.segments()[i].latency, trace.segments()[i].latency);

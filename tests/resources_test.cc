@@ -203,7 +203,7 @@ class FileWardenTest : public ::testing::Test {
     bool done = false;
     rig_.client().Tsop(app_, Path(rel), kFileRead, "", [&](Status status, std::string out) {
       ASSERT_TRUE(status.ok()) << status.ToString();
-      UnpackStruct(out, &reply);
+      ASSERT_TRUE(UnpackStruct(out, &reply));
       done = true;
     });
     // Advance in small steps so the clock stops near the completion instant
@@ -225,7 +225,7 @@ class FileWardenTest : public ::testing::Test {
   FileWardenStats Stats() {
     FileWardenStats stats;
     rig_.client().Tsop(app_, Path(""), kFileStats, "",
-                       [&](Status, std::string out) { UnpackStruct(out, &stats); });
+                       [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &stats)); });
     return stats;
   }
 

@@ -135,7 +135,7 @@ TEST(SpeechVocabularyTest, EndToEndGoalDrivenRecognition) {
                       PackStruct(SpeechUtterance{kSpeechRawBytes, goal_seconds}),
                       [&](Status status, std::string out) {
                         ASSERT_TRUE(status.ok());
-                        UnpackStruct(out, &result);
+                        EXPECT_TRUE(UnpackStruct(out, &result));
                         end = rig.sim().now();
                       });
     rig.sim().RunUntil(rig.sim().now() + 30 * kSecond);

@@ -25,7 +25,7 @@ TEST(TelemetryServerTest, FeedsProduceAtNativeRate) {
   std::vector<TelemetrySample> samples;
   ASSERT_TRUE(server.Latest("f", 1000, &samples).ok());
   // One initial sample plus one per period.
-  EXPECT_NEAR(samples.size(), 101.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(samples.size()), 101.0, 2.0);
   // Newest last, timestamps non-decreasing.
   for (size_t i = 1; i < samples.size(); ++i) {
     EXPECT_GE(samples[i].produced_at, samples[i - 1].produced_at);
@@ -79,7 +79,7 @@ class TelemetryWardenTest : public ::testing::Test {
   TelemetryStats Stats() {
     TelemetryStats stats;
     rig_.client().Tsop(app_, Path(), kTelemetryStats, "",
-                       [&](Status, std::string out) { UnpackStruct(out, &stats); });
+                       [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &stats)); });
     return stats;
   }
 
@@ -142,7 +142,7 @@ TEST_F(TelemetryWardenTest, UnsubscribeStopsDeliveries) {
   rig_.sim().RunUntil(5 * kSecond);
   TelemetryStats final_stats;
   rig_.client().Tsop(app_, Path(), kTelemetryUnsubscribe, "",
-                     [&](Status, std::string out) { UnpackStruct(out, &final_stats); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &final_stats)); });
   const int at_stop = final_stats.samples_delivered;
   rig_.sim().RunUntil(15 * kSecond);
   // No subscription -> stats are frozen (a fresh query still sees them).

@@ -37,7 +37,7 @@ TEST_F(WardenTest, VideoOpenReturnsMeta) {
   rig_.client().Tsop(app_, VideoPath(), kVideoOpen, kDefaultMovie,
                      [&](Status s, std::string out) {
                        status = s;
-                       UnpackStruct(out, &meta);
+                       EXPECT_TRUE(UnpackStruct(out, &meta));
                      });
   ASSERT_TRUE(status.ok());
   EXPECT_DOUBLE_EQ(meta.fps, kVideoFps);
@@ -66,7 +66,7 @@ TEST_F(WardenTest, VideoReadAheadFillsBuffer) {
   // taking frame 0 succeeds at full fidelity.
   VideoTakeFrameReply reply;
   rig_.client().Tsop(app_, VideoPath(), kVideoTakeFrame, PackStruct(VideoTakeFrameRequest{0}),
-                     [&](Status, std::string out) { UnpackStruct(out, &reply); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &reply)); });
   EXPECT_TRUE(reply.present);
   EXPECT_EQ(reply.track, 0);
   EXPECT_DOUBLE_EQ(reply.fidelity, kVideoJpeg99Fidelity);
@@ -79,7 +79,7 @@ TEST_F(WardenTest, VideoMissedDeadlineReportsAbsent) {
   VideoTakeFrameReply reply;
   rig_.client().Tsop(app_, VideoPath(), kVideoTakeFrame,
                      PackStruct(VideoTakeFrameRequest{500}),
-                     [&](Status, std::string out) { UnpackStruct(out, &reply); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &reply)); });
   EXPECT_FALSE(reply.present);
 }
 
@@ -95,13 +95,13 @@ TEST_F(WardenTest, VideoUpgradeDiscardsLowFidelityPrefetch) {
   rig_.sim().RunUntil(3 * kSecond + 100 * kMillisecond);
   VideoWardenStats stats;
   rig_.client().Tsop(app_, VideoPath(), kVideoStats, "",
-                     [&](Status, std::string out) { UnpackStruct(out, &stats); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &stats)); });
   EXPECT_GT(stats.frames_discarded_upgrade, 0);
   // After the refetch completes, frame 0 is served at the new fidelity.
   rig_.sim().RunUntil(6 * kSecond);
   VideoTakeFrameReply reply;
   rig_.client().Tsop(app_, VideoPath(), kVideoTakeFrame, PackStruct(VideoTakeFrameRequest{0}),
-                     [&](Status, std::string out) { UnpackStruct(out, &reply); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &reply)); });
   EXPECT_TRUE(reply.present);
   EXPECT_DOUBLE_EQ(reply.fidelity, kVideoJpeg99Fidelity);
 }
@@ -114,7 +114,7 @@ TEST_F(WardenTest, VideoDowngradeKeepsBetterFrames) {
   // Already-buffered higher-fidelity frames are kept and displayed.
   VideoTakeFrameReply reply;
   rig_.client().Tsop(app_, VideoPath(), kVideoTakeFrame, PackStruct(VideoTakeFrameRequest{0}),
-                     [&](Status, std::string out) { UnpackStruct(out, &reply); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &reply)); });
   EXPECT_TRUE(reply.present);
   EXPECT_DOUBLE_EQ(reply.fidelity, kVideoJpeg99Fidelity);
 }
@@ -146,7 +146,7 @@ TEST_F(WardenTest, WebOpenReportsLevels) {
   Status status;
   rig_.client().Tsop(app_, WebPath(), kWebOpen, kTestImageUrl, [&](Status s, std::string out) {
     status = s;
-    UnpackStruct(out, &info);
+    EXPECT_TRUE(UnpackStruct(out, &info));
   });
   ASSERT_TRUE(status.ok());
   EXPECT_DOUBLE_EQ(info.original_bytes, kWebImageBytes);
@@ -165,7 +165,7 @@ TEST_F(WardenTest, WebFetchAtRequestedFidelity) {
   WebFetchReply reply;
   bool done = false;
   rig_.client().Tsop(app_, WebPath(), kWebFetch, "", [&](Status, std::string out) {
-    UnpackStruct(out, &reply);
+    EXPECT_TRUE(UnpackStruct(out, &reply));
     done = true;
   });
   rig_.sim().RunUntil(5 * kSecond);
@@ -239,7 +239,7 @@ TEST_F(WardenTest, SpeechRecognizeCompletesAndReportsPlan) {
   rig_.client().Tsop(app_, SpeechPath(), kSpeechRecognize,
                      PackStruct(SpeechUtterance{kSpeechRawBytes}),
                      [&](Status, std::string out) {
-                       UnpackStruct(out, &result);
+                       EXPECT_TRUE(UnpackStruct(out, &result));
                        end = rig_.sim().now();
                        done = true;
                      });
@@ -293,7 +293,7 @@ TEST_F(WardenTest, SpeechNetworkTimeoutFallsBackToLocal) {
   rig_.client().Tsop(app_, SpeechPath(), kSpeechRecognize,
                      PackStruct(SpeechUtterance{kSpeechRawBytes}),
                      [&](Status, std::string out) {
-                       UnpackStruct(out, &result);
+                       EXPECT_TRUE(UnpackStruct(out, &result));
                        end = rig_.sim().now();
                        finished = true;
                      });
@@ -328,12 +328,12 @@ TEST_F(WardenTest, BitstreamConsumesAtFullRate) {
   BitstreamStarted started;
   rig_.client().Tsop(app_, BitstreamPath(), kBitstreamStart,
                      PackStruct(BitstreamParams{0.0, 64.0 * kKb}),
-                     [&](Status, std::string out) { UnpackStruct(out, &started); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &started)); });
   EXPECT_GT(started.connection, 0u);
   rig_.sim().RunUntil(20 * kSecond);
   BitstreamTotals totals;
   rig_.client().Tsop(app_, BitstreamPath(), kBitstreamStop, "",
-                     [&](Status, std::string out) { UnpackStruct(out, &totals); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &totals)); });
   // ~20 s at ~120 KB/s less protocol overhead.
   EXPECT_GT(totals.bytes_consumed, 0.85 * 20.0 * 120.0 * kKb);
   EXPECT_LT(totals.bytes_consumed, 1.01 * 20.0 * 120.0 * kKb);
@@ -346,7 +346,7 @@ TEST_F(WardenTest, BitstreamPacingLimitsConsumption) {
   rig_.sim().RunUntil(20 * kSecond);
   BitstreamTotals totals;
   rig_.client().Tsop(app_, BitstreamPath(), kBitstreamStop, "",
-                     [&](Status, std::string out) { UnpackStruct(out, &totals); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &totals)); });
   EXPECT_NEAR(totals.bytes_consumed, 20.0 * 12.0 * kKb, 3.0 * 16.0 * kKb);
 }
 
@@ -356,16 +356,16 @@ TEST_F(WardenTest, BitstreamStopHalts) {
   rig_.sim().RunUntil(5 * kSecond);
   BitstreamTotals totals;
   rig_.client().Tsop(app_, BitstreamPath(), kBitstreamStop, "",
-                     [&](Status, std::string out) { UnpackStruct(out, &totals); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &totals)); });
   const double at_stop = totals.bytes_consumed;
   rig_.sim().RunUntil(10 * kSecond);
   // No further consumption after stop (the in-flight window may land).
   BitstreamStarted restarted;
   rig_.client().Tsop(app_, BitstreamPath(), kBitstreamStart,
                      PackStruct(BitstreamParams{0.0, 0.0}),
-                     [&](Status, std::string out) { UnpackStruct(out, &restarted); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &restarted)); });
   rig_.client().Tsop(app_, BitstreamPath(), kBitstreamStop, "",
-                     [&](Status, std::string out) { UnpackStruct(out, &totals); });
+                     [&](Status, std::string out) { EXPECT_TRUE(UnpackStruct(out, &totals)); });
   EXPECT_LE(totals.bytes_consumed, at_stop + 65.0 * kKb);
 }
 

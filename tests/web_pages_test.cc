@@ -30,7 +30,7 @@ class WebPageTest : public ::testing::Test {
     rig_.client().Tsop(app_, Path(), kWebOpenPage, kPageUrl,
                        [&](Status status, std::string out) {
                          ASSERT_TRUE(status.ok()) << status.ToString();
-                         UnpackStruct(out, &info);
+                         EXPECT_TRUE(UnpackStruct(out, &info));
                        });
     return info;
   }
@@ -40,7 +40,7 @@ class WebPageTest : public ::testing::Test {
     bool done = false;
     rig_.client().Tsop(app_, Path(), kWebFetchPage, "", [&](Status status, std::string out) {
       ASSERT_TRUE(status.ok()) << status.ToString();
-      UnpackStruct(out, &reply);
+      EXPECT_TRUE(UnpackStruct(out, &reply));
       done = true;
     });
     const Time deadline = rig_.sim().now() + kMinute;
