@@ -1,0 +1,429 @@
+#!/usr/bin/env python3
+"""ody_lint: Odyssey-specific lint rules the compiler cannot enforce.
+
+The simulation's determinism and the paper-reproduction experiments rest on
+conventions that are invisible to the type system: no wall-clock time inside
+the simulated subsystems, no randomness outside the seeded generator, no
+exact floating-point comparison of resource levels, no stray stdout in
+library code, and uniform header guards / include order.  This tool enforces
+them at the text level, with an annotated-suppression syntax:
+
+    some_call();  // ody-lint: allow(rule-name)
+
+suppresses a violation on that line (or, on a line of its own, on the next
+line), and
+
+    // ody-lint: allow-file(rule-name)
+
+suppresses a rule for the whole file.  Run from the repository root:
+
+    python3 tools/ody_lint/ody_lint.py            # lint the tree
+    python3 tools/ody_lint/ody_lint.py --list-rules
+
+Exit status is 0 when clean, 1 when violations were found, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import re
+import sys
+
+# --- Rule registry ----------------------------------------------------------
+
+RULES = {
+    "wall-clock": (
+        "wall-clock time source inside a simulated subsystem; all time must "
+        "flow from Simulation::now()"
+    ),
+    "unseeded-random": (
+        "randomness outside src/sim/random.h; all streams must derive from "
+        "the trial's seed"
+    ),
+    "float-equal": (
+        "exact floating-point comparison; use a tolerance or integer units"
+    ),
+    "no-cout": (
+        "stdout output in library code; return data or use the metrics layer"
+    ),
+    "header-guard": (
+        "header guard must be the uppercased project-relative path"
+    ),
+    "include-order": (
+        "own header first, then sorted blocks of root-relative includes"
+    ),
+}
+
+# Directories whose sources are scanned at all.
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+# Library code: rules about runtime behaviour apply here only.
+LIBRARY_DIRS = ("src",)
+# The simulated subsystems: anything here taking wall-clock time breaks
+# virtual-time determinism.
+SIMULATED_DIRS = ("src/sim", "src/net", "src/estimator")
+# The one blessed home for entropy.
+RANDOM_HOME = "src/sim/random.h"
+
+SOURCE_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+_ALLOW_RE = re.compile(r"//\s*ody-lint:\s*allow\(([^)]*)\)")
+_ALLOW_FILE_RE = re.compile(r"//\s*ody-lint:\s*allow-file\(([^)]*)\)")
+
+
+@dataclasses.dataclass
+class Violation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """A parsed source file: raw lines, comment/string-stripped lines, and
+    the suppression sets harvested from its comments."""
+
+    relpath: str
+    lines: list[str]
+    code_lines: list[str]  # comments and string literals blanked out
+    line_allows: dict[int, set[str]]  # 1-based line -> suppressed rules
+    file_allows: set[str]
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.file_allows or rule in self.line_allows.get(line, set())
+
+
+def _strip_comments_and_strings(text: str) -> str:
+    """Blanks comments, string literals, and char literals, preserving the
+    line structure so offsets keep meaning."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            terminator = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == terminator:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def parse_file(root: str, relpath: str) -> SourceFile:
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        text = f.read()
+    lines = text.splitlines()
+    code_lines = _strip_comments_and_strings(text).splitlines()
+
+    line_allows: dict[int, set[str]] = {}
+    file_allows: set[str] = set()
+    for idx, line in enumerate(lines, start=1):
+        m = _ALLOW_FILE_RE.search(line)
+        if m:
+            file_allows.update(r.strip() for r in m.group(1).split(","))
+        m = _ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            stripped = line.strip()
+            if stripped.startswith("//"):
+                # A standalone annotation line covers the next line.
+                line_allows.setdefault(idx + 1, set()).update(rules)
+            else:
+                line_allows.setdefault(idx, set()).update(rules)
+    return SourceFile(relpath, lines, code_lines, line_allows, file_allows)
+
+
+def _in_dirs(relpath: str, dirs: tuple[str, ...]) -> bool:
+    return any(relpath == d or relpath.startswith(d + "/") for d in dirs)
+
+
+# --- Content rules ----------------------------------------------------------
+
+_WALL_CLOCK_RE = re.compile(
+    r"\b(system_clock|steady_clock|high_resolution_clock|gettimeofday|"
+    r"localtime|gmtime|strftime|mktime|clock\s*\(\s*\)|time\s*\()"
+)
+
+_RANDOM_RE = re.compile(
+    r"\b(rand\s*\(|srand\s*\(|random_device\b|default_random_engine\b|"
+    r"mt19937(?:_64)?\b|minstd_rand0?\b|ranlux(?:24|48)(?:_base)?\b|knuth_b\b)"
+)
+
+_COUT_RE = re.compile(r"(std::cout|\bprintf\s*\(|\bfprintf\s*\(\s*stdout\b|\bputs\s*\()")
+
+_FLOAT_LITERAL = r"[-+]?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fFlL]?"
+_FLOAT_EQ_RE = re.compile(
+    rf"(?:(?<![<>=!+\-*/&|^])(==|!=)\s*{_FLOAT_LITERAL})|(?:{_FLOAT_LITERAL}\s*(==|!=)(?!=))"
+)
+
+
+def check_wall_clock(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, SIMULATED_DIRS):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = _WALL_CLOCK_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "wall-clock",
+                                 f"wall-clock call '{m.group(0).strip()}' in a simulated "
+                                 "subsystem; use Simulation::now()"))
+    return out
+
+
+def check_unseeded_random(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, LIBRARY_DIRS) or sf.relpath == RANDOM_HOME:
+        return []
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = _RANDOM_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "unseeded-random",
+                                 f"'{m.group(0).strip()}' bypasses the seeded Rng in "
+                                 "src/sim/random.h"))
+    return out
+
+
+def check_float_equal(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, LIBRARY_DIRS):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        if "==" not in line and "!=" not in line:
+            continue
+        if _FLOAT_EQ_RE.search(line):
+            out.append(Violation(sf.relpath, idx, "float-equal",
+                                 "exact comparison against a floating-point literal; "
+                                 "bandwidth/fidelity values need a tolerance"))
+    return out
+
+
+def check_no_cout(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, LIBRARY_DIRS):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = _COUT_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "no-cout",
+                                 f"'{m.group(0).strip()}' writes to stdout from library "
+                                 "code"))
+    return out
+
+
+# --- Structural rules -------------------------------------------------------
+
+def expected_guard(relpath: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]", "_", relpath).upper() + "_"
+
+
+def check_header_guard(sf: SourceFile) -> list[Violation]:
+    if not sf.relpath.endswith((".h", ".hpp")):
+        return []
+    want = expected_guard(sf.relpath)
+    ifndef_line = 0
+    got = None
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = re.match(r"\s*#\s*ifndef\s+(\w+)", line)
+        if m:
+            ifndef_line = idx
+            got = m.group(1)
+            break
+        if line.strip():
+            break
+    if got is None:
+        return [Violation(sf.relpath, 1, "header-guard",
+                          f"missing header guard; expected #ifndef {want}")]
+    if got != want:
+        return [Violation(sf.relpath, ifndef_line, "header-guard",
+                          f"guard is {got}; expected {want}")]
+    # The guard's #define must follow immediately.
+    for idx in range(ifndef_line, len(sf.code_lines)):
+        line = sf.code_lines[idx]
+        if not line.strip():
+            continue
+        m = re.match(r"\s*#\s*define\s+(\w+)", line)
+        if not m or m.group(1) != want:
+            return [Violation(sf.relpath, idx + 1, "header-guard",
+                              f"#ifndef {want} must be followed by #define {want}")]
+        break
+    return []
+
+
+_INCLUDE_RE = re.compile(r'\s*#\s*include\s+(["<])([^">]+)[">]')
+
+# Quoted includes must be root-relative into one of these trees.
+_PROJECT_PREFIXES = ("src/", "tests/", "bench/", "examples/", "tools/")
+
+
+def check_include_order(sf: SourceFile) -> list[Violation]:
+    out = []
+    includes: list[tuple[int, str, str]] = []  # (line, kind, path)
+    # Raw lines, not code_lines: a quoted include path is a string literal,
+    # which the stripper blanks out.
+    for idx, line in enumerate(sf.lines, start=1):
+        m = _INCLUDE_RE.match(line)
+        if m:
+            includes.append((idx, m.group(1), m.group(2)))
+
+    own_header = None
+    if sf.relpath.endswith((".cc", ".cpp")):
+        stem = re.sub(r"\.(cc|cpp)$", "", sf.relpath)
+        own_header = stem + ".h"
+
+    for idx, kind, path in includes:
+        if kind == '"' and not path.startswith(_PROJECT_PREFIXES):
+            out.append(Violation(sf.relpath, idx, "include-order",
+                                 f'"{path}" is not root-relative; include project '
+                                 'headers by full path from the repository root'))
+
+    if own_header and includes:
+        quoted = [(idx, p) for idx, k, p in includes if k == '"']
+        if any(p == own_header for _, p in quoted):
+            first_idx, first_path = includes[0][0], includes[0][2]
+            if first_path != own_header:
+                out.append(Violation(sf.relpath, first_idx, "include-order",
+                                     f'own header "{own_header}" must be the first '
+                                     "include"))
+
+    # Within each contiguous run of includes of the same kind, paths must be
+    # sorted (the own-header line, exempt by convention, starts its own run).
+    prev_line = -2
+    prev_kind = ""
+    prev_path = ""
+    for idx, kind, path in includes:
+        contiguous = idx == prev_line + 1 and kind == prev_kind
+        if contiguous and own_header and prev_path == own_header:
+            contiguous = False
+        if contiguous and path < prev_path:
+            out.append(Violation(sf.relpath, idx, "include-order",
+                                 f'"{path}" breaks sorted order within its include '
+                                 "block"))
+        prev_line, prev_kind, prev_path = idx, kind, path
+    return out
+
+
+CHECKS = [
+    check_wall_clock,
+    check_unseeded_random,
+    check_float_equal,
+    check_no_cout,
+    check_header_guard,
+    check_include_order,
+]
+
+# --- Driver -----------------------------------------------------------------
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    if paths:
+        rels = []
+        for p in paths:
+            rel = os.path.relpath(os.path.abspath(p), root)
+            rels.append(rel.replace(os.sep, "/"))
+        return rels
+    out = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    out.append(rel.replace(os.sep, "/"))
+    return sorted(out)
+
+
+def lint_file(root: str, relpath: str) -> list[Violation]:
+    sf = parse_file(root, relpath)
+    violations = []
+    for check in CHECKS:
+        for v in check(sf):
+            if not sf.suppressed(v.rule, v.line):
+                violations.append(v)
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root to lint")
+    parser.add_argument("--list-rules", action="store_true", help="print rules and exit")
+    parser.add_argument("paths", nargs="*", help="specific files (default: scan the tree)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}: {description}")
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"ody_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    violations: list[Violation] = []
+    for relpath in collect_files(root, args.paths):
+        try:
+            violations.extend(lint_file(root, relpath))
+        except OSError as err:
+            print(f"ody_lint: {err}", file=sys.stderr)
+            return 2
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"ody_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Self-tests for ody_lint: each rule has a positive fixture (violations
+found) and a suppressed fixture (annotations silence them).
+
+Fixtures live in testdata/ and are copied into a scratch tree at the paths
+where their rules apply (library rules only fire under src/), then linted
+through the real CLI entry point.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import ody_lint  # noqa: E402
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+
+
+class OdyLintTest(unittest.TestCase):
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="ody_lint_test_")
+        self.addCleanup(shutil.rmtree, self.root)
+
+    def place(self, fixture, relpath):
+        dest = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        shutil.copyfile(os.path.join(TESTDATA, fixture), dest)
+        return relpath
+
+    def lint(self, relpath):
+        return ody_lint.lint_file(self.root, relpath)
+
+    def rules_found(self, relpath):
+        return sorted({v.rule for v in self.lint(relpath)})
+
+    # --- wall-clock ---
+
+    def test_wall_clock_flagged_in_simulated_dirs(self):
+        rel = self.place("wall_clock_bad.cc", "src/sim/wall_clock_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "wall-clock"]
+        self.assertEqual(len(violations), 2)
+        self.assertEqual([v.line for v in violations], [7, 8])
+
+    def test_wall_clock_allowed_outside_simulated_dirs(self):
+        rel = self.place("wall_clock_bad.cc", "src/metrics/wall_clock_bad.cc")
+        self.assertNotIn("wall-clock", self.rules_found(rel))
+
+    def test_wall_clock_suppressed(self):
+        rel = self.place("wall_clock_suppressed.cc", "src/sim/wall_clock_suppressed.cc")
+        self.assertNotIn("wall-clock", self.rules_found(rel))
+
+    # --- unseeded-random ---
+
+    def test_unseeded_random_flagged(self):
+        rel = self.place("unseeded_random_bad.cc", "src/core/unseeded_random_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "unseeded-random"]
+        self.assertEqual(len(violations), 3)
+
+    def test_unseeded_random_file_suppression(self):
+        rel = self.place("unseeded_random_suppressed.cc",
+                         "src/core/unseeded_random_suppressed.cc")
+        self.assertNotIn("unseeded-random", self.rules_found(rel))
+
+    def test_random_home_is_exempt(self):
+        rel = self.place("unseeded_random_bad.cc", "src/sim/random.h")
+        self.assertNotIn("unseeded-random", self.rules_found(rel))
+
+    # --- float-equal ---
+
+    def test_float_equal_flagged(self):
+        rel = self.place("float_equal_bad.cc", "src/estimator/float_equal_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "float-equal"]
+        self.assertEqual([v.line for v in violations], [6, 9])
+
+    def test_float_equal_suppressed(self):
+        rel = self.place("float_equal_suppressed.cc",
+                         "src/estimator/float_equal_suppressed.cc")
+        self.assertNotIn("float-equal", self.rules_found(rel))
+
+    def test_float_equal_not_applied_to_tests(self):
+        rel = self.place("float_equal_bad.cc", "tests/float_equal_bad.cc")
+        self.assertNotIn("float-equal", self.rules_found(rel))
+
+    # --- no-cout ---
+
+    def test_no_cout_flagged_in_library(self):
+        rel = self.place("no_cout_bad.cc", "src/core/no_cout_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "no-cout"]
+        self.assertEqual(len(violations), 2)
+
+    def test_no_cout_allowed_in_bench(self):
+        rel = self.place("no_cout_bad.cc", "bench/no_cout_bad.cc")
+        self.assertNotIn("no-cout", self.rules_found(rel))
+
+    def test_no_cout_suppressed(self):
+        rel = self.place("no_cout_suppressed.cc", "src/core/no_cout_suppressed.cc")
+        self.assertNotIn("no-cout", self.rules_found(rel))
+
+    # --- header-guard ---
+
+    def test_header_guard_mismatch_flagged(self):
+        rel = self.place("header_guard_bad.h", "src/core/header_guard_bad.h")
+        violations = [v for v in self.lint(rel) if v.rule == "header-guard"]
+        self.assertEqual(len(violations), 1)
+        self.assertIn("SRC_CORE_HEADER_GUARD_BAD_H_", violations[0].message)
+
+    def test_header_guard_correct_is_clean(self):
+        dest = os.path.join(self.root, "src/core/good.h")
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        with open(dest, "w", encoding="utf-8") as f:
+            f.write("#ifndef SRC_CORE_GOOD_H_\n#define SRC_CORE_GOOD_H_\n"
+                    "#endif  // SRC_CORE_GOOD_H_\n")
+        self.assertNotIn("header-guard", self.rules_found("src/core/good.h"))
+
+    # --- include-order ---
+
+    def test_include_order_flagged(self):
+        rel = self.place("include_order_bad.cc", "src/core/include_order_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "include-order"]
+        messages = " ".join(v.message for v in violations)
+        self.assertIn("not root-relative", messages)
+        self.assertIn("sorted order", messages)
+
+    def test_include_order_suppressed(self):
+        rel = self.place("include_order_suppressed.cc",
+                         "src/core/include_order_suppressed.cc")
+        self.assertNotIn("include-order", self.rules_found(rel))
+
+    def test_own_header_must_come_first(self):
+        dest = os.path.join(self.root, "src/core/thing.cc")
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        with open(dest, "w", encoding="utf-8") as f:
+            f.write('#include "src/core/status.h"\n#include "src/core/thing.h"\n')
+        violations = [v for v in self.lint("src/core/thing.cc")
+                      if v.rule == "include-order"]
+        self.assertTrue(any("own header" in v.message for v in violations))
+
+    # --- CLI driver ---
+
+    def test_cli_exit_codes_and_scan(self):
+        self.place("wall_clock_bad.cc", "src/sim/wall_clock_bad.cc")
+        self.assertEqual(ody_lint.main(["--root", self.root]), 1)
+        shutil.rmtree(os.path.join(self.root, "src"))
+        self.place("no_cout_bad.cc", "bench/no_cout_bad.cc")  # out of scope: clean
+        self.assertEqual(ody_lint.main(["--root", self.root]), 0)
+        self.assertEqual(ody_lint.main(["--root", os.path.join(self.root, "absent")]), 2)
+
+    def test_list_rules_covers_all_checks(self):
+        self.assertEqual(ody_lint.main(["--list-rules"]), 0)
+        self.assertEqual(len(ody_lint.RULES), 6)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,12 @@
+// Fixture: exact floating-point comparisons on resource levels.
+
+namespace odyssey {
+
+bool Bad(double bandwidth, double fidelity) {
+  if (bandwidth == 0.0) {
+    return true;
+  }
+  return 1.0 != fidelity;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,9 @@
+// Fixture: a deliberate sentinel comparison, annotated.
+
+namespace odyssey {
+
+bool Suppressed(double level) {
+  return level == -1.0;  // ody-lint: allow(float-equal)
+}
+
+}  // namespace odyssey

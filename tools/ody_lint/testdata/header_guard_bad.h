@@ -1,0 +1,8 @@
+// Fixture: guard does not match the project-relative path.
+
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+
+namespace odyssey {}
+
+#endif  // WRONG_GUARD_H_

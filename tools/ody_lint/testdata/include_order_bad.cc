@@ -1,0 +1,7 @@
+// Fixture: non-root-relative include plus an unsorted block.
+#include "include_order_bad.h"
+
+#include "src/core/status.h"
+#include "src/core/resource.h"
+
+namespace odyssey {}

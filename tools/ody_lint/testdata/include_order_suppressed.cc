@@ -1,0 +1,8 @@
+// Fixture: the same violations, each annotated.
+#include "include_order_bad.h"  // ody-lint: allow(include-order)
+
+#include "src/core/status.h"
+// ody-lint: allow(include-order)
+#include "src/core/resource.h"
+
+namespace odyssey {}

@@ -1,0 +1,12 @@
+// Fixture: stdout noise in library code.
+#include <cstdio>
+#include <iostream>
+
+namespace odyssey {
+
+void Bad() {
+  std::cout << "supply changed\n";
+  printf("supply changed\n");
+}
+
+}  // namespace odyssey

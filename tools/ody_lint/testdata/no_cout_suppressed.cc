@@ -1,0 +1,10 @@
+// Fixture: an intentional report path, annotated.
+#include <iostream>
+
+namespace odyssey {
+
+void Suppressed() {
+  std::cout << "report\n";  // ody-lint: allow(no-cout)
+}
+
+}  // namespace odyssey

@@ -1,0 +1,13 @@
+// Fixture: entropy sources that bypass the seeded Rng.
+#include <cstdlib>
+#include <random>
+
+namespace odyssey {
+
+int Bad() {
+  std::mt19937 engine;
+  std::random_device device;
+  return rand() + static_cast<int>(engine()) + static_cast<int>(device());
+}
+
+}  // namespace odyssey

@@ -1,0 +1,10 @@
+// Fixture: a file-level suppression covers every hit in the file.
+// ody-lint: allow-file(unseeded-random)
+#include <cstdlib>
+
+namespace odyssey {
+
+int Suppressed() { return rand(); }
+int SuppressedAgain() { return rand(); }
+
+}  // namespace odyssey

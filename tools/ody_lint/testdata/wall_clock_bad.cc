@@ -1,0 +1,12 @@
+// Fixture: wall-clock time sources inside a simulated subsystem.
+#include <ctime>
+
+namespace odyssey {
+
+long Bad() {
+  long t = time(nullptr);
+  t += clock();
+  return t;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,13 @@
+// Fixture: the same wall-clock calls, each suppressed inline.
+#include <ctime>
+
+namespace odyssey {
+
+long Suppressed() {
+  long t = time(nullptr);  // ody-lint: allow(wall-clock)
+  // ody-lint: allow(wall-clock)
+  t += clock();
+  return t;
+}
+
+}  // namespace odyssey
