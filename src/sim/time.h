@@ -26,7 +26,8 @@ inline constexpr Duration kMinute = 60 * kSecond;
 // Converts a floating-point count of seconds to a Duration, rounding to the
 // nearest microsecond.  Negative inputs are supported (for deltas).
 constexpr Duration SecondsToDuration(double seconds) {
-  return static_cast<Duration>(seconds * static_cast<double>(kSecond) + (seconds >= 0 ? 0.5 : -0.5));
+  return static_cast<Duration>(seconds * static_cast<double>(kSecond) +
+                               (seconds >= 0 ? 0.5 : -0.5));
 }
 
 // Converts a Duration to floating-point seconds.
