@@ -20,6 +20,9 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 struct AgilityResult {
   std::vector<double> step_up_settle;
   std::vector<double> step_down_settle;
@@ -35,6 +38,7 @@ AgilityResult RunConfig(const SupplyModelConfig& config, double window_bytes) {
       // Hand-built rig: the swept estimator configuration replaces the
       // ExperimentRig default.
       Simulation sim(static_cast<uint64_t>(trial + 1));
+      sim.set_trace(ClaimTraceOnce(g_trace_session));
       Link link(&sim, kHighBandwidth, kOneWayLatency);
       Modulator modulator(&sim, &link);
       auto strategy = std::make_unique<CentralizedStrategy>(&sim, config);
@@ -87,7 +91,9 @@ void PrintRow(Table& table, const std::string& label, const AgilityResult& resul
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   using namespace odyssey;
   PrintBanner("Ablation: Estimator Design Choices",
               "settling time (s) and steady-state error (%) on Step waveforms; 5 trials");
@@ -131,5 +137,5 @@ int main() {
                "settling (stale high samples age out sooner; drops are recorded at window\n"
                "end) at the cost of steadiness under burstier workloads; the rise cap\n"
                "trades a small bandwidth underestimate for round-trip outlier immunity.\n";
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

@@ -19,6 +19,9 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 struct WorkloadResult {
   std::vector<double> video_drops;
   std::vector<double> video_fidelity;
@@ -35,6 +38,7 @@ WorkloadResult RunWorkload(const SupplyModelConfig& config) {
   }
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     Simulation sim(static_cast<uint64_t>(trial + 1));
+    sim.set_trace(ClaimTraceOnce(g_trace_session));
     Link link(&sim, kHighBandwidth, kOneWayLatency);
     Modulator modulator(&sim, &link);
     OdysseyClient client(&sim, &link, std::make_unique<CentralizedStrategy>(&sim, config));
@@ -89,7 +93,9 @@ void PrintRow(Table& table, const std::string& label, const WorkloadResult& resu
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   using namespace odyssey;
   PrintBanner("Ablation: Availability-Formula Design Choices",
               "video+web+speech on a shortened urban walk under Odyssey; 5 trials");
@@ -119,5 +125,5 @@ int main() {
   std::cout << "\nExpected shape: very short usage windows make shares twitchy (more\n"
                "fidelity oscillation, more drops); very long windows make the viceroy\n"
                "slow to reclaim bandwidth from an application that has gone quiet.\n";
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

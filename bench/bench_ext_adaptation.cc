@@ -34,6 +34,9 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 constexpr double kKb = 1024.0;
 
 // --- [1] File consistency levels ---
@@ -48,6 +51,7 @@ FileRunResult RunFileConsistency(FileConsistency level) {
   FileRunResult result;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
     FileServer file_server(&rig.sim().rng());
     CacheManager cache(&rig.client().viceroy(), 1024.0);
     for (int i = 0; i < 8; ++i) {
@@ -132,6 +136,7 @@ void RunPageSection() {
     for (int trial = 0; trial < kPaperTrials; ++trial) {
       for (const double bandwidth : {kHighBandwidth, kLowBandwidth}) {
         ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+        rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
         rig.distillation_server().PublishPage("http://origin/guide.html", 6.0 * kKb,
                                               {22.0 * kKb, 11.0 * kKb, 44.0 * kKb});
         const AppId app = rig.client().RegisterApplication("browser");
@@ -178,6 +183,7 @@ void RunVocabularySection() {
     int vocabulary = 0;
     for (int trial = 0; trial < kPaperTrials; ++trial) {
       ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+      rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
       const AppId app = rig.client().RegisterApplication("speech");
       rig.Replay(MakeConstant(kLowBandwidth, 5 * kMinute), /*prime=*/false);
       const std::string path = std::string(kOdysseyRoot) + "speech/janus";
@@ -219,6 +225,7 @@ void RunResourceSection() {
                "battery upcall", "money upcall"});
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
     BatteryModel::Config battery_config;
     battery_config.capacity_minutes = 60.0;
     battery_config.network_minutes_per_mb = 0.1;
@@ -283,6 +290,7 @@ void RunTelemetrySection() {
     std::vector<double> lag;
     for (int trial = 0; trial < kPaperTrials; ++trial) {
       ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+      rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
       TelemetryServer telemetry(&rig.sim());
       telemetry.CreateFeed("stocks/ACME", 100 * kMillisecond, 100.0, 0.05);
       auto* warden = static_cast<TelemetryWarden*>(
@@ -315,7 +323,9 @@ void RunTelemetrySection() {
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   odyssey::PrintBanner("Extension Bench: the §8 Roadmap Features",
                        "consistency fidelity, page adaptation, vocabulary levels, full "
                        "resources; 5 trials");
@@ -324,5 +334,5 @@ int main() {
   odyssey::RunVocabularySection();
   odyssey::RunResourceSection();
   odyssey::RunTelemetrySection();
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

@@ -5,32 +5,23 @@
 // modulated network replays each reference waveform (Figure 7).  The
 // system is primed for thirty seconds before observation.  For each
 // waveform we report the supply estimate over time (mean and min/max
-// spread of five trials) and the settling time after each transition —
-// the time to reach and stay within the nominal bandwidth range.
+// spread of five trials), the settling time after each transition — the
+// time to reach and stay within the nominal bandwidth range — and the
+// upcall latency the adaptive consumer saw (supply change to handler, in
+// sim time).
+//
+// Flags: --trace-out=<path> exports a chrome://tracing JSON of the
+// Step-Up waveform's first trial (the golden-trace scenario).
 
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.h"
-#include "src/apps/bitstream_app.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
+#include "src/trace/trace_session.h"
 
 namespace odyssey {
 namespace {
-
-constexpr Duration kSamplePeriod = 100 * kMillisecond;
-
-Series RunTrial(Waveform waveform, uint64_t seed) {
-  ExperimentRig rig(seed, StrategyKind::kOdyssey);
-  BitstreamApp app(&rig.client(), "bitstream");
-  const Time measure = rig.Replay(MakeWaveform(waveform));
-  app.Start();
-  Sampler sampler(&rig.sim(), kSamplePeriod, measure, [&rig] {
-    return rig.centralized()->TotalSupply(rig.sim().now());
-  });
-  rig.sim().ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
-  rig.sim().RunUntil(measure + kWaveformLength);
-  return sampler.series();
-}
 
 // Nominal acceptance band around a theoretical level.
 void Band(double nominal, double* lo, double* hi) {
@@ -38,10 +29,24 @@ void Band(double nominal, double* lo, double* hi) {
   *hi = 1.15 * nominal;
 }
 
-void RunWaveform(Waveform waveform) {
+void RunWaveform(Waveform waveform, TraceSession* session) {
   std::vector<Series> trials;
+  std::vector<double> latency_means;
+  double latency_max = 0.0;
+  uint64_t upcalls = 0;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    trials.push_back(RunTrial(waveform, static_cast<uint64_t>(trial + 1)));
+    // The traced run is Step-Up, seed 1: the scenario the golden-trace
+    // regression and the CI determinism diff replay.
+    TraceRecorder* recorder =
+        (waveform == Waveform::kStepUp && trial == 0) ? session->recorder() : nullptr;
+    const AgilityTrialResult result =
+        RunSupplyAgilityTrial(waveform, static_cast<uint64_t>(trial + 1), recorder);
+    trials.push_back(result.series);
+    latency_means.push_back(result.upcall_latency_mean_ms);
+    if (result.upcall_latency_max_ms > latency_max) {
+      latency_max = result.upcall_latency_max_ms;
+    }
+    upcalls += result.upcalls;
   }
   const SeriesBand band = MergeSeries(trials);
 
@@ -67,20 +72,24 @@ void RunWaveform(Waveform waveform) {
   if (waveform == Waveform::kImpulseUp || waveform == Waveform::kImpulseDown) {
     std::cout << "settling after trailing edge (t=32s): " << MeanStd(settle_tail, 2) << " s\n";
   }
+  std::cout << "upcall latency: mean " << MeanStd(latency_means, 2) << " ms, max "
+            << Fmt(latency_max, 2) << " ms (" << upcalls << " upcalls over " << kPaperTrials
+            << " trials)\n";
 }
 
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession session = odyssey::TraceSession::FromArgs(&argc, argv);
   odyssey::PrintBanner(
       "Figure 8: Supply Estimation Agility",
       "bitstream at maximum rate; estimate vs the four reference waveforms; 5 trials");
   for (const odyssey::Waveform waveform : odyssey::AllWaveforms()) {
-    odyssey::RunWaveform(waveform);
+    odyssey::RunWaveform(waveform, &session);
   }
   std::cout << "\nPaper reference: Step-Up detected almost instantaneously; Step-Down\n"
                "settling time ~2.0 s (throughput estimates only complete at window end);\n"
                "impulse leading edges traced, trailing edges show a noticeable settle.\n";
-  return 0;
+  return session.ExportOrWarn() ? 0 : 1;
 }

@@ -16,6 +16,9 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 constexpr Duration kSamplePeriod = 100 * kMillisecond;
 constexpr Duration kObservation = 60 * kSecond;
 
@@ -26,6 +29,7 @@ struct TrialSeries {
 
 TrialSeries RunTrial(double utilization, uint64_t seed) {
   ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
   BitstreamApp first(&rig.client(), "bitstream-1");
   BitstreamApp second(&rig.client(), "bitstream-2");
   const double target = utilization >= 1.0 ? 0.0 : utilization * kHighBandwidth;
@@ -100,7 +104,9 @@ void RunUtilization(double utilization) {
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   odyssey::PrintBanner(
       "Figure 9: Demand Estimation Agility",
       "two bitstreams at 10/45/100% of nominal; estimates around the second start; 5 trials");
@@ -111,5 +117,5 @@ int main() {
                "pronounced at higher loads (~5 s settle at full utilization); at low\n"
                "utilization the second stream reaches its nominal value almost\n"
                "immediately, since the established stream carries little weight.\n";
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

@@ -15,6 +15,9 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 struct CellResult {
   std::vector<double> drops;
   std::vector<double> fidelity;
@@ -24,6 +27,7 @@ CellResult RunCell(Waveform waveform, int fixed_track) {
   CellResult result;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
     VideoPlayerOptions options;
     options.fixed_track = fixed_track;
     // Play through priming plus the waveform; measure only the 600 frames
@@ -42,7 +46,9 @@ CellResult RunCell(Waveform waveform, int fixed_track) {
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   using namespace odyssey;
   PrintBanner("Figure 10: Video Player Performance and Fidelity",
               "600 frames @10fps per waveform; drops and fidelity, mean (stddev) of 5 trials");
@@ -72,5 +78,5 @@ int main() {
             << "Shape to check: Odyssey's fidelity is as good as or better than JPEG(50)\n"
             << "everywhere while dropping far fewer frames than JPEG(99) on every\n"
             << "waveform except Impulse-Down, where the two are indistinguishable.\n";
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

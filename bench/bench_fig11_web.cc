@@ -16,6 +16,9 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 struct CellResult {
   std::vector<double> seconds;
   std::vector<double> fidelity;
@@ -25,6 +28,7 @@ CellResult RunCell(const ReplayTrace& trace, int fixed_level, bool prime) {
   CellResult result;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
     WebBrowserOptions options;
     options.fixed_level = fixed_level;
     WebBrowser browser(&rig.client(), options);
@@ -42,7 +46,9 @@ CellResult RunCell(const ReplayTrace& trace, int fixed_level, bool prime) {
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   using namespace odyssey;
   PrintBanner("Figure 11: Web Browser Performance and Fidelity",
               "repeated 22KB image fetch; goal <= 0.4s; mean (stddev) seconds of 5 trials");
@@ -74,5 +80,5 @@ int main() {
             << "Shape to check: the full-quality static strategy only meets the 0.4 s goal\n"
             << "on Impulse-Down; Odyssey meets it on every waveform at better fidelity\n"
             << "than any sufficiently fast static strategy.\n";
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

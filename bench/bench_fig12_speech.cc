@@ -15,10 +15,14 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 std::vector<double> RunCell(Waveform waveform, SpeechMode mode) {
   std::vector<double> seconds;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
+    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
     SpeechFrontEndOptions options;
     options.mode = mode;
     SpeechFrontEnd frontend(&rig.client(), options);
@@ -34,7 +38,9 @@ std::vector<double> RunCell(Waveform waveform, SpeechMode mode) {
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   using namespace odyssey;
   PrintBanner("Figure 12: Speech Recognizer Performance",
               "repeated short-phrase recognition; mean (stddev) seconds of 5 trials");
@@ -55,5 +61,5 @@ int main() {
             << "  Impulse-Dn: 0.76 / 0.77 / 0.76\n"
             << "Shape to check: hybrid is the correct strategy at both reference\n"
             << "bandwidths, and Odyssey duplicates it on every waveform.\n";
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

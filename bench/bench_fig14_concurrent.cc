@@ -19,6 +19,9 @@
 namespace odyssey {
 namespace {
 
+// Set by main(); the first trial claims the --trace-out recorder.
+TraceSession* g_trace_session = nullptr;
+
 struct StrategyResult {
   std::vector<double> video_drops;
   std::vector<double> video_fidelity;
@@ -32,6 +35,7 @@ StrategyResult RunStrategy(StrategyKind strategy) {
   const ReplayTrace trace = MakeUrbanScenario();
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     ExperimentRig rig(static_cast<uint64_t>(trial + 1), strategy);
+    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
     VideoPlayerOptions video_options;
     // 15 minutes at 10 fps plus the priming period; the 600-frame movie
     // loops continuously.
@@ -59,7 +63,9 @@ StrategyResult RunStrategy(StrategyKind strategy) {
 }  // namespace
 }  // namespace odyssey
 
-int main() {
+int main(int argc, char** argv) {
+  odyssey::TraceSession trace_session = odyssey::TraceSession::FromArgs(&argc, argv);
+  odyssey::g_trace_session = &trace_session;
   using namespace odyssey;
   PrintBanner("Figure 14: Concurrent Applications under Three Strategies",
               "video + web + speech over the Figure 13 urban trace; 5 trials");
@@ -89,5 +95,5 @@ int main() {
             << "Shape to check: by degrading fetched video and web fidelity, Odyssey\n"
             << "comes a factor of 2-5 closer to each application's performance goals;\n"
             << "the uncoordinated strategies choose higher fidelity and miss them.\n";
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

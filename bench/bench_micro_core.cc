@@ -16,6 +16,8 @@
 #include "src/net/link.h"
 #include "src/sim/simulation.h"
 #include "src/strategies/laissez_faire.h"
+#include "src/trace/trace_macros.h"
+#include "src/trace/trace_recorder.h"
 #include "src/wardens/bitstream_warden.h"
 
 namespace odyssey {
@@ -147,6 +149,49 @@ void BM_TsopCodecRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TsopCodecRoundTrip);
+
+// Tracing cost, both sides of the opt-in switch: recording one instant into
+// an enabled ring buffer, and the same macro against a null recorder (the
+// state every instrumented call site is in on untraced runs — the <1%
+// regression budget for the instrumentation rests on this being a single
+// predictable branch).
+void BM_TraceInstantRecord(benchmark::State& state) {
+  TraceRecorder recorder(1 << 16, TraceRecorder::OverflowPolicy::kOverwriteOldest);
+  Time now = 0;
+  for (auto _ : state) {
+    ++now;
+    ODY_TRACE_INSTANT1(&recorder, kSim, "bench_tick", now, 1, "value", 42);
+  }
+  benchmark::DoNotOptimize(recorder.recorded_count());
+}
+BENCHMARK(BM_TraceInstantRecord);
+
+void BM_TraceRecordDisabled(benchmark::State& state) {
+  TraceRecorder* recorder = nullptr;
+  benchmark::DoNotOptimize(recorder);
+  Time now = 0;
+  for (auto _ : state) {
+    ++now;
+    ODY_TRACE_INSTANT1(recorder, kSim, "bench_tick", now, 1, "value", 42);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceRecordDisabled);
+
+void BM_UpcallPostAndDeliverTraced(benchmark::State& state) {
+  Simulation sim;
+  TraceRecorder recorder(1 << 16, TraceRecorder::OverflowPolicy::kOverwriteOldest);
+  sim.set_trace(&recorder);
+  UpcallDispatcher dispatcher(&sim);
+  int sink = 0;
+  UpcallHandler handler = [&](RequestId, ResourceId, double) { ++sink; };
+  for (auto _ : state) {
+    dispatcher.Post(1, 1, ResourceId::kNetworkBandwidth, 0.0, handler);
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_UpcallPostAndDeliverTraced);
 
 }  // namespace
 }  // namespace odyssey

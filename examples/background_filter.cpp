@@ -18,12 +18,15 @@
 #include "src/core/contract.h"
 #include "src/metrics/experiment.h"
 #include "src/servers/telemetry_server.h"
+#include "src/trace/trace_session.h"
 #include "src/wardens/telemetry_warden.h"
 
 using namespace odyssey;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceSession trace_session(TraceSession::FromArgs(&argc, argv));
   ExperimentRig rig(/*seed=*/1, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace_session.recorder());
   TelemetryServer telemetry(&rig.sim());
   telemetry.CreateFeed("stocks/ACME", 100 * kMillisecond, 100.0, 0.05);
   telemetry.CreateFeed("scout/sector-7", 200 * kMillisecond, 0.0, 0.02);
@@ -81,5 +84,5 @@ int main() {
   std::printf(
       "\nDuring the weak stretch the warden dropped to a thinner delivery level:\n"
       "alerts arrive later but the background filters never starve the video.\n");
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

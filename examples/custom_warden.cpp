@@ -28,6 +28,7 @@
 #include "src/net/modulator.h"
 #include "src/sim/simulation.h"
 #include "src/strategies/centralized.h"
+#include "src/trace/trace_session.h"
 #include "src/tracemod/waveforms.h"
 
 using namespace odyssey;
@@ -164,8 +165,10 @@ class MapWarden : public Warden {
 // resolution so tiles keep up with the pan.
 // ---------------------------------------------------------------------------
 
-int main() {
+int main(int argc, char** argv) {
+  TraceSession trace_session(TraceSession::FromArgs(&argc, argv));
   Simulation sim(1);
+  sim.set_trace(trace_session.recorder());
   Link link(&sim, kHighBandwidth, kOneWayLatency);
   Modulator modulator(&sim, &link);
   OdysseyClient client(&sim, &link, std::make_unique<CentralizedStrategy>(&sim));
@@ -230,5 +233,5 @@ int main() {
     std::printf("read: %s\n", data.c_str());
   });
   sim.Run();
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

@@ -13,11 +13,14 @@
 
 #include "src/apps/speech_frontend.h"
 #include "src/metrics/experiment.h"
+#include "src/trace/trace_session.h"
 
 using namespace odyssey;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceSession trace_session(TraceSession::FromArgs(&argc, argv));
   ExperimentRig rig(/*seed=*/1, StrategyKind::kBlindOptimism);
+  rig.sim().set_trace(trace_session.recorder());
   // Blind optimism is the right strategy here on purpose: detecting *zero*
   // bandwidth passively is impossible (no traffic flows, so no
   // observations), and the paper notes the networking layer can notify the
@@ -49,5 +52,5 @@ int main() {
       "\n%d of %zu recognitions ran fully local during the shadow -- slow (severe\n"
       "CPU cost) but the user kept a working, degraded vocabulary (§2.1).\n",
       local, speech.outcomes().size());
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

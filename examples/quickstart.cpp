@@ -14,14 +14,17 @@
 #include "src/core/odyssey_client.h"
 #include "src/core/tsop_codec.h"
 #include "src/metrics/experiment.h"
+#include "src/trace/trace_session.h"
 
 using namespace odyssey;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceSession trace_session(TraceSession::FromArgs(&argc, argv));
   // One mobile client whose link replays a Step-Down waveform: 120 KB/s for
   // 30 s, then 40 KB/s.  ExperimentRig bundles the simulation, the link,
   // the viceroy (centralized strategy), the wardens, and the servers.
   ExperimentRig rig(/*seed=*/1, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace_session.recorder());
   rig.Replay(MakeStepDown(), /*prime=*/false);
 
   OdysseyClient& client = rig.client();
@@ -73,5 +76,5 @@ int main() {
 
   rig.sim().RunUntil(kWaveformLength);
   std::printf("done: the step down at t=30s triggered exactly one upcall.\n");
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

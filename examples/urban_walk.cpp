@@ -17,11 +17,14 @@
 #include "src/apps/video_player.h"
 #include "src/apps/web_browser.h"
 #include "src/metrics/experiment.h"
+#include "src/trace/trace_session.h"
 
 using namespace odyssey;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceSession trace_session(TraceSession::FromArgs(&argc, argv));
   ExperimentRig rig(/*seed=*/1, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace_session.recorder());
   const ReplayTrace trace = MakeUrbanScenario();
 
   VideoPlayerOptions video_options;
@@ -72,5 +75,5 @@ int main() {
   std::printf(
       "\nThe user saw fidelity shift as she walked, but never had to initiate\n"
       "adaptation herself -- those decisions were delegated to Odyssey (§2.1).\n");
-  return 0;
+  return trace_session.ExportOrWarn() ? 0 : 1;
 }

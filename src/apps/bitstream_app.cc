@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/tsop_codec.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 
@@ -11,6 +12,8 @@ BitstreamApp::BitstreamApp(OdysseyClient* client, std::string name) : client_(cl
 }
 
 void BitstreamApp::Start(double target_bps, double window_bytes) {
+  ODY_TRACE_INSTANT1(client_->sim()->trace(), kApp, "bitstream_app_start",
+                     client_->sim()->now(), app_, "target_bps", target_bps);
   BitstreamParams params{target_bps, window_bytes};
   client_->Tsop(app_, std::string(kOdysseyRoot) + "bitstream/stream", kBitstreamStart,
                 PackStruct(params), [this](Status status, std::string out) {

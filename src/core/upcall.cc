@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/contract.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 
@@ -10,7 +11,12 @@ uint64_t UpcallDispatcher::Post(AppId app, RequestId request, ResourceId resourc
                                 UpcallHandler handler) {
   AppQueue& q = queues_[app];
   const uint64_t seq = q.next_seq++;
-  q.queue.push_back(PendingUpcall{seq, request, resource, level, std::move(handler)});
+  q.queue.push_back(PendingUpcall{seq, request, resource, level, sim_->now(), std::move(handler)});
+  ++queued_;
+  ODY_TRACE_INSTANT2(sim_->trace(), kViceroy, "upcall_post", sim_->now(), app, "seq",
+                     static_cast<double>(seq), "level", level);
+  ODY_TRACE_COUNTER(sim_->trace(), kViceroy, "upcall_queue_depth", sim_->now(), 0,
+                    static_cast<double>(queued_));
   ScheduleDelivery(app);
   return seq;
 }
@@ -57,6 +63,19 @@ void UpcallDispatcher::DeliverNext(AppId app) {
   ODY_ASSERT(upcall.seq == q.last_delivered + 1, "upcall delivered out of order");
   q.last_delivered = upcall.seq;
   ++delivered_;
+  ODY_ASSERT(queued_ > 0, "delivering an upcall nobody queued");
+  --queued_;
+  const Duration latency = sim_->now() - upcall.posted_at;
+  latency_total_ += latency;
+  if (latency > latency_max_) {
+    latency_max_ = latency;
+  }
+  ODY_TRACE_INSTANT2(sim_->trace(), kViceroy, "upcall_deliver", sim_->now(), app, "seq",
+                     static_cast<double>(upcall.seq), "level", upcall.level);
+  ODY_TRACE_COUNTER(sim_->trace(), kViceroy, "upcall_latency_us", sim_->now(), 0,
+                    static_cast<double>(latency));
+  ODY_TRACE_COUNTER(sim_->trace(), kViceroy, "upcall_queue_depth", sim_->now(), 0,
+                    static_cast<double>(queued_));
   if (upcall.handler) {
     upcall.handler(upcall.request, upcall.resource, upcall.level);
   }

@@ -44,12 +44,27 @@ class UpcallDispatcher {
   // Last sequence number delivered to |app| (0 if none).
   uint64_t last_delivered_seq(AppId app) const;
 
+  // Upcall latency: sim time from Post() to the handler actually running.
+  // This is the agility metric the paper cares about — how quickly a supply
+  // change reaches application code — so it is measured at delivery, not
+  // inferred from delivery_latency_ (blocking and queueing add real delay).
+  Duration latency_total() const { return latency_total_; }
+  Duration latency_max() const { return latency_max_; }
+  double latency_mean_us() const {
+    return delivered_ == 0 ? 0.0
+                           : static_cast<double>(latency_total_) / static_cast<double>(delivered_);
+  }
+
+  // Upcalls posted but not yet delivered, across all apps.
+  size_t queued_count() const { return queued_; }
+
  private:
   struct PendingUpcall {
     uint64_t seq;
     RequestId request;
     ResourceId resource;
     double level;
+    Time posted_at;
     UpcallHandler handler;
   };
 
@@ -68,6 +83,9 @@ class UpcallDispatcher {
   Duration delivery_latency_;
   std::map<AppId, AppQueue> queues_;
   uint64_t delivered_ = 0;
+  size_t queued_ = 0;
+  Duration latency_total_ = 0;
+  Duration latency_max_ = 0;
 };
 
 }  // namespace odyssey

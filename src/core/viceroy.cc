@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/contract.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 namespace {
@@ -53,14 +54,21 @@ RequestResult Viceroy::Request(AppId app, const ResourceDescriptor& descriptor) 
   result.current_level = CurrentLevel(app, descriptor.resource);
   if (result.current_level < descriptor.lower || result.current_level > descriptor.upper) {
     result.status_ok = false;
+    ODY_TRACE_INSTANT2(sim_->trace(), kViceroy, "request_denied", sim_->now(), app, "resource",
+                       static_cast<int>(descriptor.resource), "level", result.current_level);
     return result;
   }
   result.status_ok = true;
   result.id = requests_.Register(app, descriptor);
+  ODY_TRACE_INSTANT2(sim_->trace(), kViceroy, "request_granted", sim_->now(), app, "lower",
+                     descriptor.lower, "upper", descriptor.upper);
   return result;
 }
 
-Status Viceroy::Cancel(RequestId id) { return requests_.Cancel(id); }
+Status Viceroy::Cancel(RequestId id) {
+  ODY_TRACE_INSTANT(sim_->trace(), kViceroy, "request_cancel", sim_->now(), id);
+  return requests_.Cancel(id);
+}
 
 double Viceroy::CurrentLevel(AppId app, ResourceId resource) const {
   switch (resource) {
@@ -80,6 +88,8 @@ void Viceroy::SetStaticLevel(ResourceId resource, double level) {
     return;  // estimation-driven; not settable
   }
   static_levels_[resource] = level;
+  ODY_TRACE_INSTANT1(sim_->trace(), kViceroy, "static_level", sim_->now(),
+                     static_cast<uint64_t>(resource), "level", level);
   for (const auto& [app, name] : apps_) {
     EvaluateApp(app, resource, level);
   }

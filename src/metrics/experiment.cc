@@ -42,7 +42,8 @@ ExperimentRig::ExperimentRig(uint64_t seed, StrategyKind strategy)
       bandwidth_strategy = std::make_unique<BlindOptimismStrategy>(&modulator_);
       break;
   }
-  client_ = std::make_unique<OdysseyClient>(&sim_, &link_, std::move(bandwidth_strategy));
+  client_ = std::make_unique<OdysseyClient>(&sim_, &link_, std::move(bandwidth_strategy),
+                                            kUpcallLatency);
 
   // The rig is freshly constructed, so the catalog cannot already hold the
   // default movie; a failure here would invalidate every trial.

@@ -40,6 +40,11 @@ const char* StrategyKindName(StrategyKind kind);
 inline constexpr char kDefaultMovie[] = "default";
 inline constexpr char kTestImageUrl[] = "http://origin/test-image.jpg";
 
+// Cost of delivering an upcall into an application (signal handler plus
+// library dispatch), per the paper's measured upcall propagation latency
+// (§6.4: sub-millisecond for a handful of registered applications).
+inline constexpr Duration kUpcallLatency = 550;  // 0.55 ms
+
 class ExperimentRig {
  public:
   // Builds the full client stack with the given trial |seed| and

@@ -1,0 +1,79 @@
+#include "src/metrics/scenarios.h"
+
+#include "src/apps/bitstream_app.h"
+#include "src/metrics/experiment.h"
+#include "src/metrics/trial.h"
+#include "src/trace/trace_macros.h"
+#include "src/trace/trace_recorder.h"
+
+namespace odyssey {
+namespace {
+
+constexpr Duration kAgilitySamplePeriod = 100 * kMillisecond;
+
+// The adaptive consumer tolerates a ±30% drift around its chosen level.
+constexpr double kWindowLowerFactor = 0.7;
+constexpr double kWindowUpperFactor = 1.3;
+
+// Holds a window of tolerance around |level|, re-centering on every upcall
+// (§4.2's request/upcall/re-request loop).  Each violation is one
+// adaptation, recorded as a kApp "adapt" instant.
+void RegisterAdaptiveWindow(OdysseyClient* client, AppId app, double level) {
+  ResourceDescriptor descriptor;
+  descriptor.resource = ResourceId::kNetworkBandwidth;
+  descriptor.lower = kWindowLowerFactor * level;
+  descriptor.upper = kWindowUpperFactor * level;
+  descriptor.handler = [client, app](RequestId, ResourceId, double new_level) {
+    ODY_TRACE_INSTANT1(client->sim()->trace(), kApp, "adapt", client->sim()->now(), app,
+                       "level", new_level);
+    RegisterAdaptiveWindow(client, app, new_level);
+  };
+  const RequestResult result = client->Request(app, descriptor);
+  if (!result.ok()) {
+    // The level moved since the upcall was posted; a window centered on the
+    // level the viceroy just reported always admits it, so this recursion
+    // terminates on the next call.
+    RegisterAdaptiveWindow(client, app, result.current_level);
+  }
+}
+
+// Waits (in one-second steps) for the estimator's first figures, then
+// starts the adaptive loop at the reported level.
+void StartAdaptingWhenEstimated(OdysseyClient* client, AppId app) {
+  client->sim()->Schedule(kSecond, [client, app] {
+    if (!client->HasBandwidthEstimate()) {
+      StartAdaptingWhenEstimated(client, app);
+      return;
+    }
+    RegisterAdaptiveWindow(client, app,
+                           client->CurrentLevel(app, ResourceId::kNetworkBandwidth));
+  });
+}
+
+}  // namespace
+
+AgilityTrialResult RunSupplyAgilityTrial(Waveform waveform, uint64_t seed,
+                                         TraceRecorder* trace) {
+  ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace);
+  BitstreamApp app(&rig.client(), "bitstream");
+  const Time measure = rig.Replay(MakeWaveform(waveform));
+  app.Start();
+  StartAdaptingWhenEstimated(&rig.client(), app.app());
+
+  Sampler sampler(&rig.sim(), kAgilitySamplePeriod, measure, [&rig] {
+    return rig.centralized()->TotalSupply(rig.sim().now());
+  });
+  rig.sim().ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
+  rig.sim().RunUntil(measure + kWaveformLength);
+
+  const UpcallDispatcher& upcalls = rig.client().viceroy().upcalls();
+  AgilityTrialResult result;
+  result.series = sampler.series();
+  result.upcalls = upcalls.delivered_count();
+  result.upcall_latency_mean_ms = upcalls.latency_mean_us() / 1000.0;
+  result.upcall_latency_max_ms = static_cast<double>(upcalls.latency_max()) / 1000.0;
+  return result;
+}
+
+}  // namespace odyssey

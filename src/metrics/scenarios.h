@@ -1,0 +1,42 @@
+// Reusable experiment scenarios.
+//
+// The Figure-8 supply-agility trial lives here rather than in the bench so
+// that the golden-trace regression, the CI determinism diff, and
+// bench_fig08 all run the exact same event sequence.  The trial adds an
+// adaptive consumer on top of the raw bitstream workload: it holds a
+// window of tolerance around the reported bandwidth and re-centers on
+// every upcall, so a traced run exercises the viceroy and application
+// layers as well as estimation.
+
+#ifndef SRC_METRICS_SCENARIOS_H_
+#define SRC_METRICS_SCENARIOS_H_
+
+#include <cstdint>
+
+#include "src/metrics/stats.h"
+#include "src/tracemod/waveforms.h"
+
+namespace odyssey {
+
+class TraceRecorder;
+
+// Result of one supply-agility trial (one waveform, one seed).
+struct AgilityTrialResult {
+  Series series;  // supply estimate over the measured minute, 100ms grid
+
+  // Upcall-latency accounting (satellite of the odytrace work): sim time
+  // from a supply-change upcall being posted to its handler running.
+  uint64_t upcalls = 0;
+  double upcall_latency_mean_ms = 0.0;
+  double upcall_latency_max_ms = 0.0;
+};
+
+// Runs one trial: a bitstream consumer at maximum rate with an adaptive
+// bandwidth window, against |waveform| with the paper's 30-second priming.
+// When |trace| is non-null every instrumented component records into it.
+AgilityTrialResult RunSupplyAgilityTrial(Waveform waveform, uint64_t seed,
+                                         TraceRecorder* trace = nullptr);
+
+}  // namespace odyssey
+
+#endif  // SRC_METRICS_SCENARIOS_H_

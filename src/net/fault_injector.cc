@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/trace_macros.h"
+
 namespace odyssey {
 
 FaultInjector::FaultInjector(Simulation* sim, Link* link)
@@ -18,11 +20,13 @@ void FaultInjector::Arm(const FaultPlan& plan) {
   for (const OutageWindow& outage : plan_.outages) {
     sim_->ScheduleAt(outage.start, [this] {
       if (++active_outages_ == 1) {
+        ODY_TRACE_INSTANT(sim_->trace(), kFault, "outage_begin", sim_->now(), 0);
         link_->SetOutage(true);
       }
     });
     sim_->ScheduleAt(outage.start + outage.duration, [this] {
       if (--active_outages_ == 0) {
+        ODY_TRACE_INSTANT(sim_->trace(), kFault, "outage_end", sim_->now(), 0);
         link_->SetOutage(false);
       }
     });
@@ -30,10 +34,14 @@ void FaultInjector::Arm(const FaultPlan& plan) {
   for (const LatencySpike& spike : plan_.latency_spikes) {
     sim_->ScheduleAt(spike.start, [this, extra = spike.extra] {
       active_latency_extra_ += extra;
+      ODY_TRACE_INSTANT1(sim_->trace(), kFault, "latency_spike_begin", sim_->now(), 0,
+                         "extra_us", static_cast<double>(extra));
       link_->SetExtraLatency(active_latency_extra_);
     });
     sim_->ScheduleAt(spike.start + spike.duration, [this, extra = spike.extra] {
       active_latency_extra_ -= extra;
+      ODY_TRACE_INSTANT1(sim_->trace(), kFault, "latency_spike_end", sim_->now(), 0,
+                         "extra_us", static_cast<double>(extra));
       link_->SetExtraLatency(active_latency_extra_);
     });
   }
@@ -55,6 +63,8 @@ bool FaultInjector::ShouldDropMessage() {
   }
   if (drop) {
     ++messages_dropped_;
+    ODY_TRACE_INSTANT1(sim_->trace(), kFault, "message_drop", sim_->now(), 0, "message_index",
+                       static_cast<double>(index));
   }
   return drop;
 }
@@ -85,6 +95,8 @@ void FaultInjector::KillAllFlows() {
     link_->CancelFlow(id);
   }
   flows_killed_ += victims.size();
+  ODY_TRACE_INSTANT1(sim_->trace(), kFault, "flow_kill", sim_->now(), 0, "flows",
+                     static_cast<double>(victims.size()));
 }
 
 }  // namespace odyssey

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/trace/trace_macros.h"
+
 namespace odyssey {
 
 Modulator::Modulator(Simulation* sim, Link* link) : sim_(sim), link_(link) {}
@@ -21,6 +23,9 @@ void Modulator::AddTransitionListener(TransitionListener listener) {
 
 void Modulator::ApplySegment(size_t index) {
   const TraceSegment& segment = trace_.segments()[index];
+  ODY_TRACE_INSTANT2(sim_->trace(), kNet, "link_transition", sim_->now(), index,
+                     "bandwidth_bps", segment.bandwidth_bps, "latency_us",
+                     static_cast<double>(segment.latency));
   link_->SetLatency(segment.latency);
   link_->SetCapacity(segment.bandwidth_bps);
   for (const auto& listener : listeners_) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/core/contract.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 namespace {
@@ -99,10 +100,16 @@ void Endpoint::CallAttempt(double request_bytes, double response_bytes, Duration
   const Time start = sim_->now();
   auto state = std::make_shared<AttemptState>();
   auto cb = std::make_shared<StatusDone>(std::move(done));
+  const uint64_t span = ODY_TRACE_SPAN_ID(sim_->trace());
+  ODY_TRACE_BEGIN2(sim_->trace(), kRpc, "rpc_call", sim_->now(), span, "bytes",
+                   request_bytes + response_bytes, "attempt", attempt);
 
   if (policy_.enabled()) {
     ArmTimeout(AttemptBudget(policy_, request_bytes + response_bytes, server_compute), state,
-               [this, request_bytes, response_bytes, server_compute, attempt, cb] {
+               [this, request_bytes, response_bytes, server_compute, attempt, span, cb] {
+                 ODY_TRACE_END(sim_->trace(), kRpc, "rpc_call", sim_->now(), span);
+                 ODY_TRACE_INSTANT1(sim_->trace(), kRpc, "rpc_timeout", sim_->now(), id_,
+                                    "attempt", attempt);
                  RetryOrFail(attempt,
                              [this, request_bytes, response_bytes, server_compute, cb](int next) {
                                CallAttempt(request_bytes, response_bytes, server_compute, next,
@@ -113,20 +120,21 @@ void Endpoint::CallAttempt(double request_bytes, double response_bytes, Duration
   }
 
   // Request transmission, then one-way latency to the server.
-  SendMessage(request_bytes, state, [this, start, response_bytes, server_compute, state, cb] {
+  SendMessage(request_bytes, state,
+              [this, start, response_bytes, server_compute, span, state, cb] {
     // A stalled server adds compute the client did not budget for, so a
     // stall window is visible to the retry machinery as a slow exchange.
     const Duration stall =
         injector_ != nullptr ? injector_->ServerStallExtra(sim_->now() + link_->latency()) : 0;
     sim_->Schedule(
         link_->latency() + server_compute + stall,
-        [this, start, response_bytes, server_compute, state, cb] {
+        [this, start, response_bytes, server_compute, span, state, cb] {
           if (state->aborted) {
             return;
           }
           // Response transmission, then one-way latency back to the client.
-          SendMessage(response_bytes, state, [this, start, server_compute, state, cb] {
-            sim_->Schedule(link_->latency(), [this, start, server_compute, state, cb] {
+          SendMessage(response_bytes, state, [this, start, server_compute, span, state, cb] {
+            sim_->Schedule(link_->latency(), [this, start, server_compute, span, state, cb] {
               if (state->aborted) {
                 return;
               }
@@ -135,6 +143,8 @@ void Endpoint::CallAttempt(double request_bytes, double response_bytes, Duration
               // never inflate the estimator's round-trip samples.
               const Duration rtt = (sim_->now() - start) - server_compute;
               log_.RecordRoundTrip(sim_->now(), rtt < 0 ? 0 : rtt);
+              ODY_TRACE_END1(sim_->trace(), kRpc, "rpc_call", sim_->now(), span, "rtt_us",
+                             static_cast<double>(rtt < 0 ? 0 : rtt));
               if (*cb) {
                 (*cb)(OkStatus());
               }
@@ -148,9 +158,15 @@ void Endpoint::WindowAttempt(double bytes, int attempt, StatusDone done) {
   const Time start = sim_->now();
   auto state = std::make_shared<AttemptState>();
   auto cb = std::make_shared<StatusDone>(std::move(done));
+  const uint64_t span = ODY_TRACE_SPAN_ID(sim_->trace());
+  ODY_TRACE_BEGIN2(sim_->trace(), kRpc, "rpc_window", sim_->now(), span, "bytes", bytes,
+                   "attempt", attempt);
 
   if (policy_.enabled()) {
-    ArmTimeout(AttemptBudget(policy_, bytes, 0), state, [this, bytes, attempt, cb] {
+    ArmTimeout(AttemptBudget(policy_, bytes, 0), state, [this, bytes, attempt, span, cb] {
+      ODY_TRACE_END(sim_->trace(), kRpc, "rpc_window", sim_->now(), span);
+      ODY_TRACE_INSTANT1(sim_->trace(), kRpc, "rpc_timeout", sim_->now(), id_, "attempt",
+                         attempt);
       RetryOrFail(attempt,
                   [this, bytes, cb](int next) { WindowAttempt(bytes, next, std::move(*cb)); },
                   cb);
@@ -158,17 +174,17 @@ void Endpoint::WindowAttempt(double bytes, int attempt, StatusDone done) {
   }
 
   // Window request upstream...
-  SendMessage(kControlMessageBytes, state, [this, start, bytes, state, cb] {
+  SendMessage(kControlMessageBytes, state, [this, start, bytes, span, state, cb] {
     // A stalled server delays its turn-around on the window request.
     const Duration stall =
         injector_ != nullptr ? injector_->ServerStallExtra(sim_->now() + link_->latency()) : 0;
-    sim_->Schedule(link_->latency() + stall, [this, start, bytes, state, cb] {
+    sim_->Schedule(link_->latency() + stall, [this, start, bytes, span, state, cb] {
       if (state->aborted) {
         return;
       }
       // ...then the window's data downstream.
-      SendMessage(bytes, state, [this, start, bytes, state, cb] {
-        sim_->Schedule(link_->latency(), [this, start, bytes, state, cb] {
+      SendMessage(bytes, state, [this, start, bytes, span, state, cb] {
+        sim_->Schedule(link_->latency(), [this, start, bytes, span, state, cb] {
           if (state->aborted) {
             return;
           }
@@ -177,6 +193,7 @@ void Endpoint::WindowAttempt(double bytes, int attempt, StatusDone done) {
           bytes_transferred_ += bytes;
           // The logged span covers only the successful attempt.
           log_.RecordThroughput(sim_->now(), bytes, sim_->now() - start);
+          ODY_TRACE_END1(sim_->trace(), kRpc, "rpc_window", sim_->now(), span, "bytes", bytes);
           if (*cb) {
             (*cb)(OkStatus());
           }
@@ -221,11 +238,14 @@ void Endpoint::RetryOrFail(int attempt, std::function<void(int)> retry,
                            const std::shared_ptr<StatusDone>& done) {
   if (attempt < policy_.max_attempts) {
     ++retries_;
-    sim_->Schedule(BackoffDelay(attempt),
-                   [retry = std::move(retry), attempt] { retry(attempt + 1); });
+    const Duration backoff = BackoffDelay(attempt);
+    ODY_TRACE_INSTANT2(sim_->trace(), kRpc, "rpc_retry", sim_->now(), id_, "attempt",
+                       attempt, "backoff_us", static_cast<double>(backoff));
+    sim_->Schedule(backoff, [retry = std::move(retry), attempt] { retry(attempt + 1); });
     return;
   }
   ++exchanges_failed_;
+  ODY_TRACE_INSTANT1(sim_->trace(), kRpc, "rpc_failed", sim_->now(), id_, "attempts", attempt);
   log_.RecordFailure(sim_->now(), attempt);
   if (*done) {
     (*done)(Status(StatusCode::kDeadlineExceeded,

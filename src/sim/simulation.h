@@ -20,6 +20,8 @@
 
 namespace odyssey {
 
+class TraceRecorder;
+
 class Simulation {
  public:
   // |seed| determines the trial's random stream (compute-cost jitter etc.).
@@ -79,10 +81,17 @@ class Simulation {
 
   size_t pending_events() { return queue_.size(); }
 
+  // Opt-in tracing: when a recorder is installed, instrumented components
+  // record events into it; when null (the default) every ODY_TRACE_* macro
+  // reduces to a pointer test.  The recorder is borrowed, not owned.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
  private:
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace odyssey

@@ -1,6 +1,26 @@
 #include "src/strategies/centralized.h"
 
+#include "src/trace/trace_macros.h"
+
 namespace odyssey {
+namespace {
+
+// Estimator state is sampled after each observation folds in, so the trace
+// shows the EWMA inputs (the observation) next to its outputs (the
+// smoothed series) at the same sim time.
+void TraceEstimatorState(Simulation* sim, const SupplyModel& model, ConnectionId connection) {
+  const ConnectionEstimator* estimator = model.EstimatorFor(connection);
+  if (estimator == nullptr) {
+    return;
+  }
+  ODY_TRACE_COUNTER(sim->trace(), kEstimator, "rtt_us", sim->now(), connection,
+                    static_cast<double>(estimator->smoothed_rtt()));
+  ODY_TRACE_COUNTER(sim->trace(), kEstimator, "bandwidth_bps", sim->now(), connection,
+                    estimator->bandwidth_bps());
+  ODY_TRACE_COUNTER(sim->trace(), kEstimator, "supply_bps", sim->now(), 0, model.TotalSupply());
+}
+
+}  // namespace
 
 CentralizedStrategy::CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config)
     : sim_(sim), model_(config) {}
@@ -53,17 +73,27 @@ Duration CentralizedStrategy::SmoothedRttFor(AppId app) const {
 }
 
 void CentralizedStrategy::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
+  ODY_TRACE_INSTANT1(sim_->trace(), kEstimator, "rtt_obs", sim_->now(), connection, "rtt_us",
+                     static_cast<double>(obs.rtt));
   model_.OnRoundTrip(connection, obs);
+  TraceEstimatorState(sim_, model_, connection);
   NotifyChanged();
 }
 
 void CentralizedStrategy::OnThroughput(ConnectionId connection, const ThroughputObservation& obs) {
+  ODY_TRACE_INSTANT2(sim_->trace(), kEstimator, "throughput_obs", sim_->now(), connection,
+                     "window_bytes", static_cast<double>(obs.window_bytes), "elapsed_us",
+                     static_cast<double>(obs.elapsed));
   model_.OnThroughput(connection, obs);
+  TraceEstimatorState(sim_, model_, connection);
   NotifyChanged();
 }
 
 void CentralizedStrategy::OnFailure(ConnectionId connection, const FailureObservation& obs) {
+  ODY_TRACE_INSTANT1(sim_->trace(), kEstimator, "failure_obs", sim_->now(), connection,
+                     "attempts", static_cast<double>(obs.attempts));
   model_.OnFailure(connection, obs);
+  TraceEstimatorState(sim_, model_, connection);
   NotifyChanged();
 }
 

@@ -1,0 +1,125 @@
+#include "src/trace/chrome_trace_exporter.h"
+
+#include <fstream>
+#include <string>
+
+#include "src/trace/trace_json.h"
+
+namespace odyssey {
+namespace {
+
+constexpr int kPid = 1;
+
+// One chrome-trace event object, on a single line.
+void AppendEvent(const TraceEvent& event, std::string* out) {
+  out->append("{\"ph\":\"");
+  out->append(TracePhaseCode(event.phase));
+  out->append("\",\"pid\":");
+  out->append(std::to_string(kPid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(static_cast<int>(event.category) + 1));
+  out->append(",\"ts\":");
+  out->append(std::to_string(event.ts));
+  out->append(",\"name\":");
+  out->append(JsonQuote(event.name != nullptr ? event.name : "?"));
+  out->append(",\"cat\":\"");
+  out->append(TraceCategoryName(event.category));
+  out->append("\"");
+  // Async span events require an id to correlate begin with end; instants
+  // and counters carry one only when the emitter set it (it scopes
+  // per-connection/per-app series).
+  if (event.phase == TracePhase::kSpanBegin || event.phase == TracePhase::kSpanEnd ||
+      event.id != 0) {
+    out->append(",\"id\":\"");
+    out->append(std::to_string(event.id));
+    out->append("\"");
+  }
+  if (event.phase == TracePhase::kInstant) {
+    out->append(",\"s\":\"t\"");  // thread-scoped instant
+  }
+  if (event.arg0_name != nullptr || event.arg1_name != nullptr) {
+    out->append(",\"args\":{");
+    if (event.arg0_name != nullptr) {
+      out->append(JsonQuote(event.arg0_name));
+      out->append(":");
+      out->append(JsonNumberToString(event.arg0));
+    }
+    if (event.arg1_name != nullptr) {
+      if (event.arg0_name != nullptr) {
+        out->append(",");
+      }
+      out->append(JsonQuote(event.arg1_name));
+      out->append(":");
+      out->append(JsonNumberToString(event.arg1));
+    }
+    out->append("}");
+  }
+  out->append("}");
+}
+
+void AppendThreadName(int tid, const std::string& name, std::string* out) {
+  out->append("{\"ph\":\"M\",\"pid\":");
+  out->append(std::to_string(kPid));
+  out->append(",\"tid\":");
+  out->append(std::to_string(tid));
+  out->append(",\"name\":\"thread_name\",\"args\":{\"name\":");
+  out->append(JsonQuote(name));
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string ChromeTraceExporter::ToJson(const TraceRecorder& recorder) {
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  std::string out;
+  out.reserve(events.size() * 128 + 1024);
+  out.append("{\n\"displayTimeUnit\":\"ms\",\n");
+  out.append("\"otherData\":{\"clock\":\"virtual-microseconds\",\"dropped_events\":\"");
+  out.append(std::to_string(recorder.dropped_count()));
+  out.append("\"},\n\"traceEvents\":[\n");
+
+  // Metadata first: the process, then one named track per category that
+  // actually recorded something.
+  out.append("{\"ph\":\"M\",\"pid\":");
+  out.append(std::to_string(kPid));
+  out.append(",\"name\":\"process_name\",\"args\":{\"name\":\"odyssey\"}}");
+  for (int c = 0; c < kTraceCategoryCount; ++c) {
+    if (recorder.category_counts()[c] == 0) {
+      continue;
+    }
+    out.append(",\n");
+    AppendThreadName(c + 1, TraceCategoryName(static_cast<TraceCategory>(c)), &out);
+  }
+  for (const TraceEvent& event : events) {
+    out.append(",\n");
+    AppendEvent(event, &out);
+  }
+  out.append("\n]\n}\n");
+  return out;
+}
+
+bool ChromeTraceExporter::WriteFile(const TraceRecorder& recorder, const std::string& path,
+                                    std::string* error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  const std::string json = ToJson(recorder);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.flush();
+  if (!file) {
+    if (error != nullptr) {
+      *error = "short write to " + path;
+    }
+    return false;
+  }
+  if (error != nullptr) {
+    error->clear();
+  }
+  return true;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,36 @@
+// Exports a TraceRecorder to chrome://tracing / Perfetto JSON.
+//
+// The output is the Trace Event Format's "JSON Object Format": a
+// `traceEvents` array plus metadata.  Timestamps are the simulation's
+// virtual microseconds, so the timeline in the viewer reads in sim time.
+// Category tracks are modeled as threads of one "odyssey" process (thread
+// metadata events name each track); spans are async begin/end pairs
+// correlated by id, counters are "C" events, instants are "i" events.
+//
+// Everything about the output is a pure function of the recorded events —
+// no wall-clock stamps, no environment — so two runs that record the same
+// events export byte-identical JSON.  The golden-trace regression and CI's
+// same-seed diff rest on that property.
+
+#ifndef SRC_TRACE_CHROME_TRACE_EXPORTER_H_
+#define SRC_TRACE_CHROME_TRACE_EXPORTER_H_
+
+#include <string>
+
+#include "src/trace/trace_recorder.h"
+
+namespace odyssey {
+
+class ChromeTraceExporter {
+ public:
+  // Serializes |recorder|'s events as a chrome://tracing JSON document.
+  static std::string ToJson(const TraceRecorder& recorder);
+
+  // Writes ToJson() to |path|.  False (with |error| set) on I/O failure.
+  [[nodiscard]] static bool WriteFile(const TraceRecorder& recorder, const std::string& path,
+                                      std::string* error);
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_TRACE_CHROME_TRACE_EXPORTER_H_

@@ -1,0 +1,262 @@
+#include "src/trace/trace_diff.h"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/trace/trace_event.h"
+#include "src/trace/trace_json.h"
+
+namespace odyssey {
+namespace {
+
+bool IsMetadataEvent(const JsonValue& event) {
+  const JsonValue* ph = event.Find("ph");
+  return ph != nullptr && ph->is_string() && ph->string_value() == "M";
+}
+
+// Extracts `ts=<int>` from a canonical line; 0 if absent.
+int64_t CanonicalLineTime(const std::string& line) {
+  const size_t pos = line.find("ts=");
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return static_cast<int64_t>(std::strtoll(line.c_str() + pos + 3, nullptr, 10));
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::string TokenKey(const std::string& token) {
+  const size_t eq = token.find('=');
+  return eq == std::string::npos ? token : token.substr(0, eq);
+}
+
+}  // namespace
+
+std::vector<std::string> CanonicalizeChromeTrace(const std::string& json_text,
+                                                 std::string* error) {
+  const JsonValue root = ParseJson(json_text, error);
+  if (!error->empty()) {
+    return {};
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    *error = "trace has no traceEvents array";
+    return {};
+  }
+
+  std::vector<std::string> lines;
+  std::map<std::string, uint64_t> id_remap;  // raw id -> dense canonical id
+  for (const JsonValue& event : events->array_items()) {
+    if (!event.is_object() || IsMetadataEvent(event)) {
+      continue;
+    }
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* name = event.Find("name");
+    const JsonValue* cat = event.Find("cat");
+    if (ph == nullptr || ts == nullptr || name == nullptr || cat == nullptr) {
+      *error = "event missing ph/ts/name/cat";
+      return {};
+    }
+    std::string line;
+    line.append("ts=");
+    line.append(JsonNumberToString(ts->number_value()));
+    line.append(" cat=");
+    line.append(cat->string_value());
+    line.append(" ph=");
+    line.append(ph->string_value());
+    line.append(" name=");
+    line.append(name->string_value());
+    const JsonValue* id = event.Find("id");
+    if (id != nullptr && id->is_string()) {
+      // Renumber within the (category, name) id space: raw ids from
+      // unrelated counters (run-local app ids, process-global connection
+      // ids, recorder span ids) may collide in one run but not another, so
+      // a global remap would conflate them.
+      const std::string key =
+          cat->string_value() + "|" + name->string_value() + "|" + id->string_value();
+      const auto [it, inserted] =
+          id_remap.emplace(key, static_cast<uint64_t>(id_remap.size()) + 1);
+      (void)inserted;
+      line.append(" id=");
+      line.append(std::to_string(it->second));
+    }
+    const JsonValue* args = event.Find("args");
+    if (args != nullptr && args->is_object()) {
+      // object_members() iterates in key-sorted order, so argument order
+      // in the canonical form is stable regardless of emission order.
+      for (const auto& [key, value] : args->object_members()) {
+        line.append(" arg.");
+        line.append(key);
+        line.append("=");
+        if (value.is_number()) {
+          line.append(JsonNumberToString(value.number_value()));
+        } else if (value.is_string()) {
+          line.append(value.string_value());
+        } else {
+          line.append("?");
+        }
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  error->clear();
+  return lines;
+}
+
+std::string TraceDiffResult::Format() const {
+  if (identical) {
+    return "traces are identical";
+  }
+  std::string out = "first divergence at event " + std::to_string(index) + " (sim time " +
+                    std::to_string(ts_a) + "us vs " + std::to_string(ts_b) + "us), field '" +
+                    field + "':\n  a: " + value_a + "\n  b: " + value_b;
+  return out;
+}
+
+TraceDiffResult DiffCanonical(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  TraceDiffResult result;
+  const size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < common; ++i) {
+    if (a[i] == b[i]) {
+      continue;
+    }
+    result.identical = false;
+    result.index = i;
+    result.ts_a = CanonicalLineTime(a[i]);
+    result.ts_b = CanonicalLineTime(b[i]);
+    // Find the first token that differs; report its key.
+    const std::vector<std::string> ta = SplitTokens(a[i]);
+    const std::vector<std::string> tb = SplitTokens(b[i]);
+    const size_t tokens = ta.size() < tb.size() ? ta.size() : tb.size();
+    for (size_t t = 0; t < tokens; ++t) {
+      if (ta[t] != tb[t]) {
+        result.field = TokenKey(ta[t]);
+        result.value_a = ta[t];
+        result.value_b = tb[t];
+        return result;
+      }
+    }
+    result.field = "arg_count";
+    result.value_a = a[i];
+    result.value_b = b[i];
+    return result;
+  }
+  if (a.size() != b.size()) {
+    result.identical = false;
+    result.index = common;
+    result.field = "missing_event";
+    if (a.size() > common) {
+      result.ts_a = CanonicalLineTime(a[common]);
+      result.value_a = a[common];
+      result.value_b = "<absent>";
+    } else {
+      result.ts_b = CanonicalLineTime(b[common]);
+      result.value_a = "<absent>";
+      result.value_b = b[common];
+    }
+  }
+  return result;
+}
+
+TraceValidationResult ValidateChromeTrace(const std::string& json_text) {
+  TraceValidationResult result;
+  std::string error;
+  const JsonValue root = ParseJson(json_text, &error);
+  if (!error.empty()) {
+    result.error = "not valid JSON: " + error;
+    return result;
+  }
+  if (!root.is_object()) {
+    result.error = "top level is not an object";
+    return result;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    result.error = "missing traceEvents array";
+    return result;
+  }
+
+  std::set<std::string> known_categories;
+  for (int c = 0; c < kTraceCategoryCount; ++c) {
+    known_categories.insert(TraceCategoryName(static_cast<TraceCategory>(c)));
+  }
+  const std::set<std::string> known_phases = {"b", "e", "i", "C"};
+
+  std::set<std::string> seen_categories;
+  size_t index = 0;
+  for (const JsonValue& event : events->array_items()) {
+    const std::string where = "event " + std::to_string(index);
+    ++index;
+    if (!event.is_object()) {
+      result.error = where + " is not an object";
+      return result;
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      result.error = where + " has no ph";
+      return result;
+    }
+    if (ph->string_value() == "M") {
+      continue;  // metadata carries its own minimal shape
+    }
+    if (known_phases.count(ph->string_value()) == 0) {
+      result.error = where + " has unknown phase '" + ph->string_value() + "'";
+      return result;
+    }
+    const JsonValue* ts = event.Find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      result.error = where + " has no numeric ts";
+      return result;
+    }
+    if (ts->number_value() < 0) {
+      result.error = where + " has negative ts";
+      return result;
+    }
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || !name->is_string() || name->string_value().empty()) {
+      result.error = where + " has no name";
+      return result;
+    }
+    const JsonValue* cat = event.Find("cat");
+    if (cat == nullptr || !cat->is_string()) {
+      result.error = where + " has no cat";
+      return result;
+    }
+    if (known_categories.count(cat->string_value()) == 0) {
+      result.error = where + " has unknown category '" + cat->string_value() + "'";
+      return result;
+    }
+    const std::string& phase = ph->string_value();
+    if ((phase == "b" || phase == "e") && event.Find("id") == nullptr) {
+      result.error = where + " is an async span without an id";
+      return result;
+    }
+    if (phase == "C") {
+      const JsonValue* args = event.Find("args");
+      if (args == nullptr || args->Find("value") == nullptr ||
+          !args->Find("value")->is_number()) {
+        result.error = where + " is a counter without a numeric args.value";
+        return result;
+      }
+    }
+    seen_categories.insert(cat->string_value());
+    ++result.event_count;
+  }
+  result.ok = true;
+  result.categories.assign(seen_categories.begin(), seen_categories.end());
+  return result;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,58 @@
+// Golden-trace canonicalization, schema validation, and determinism
+// diffing.
+//
+// Canonical form: one line per non-metadata event, as space-separated
+// `key=value` tokens in a fixed key order, with numbers normalized and
+// correlation ids densely renumbered by first appearance.  The renumbering
+// makes the canonical form independent of process-global id counters
+// (ConnectionId, span ids), so two in-process runs of the same scenario —
+// and a run compared against a checked-in golden file — canonicalize
+// identically when and only when they recorded the same events.
+//
+// DiffCanonical reports the first divergence between two canonical traces:
+// the event index, its sim time, and the first differing field.
+
+#ifndef SRC_TRACE_TRACE_DIFF_H_
+#define SRC_TRACE_TRACE_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odyssey {
+
+// Parses |json_text| as an exported chrome trace and returns its canonical
+// lines.  On failure returns an empty vector with |error| set.
+std::vector<std::string> CanonicalizeChromeTrace(const std::string& json_text,
+                                                 std::string* error);
+
+// First divergence between two canonical traces.
+struct TraceDiffResult {
+  bool identical = true;
+  size_t index = 0;        // index of the first divergent event
+  int64_t ts_a = 0;        // that event's sim time in each trace (µs)
+  int64_t ts_b = 0;
+  std::string field;       // first differing key, or "missing_event"
+  std::string value_a;     // the differing values (or whole lines)
+  std::string value_b;
+  std::string Format() const;
+};
+
+TraceDiffResult DiffCanonical(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+// Structural validation of an exported trace against the odytrace schema:
+// a traceEvents array whose entries carry the required fields with the
+// right types, known phases, and known categories.
+struct TraceValidationResult {
+  bool ok = false;
+  std::string error;                     // first violation, when !ok
+  size_t event_count = 0;                // non-metadata events
+  std::vector<std::string> categories;   // distinct categories seen, sorted
+};
+
+TraceValidationResult ValidateChromeTrace(const std::string& json_text);
+
+}  // namespace odyssey
+
+#endif  // SRC_TRACE_TRACE_DIFF_H_

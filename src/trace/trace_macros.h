@@ -1,0 +1,115 @@
+// The ODY_TRACE_* instrumentation macros.
+//
+// Every macro takes a `TraceRecorder*` first (usually `sim->trace()`); a
+// null recorder reduces the whole macro to one pointer test, so instrumented
+// hot paths cost nothing on untraced runs.  Compiling with
+// -DODYSSEY_TRACE_DISABLED removes the macros entirely (they expand to a
+// no-op statement that evaluates none of its arguments).
+//
+// Event names and argument names must be string literals: each is pasted
+// against an empty literal (`"" name`), which fails to compile for anything
+// else.  This keeps the hot path allocation-free (the recorder stores the
+// pointer) and is additionally enforced by the `trace-static-name` rule in
+// tools/ody_lint.
+//
+// The |cat| parameter is the bare category token (kViceroy, kRpc, ...); the
+// macros qualify it.
+//
+//   ODY_TRACE_INSTANT(sim->trace(), kViceroy, "cancel", sim->now(), id);
+//   const uint64_t span = ODY_TRACE_SPAN_ID(sim->trace());
+//   ODY_TRACE_BEGIN1(sim->trace(), kRpc, "rpc_call", sim->now(), span,
+//                    "bytes", request_bytes);
+//   ...
+//   ODY_TRACE_END1(sim->trace(), kRpc, "rpc_call", sim->now(), span,
+//                  "rtt_us", rtt);
+
+#ifndef SRC_TRACE_TRACE_MACROS_H_
+#define SRC_TRACE_TRACE_MACROS_H_
+
+#include "src/trace/trace_event.h"
+#include "src/trace/trace_recorder.h"
+
+#ifndef ODYSSEY_TRACE_DISABLED
+
+// Internal: builds and records one event.  Names are literal-pasted; all
+// numeric parameters are evaluated exactly once, only when recording.
+#define ODY_TRACE_EVENT_(rec, cat, ph, name_lit, ts_, id_, a0n, a0, a1n, a1) \
+  do {                                                                       \
+    ::odyssey::TraceRecorder* ody_trace_rec_ = (rec);                        \
+    if (ody_trace_rec_ != nullptr) {                                         \
+      ::odyssey::TraceEvent ody_trace_ev_;                                   \
+      ody_trace_ev_.ts = (ts_);                                              \
+      ody_trace_ev_.category = ::odyssey::TraceCategory::cat;               \
+      ody_trace_ev_.phase = ::odyssey::TracePhase::ph;                      \
+      ody_trace_ev_.name = "" name_lit;                                     \
+      ody_trace_ev_.id = (id_);                                             \
+      ody_trace_ev_.arg0_name = (a0n);                                      \
+      ody_trace_ev_.arg0 = static_cast<double>(a0);                         \
+      ody_trace_ev_.arg1_name = (a1n);                                      \
+      ody_trace_ev_.arg1 = static_cast<double>(a1);                         \
+      ody_trace_rec_->Record(ody_trace_ev_);                                \
+    }                                                                       \
+  } while (0)
+
+// Point events.
+#define ODY_TRACE_INSTANT(rec, cat, name, ts, id) \
+  ODY_TRACE_EVENT_(rec, cat, kInstant, name, ts, id, nullptr, 0.0, nullptr, 0.0)
+#define ODY_TRACE_INSTANT1(rec, cat, name, ts, id, a0n, a0) \
+  ODY_TRACE_EVENT_(rec, cat, kInstant, name, ts, id, "" a0n, a0, nullptr, 0.0)
+#define ODY_TRACE_INSTANT2(rec, cat, name, ts, id, a0n, a0, a1n, a1) \
+  ODY_TRACE_EVENT_(rec, cat, kInstant, name, ts, id, "" a0n, a0, "" a1n, a1)
+
+// Counter samples: |value| becomes the "value" series of counter |name|.
+#define ODY_TRACE_COUNTER(rec, cat, name, ts, id, value) \
+  ODY_TRACE_EVENT_(rec, cat, kCounter, name, ts, id, "value", value, nullptr, 0.0)
+
+// Async spans, correlated by id (see ODY_TRACE_SPAN_ID).
+#define ODY_TRACE_BEGIN(rec, cat, name, ts, id) \
+  ODY_TRACE_EVENT_(rec, cat, kSpanBegin, name, ts, id, nullptr, 0.0, nullptr, 0.0)
+#define ODY_TRACE_BEGIN1(rec, cat, name, ts, id, a0n, a0) \
+  ODY_TRACE_EVENT_(rec, cat, kSpanBegin, name, ts, id, "" a0n, a0, nullptr, 0.0)
+#define ODY_TRACE_BEGIN2(rec, cat, name, ts, id, a0n, a0, a1n, a1) \
+  ODY_TRACE_EVENT_(rec, cat, kSpanBegin, name, ts, id, "" a0n, a0, "" a1n, a1)
+#define ODY_TRACE_END(rec, cat, name, ts, id) \
+  ODY_TRACE_EVENT_(rec, cat, kSpanEnd, name, ts, id, nullptr, 0.0, nullptr, 0.0)
+#define ODY_TRACE_END1(rec, cat, name, ts, id, a0n, a0) \
+  ODY_TRACE_EVENT_(rec, cat, kSpanEnd, name, ts, id, "" a0n, a0, nullptr, 0.0)
+
+// A fresh span-correlation id, or 0 when not recording (the paired
+// begin/end macros are no-ops then, so the id is never observed).
+#define ODY_TRACE_SPAN_ID(rec) \
+  ((rec) != nullptr ? (rec)->NextSpanId() : ::std::uint64_t{0})
+
+#else  // ODYSSEY_TRACE_DISABLED
+
+// Disabled: expand to a statement that evaluates nothing.  The sizeof
+// tricks keep variables that exist only for tracing (span ids, hoisted
+// argument values) "used" without generating any code.
+#define ODY_TRACE_NOP2_(x, y) \
+  do {                        \
+    (void)sizeof(x);          \
+    (void)sizeof(y);          \
+  } while (0)
+#define ODY_TRACE_NOP3_(x, y, z) \
+  do {                           \
+    (void)sizeof(x);             \
+    (void)sizeof(y);             \
+    (void)sizeof(z);             \
+  } while (0)
+
+#define ODY_TRACE_INSTANT(rec, cat, name, ts, id) ODY_TRACE_NOP2_(rec, id)
+#define ODY_TRACE_INSTANT1(rec, cat, name, ts, id, a0n, a0) ODY_TRACE_NOP3_(rec, id, a0)
+#define ODY_TRACE_INSTANT2(rec, cat, name, ts, id, a0n, a0, a1n, a1) \
+  ODY_TRACE_NOP3_(rec, a0, a1)
+#define ODY_TRACE_COUNTER(rec, cat, name, ts, id, value) ODY_TRACE_NOP3_(rec, id, value)
+#define ODY_TRACE_BEGIN(rec, cat, name, ts, id) ODY_TRACE_NOP2_(rec, id)
+#define ODY_TRACE_BEGIN1(rec, cat, name, ts, id, a0n, a0) ODY_TRACE_NOP3_(rec, id, a0)
+#define ODY_TRACE_BEGIN2(rec, cat, name, ts, id, a0n, a0, a1n, a1) \
+  ODY_TRACE_NOP3_(rec, a0, a1)
+#define ODY_TRACE_END(rec, cat, name, ts, id) ODY_TRACE_NOP2_(rec, id)
+#define ODY_TRACE_END1(rec, cat, name, ts, id, a0n, a0) ODY_TRACE_NOP3_(rec, id, a0)
+#define ODY_TRACE_SPAN_ID(rec) ((void)sizeof(rec), ::std::uint64_t{0})
+
+#endif  // ODYSSEY_TRACE_DISABLED
+
+#endif  // SRC_TRACE_TRACE_MACROS_H_

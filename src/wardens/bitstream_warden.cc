@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/tsop_codec.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 
@@ -37,6 +38,8 @@ void BitstreamWarden::Tsop(AppId app, const std::string& path, int opcode, const
       }
       const bool was_running = session.running;
       session.running = true;
+      ODY_TRACE_INSTANT1(client()->sim()->trace(), kWarden, "bitstream_start",
+                         client()->sim()->now(), app, "target_bps", session.target_bps);
       done(OkStatus(), PackStruct(BitstreamStarted{session.endpoint->id()}));
       if (!was_running) {
         // Prime the round-trip estimate, then stream.
@@ -51,6 +54,9 @@ void BitstreamWarden::Tsop(AppId app, const std::string& path, int opcode, const
         return;
       }
       it->second.running = false;
+      ODY_TRACE_INSTANT1(client()->sim()->trace(), kWarden, "bitstream_stop",
+                         client()->sim()->now(), app, "bytes_consumed",
+                         it->second.bytes_consumed);
       done(OkStatus(), PackStruct(BitstreamTotals{it->second.bytes_consumed}));
       return;
     }

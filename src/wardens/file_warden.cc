@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/tsop_codec.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 
@@ -75,6 +76,8 @@ void FileWarden::Tsop(AppId app, const std::string& path, int opcode, const std:
         return;
       }
       level_[app] = static_cast<FileConsistency>(request.level);
+      ODY_TRACE_INSTANT1(client()->sim()->trace(), kWarden, "file_consistency",
+                         client()->sim()->now(), app, "level", request.level);
       done(OkStatus(), "");
       return;
     }

@@ -4,6 +4,7 @@
 
 #include "src/core/tsop_codec.h"
 #include "src/servers/calibration.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 namespace {
@@ -142,6 +143,8 @@ void SpeechWarden::Recognize(AppId app, Session& session, const SpeechUtterance&
   const SpeechResult result{kSpeechVocabularies[vocabulary].fidelity, static_cast<int>(plan),
                             vocabulary};
   Simulation* sim = client()->sim();
+  ODY_TRACE_INSTANT2(sim->trace(), kWarden, "speech_plan", sim->now(), app, "mode",
+                     static_cast<int>(plan), "fidelity", result.fidelity);
 
   switch (plan) {
     case SpeechMode::kAlwaysHybrid: {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/tsop_codec.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 
@@ -130,6 +131,8 @@ void TelemetryWarden::Poll(AppId app) {
     if (wanted != subscription.level) {
       subscription.level = wanted;
       ++subscription.stats.level_changes;
+      ODY_TRACE_INSTANT1(client()->sim()->trace(), kWarden, "telemetry_level",
+                         client()->sim()->now(), app, "level", wanted);
     }
   }
   const TelemetryLevel& level = kTelemetryLevels[subscription.level];

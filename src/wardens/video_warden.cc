@@ -5,6 +5,7 @@
 
 #include "src/core/tsop_codec.h"
 #include "src/servers/calibration.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 
@@ -102,6 +103,9 @@ void VideoWarden::HandleSetTrack(Session& session, int track) {
   const bool upgrade =
       session.meta.tracks[track].fidelity > session.meta.tracks[session.current_track].fidelity;
   session.current_track = track;
+  ODY_TRACE_INSTANT2(client()->sim()->trace(), kWarden, "video_set_track",
+                     client()->sim()->now(), session.app, "track", track, "fidelity",
+                     session.meta.tracks[track].fidelity);
   if (upgrade) {
     // Discard prefetched frames of lower fidelity than the new track; they
     // will be refetched at the better quality.

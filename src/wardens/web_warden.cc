@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/tsop_codec.h"
+#include "src/trace/trace_macros.h"
 
 namespace odyssey {
 
@@ -44,6 +45,8 @@ void WebWarden::Tsop(AppId app, const std::string& path, int opcode, const std::
         return;
       }
       it->second.level = static_cast<WebFidelity>(request.level);
+      ODY_TRACE_INSTANT1(client()->sim()->trace(), kWarden, "web_set_fidelity",
+                         client()->sim()->now(), app, "level", request.level);
       done(OkStatus(), "");
       return;
     }

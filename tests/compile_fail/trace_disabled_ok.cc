@@ -1,0 +1,22 @@
+// Compile-PASS fixture (the sibling of the WILL_FAIL fixtures here): with
+// -DODYSSEY_TRACE_DISABLED every ODY_TRACE_* macro must still compile
+// cleanly under -Wall -Wextra -Werror — including call sites that hoist
+// values or span ids used only for tracing — while evaluating nothing.
+
+#include <cstdint>
+
+#include "src/trace/trace_macros.h"
+
+namespace odyssey {
+
+inline void InstrumentedFunction(TraceRecorder* recorder) {
+  const std::uint64_t span = ODY_TRACE_SPAN_ID(recorder);
+  const double hoisted_for_tracing = 42.0;
+  ODY_TRACE_BEGIN1(recorder, kRpc, "call", 10, span, "bytes", hoisted_for_tracing);
+  ODY_TRACE_END1(recorder, kRpc, "call", 20, span, "rtt_us", 10);
+  ODY_TRACE_INSTANT(recorder, kFault, "drop", 15, 3);
+  ODY_TRACE_INSTANT2(recorder, kApp, "adapt", 16, 4, "level", 1.0, "window", 2.0);
+  ODY_TRACE_COUNTER(recorder, kViceroy, "queue_depth", 17, 0, 3);
+}
+
+}  // namespace odyssey

@@ -54,6 +54,10 @@ RULES = {
     "include-order": (
         "own header first, then sorted blocks of root-relative includes"
     ),
+    "trace-static-name": (
+        "ODY_TRACE_* event names must be string literals; the recorder "
+        "stores the pointer, so a built string would dangle and allocate"
+    ),
 }
 
 # Directories whose sources are scanned at all.
@@ -259,6 +263,60 @@ def check_no_cout(sf: SourceFile) -> list[Violation]:
     return out
 
 
+# The recording macros whose third argument is the event name.
+_TRACE_MACRO_RE = re.compile(
+    r"\bODY_TRACE_(?:INSTANT[12]?|COUNTER|BEGIN[12]?|END1?)\s*\("
+)
+# One or more concatenated string literals, nothing else.
+_STRING_LITERAL_RE = re.compile(r'^\s*(?:"(?:[^"\\]|\\.)*"\s*)+$')
+
+
+def _split_top_level_args(text: str, start: int) -> list[tuple[int, int]]:
+    """Returns (begin, end) offsets of the top-level arguments of the call
+    whose opening parenthesis is at |start|; empty on unbalanced input."""
+    depth = 0
+    args = []
+    arg_begin = start + 1
+    for i in range(start, len(text)):
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append((arg_begin, i))
+                return args
+        elif c == "," and depth == 1:
+            args.append((arg_begin, i))
+            arg_begin = i + 1
+    return []
+
+
+def check_trace_static_name(sf: SourceFile) -> list[Violation]:
+    # Calls are located in the stripped text (so commented-out examples do
+    # not match and string contents cannot confuse the argument splitter),
+    # but the name argument itself is read from the raw text, where its
+    # literal survives.
+    code_text = "\n".join(sf.code_lines)
+    raw_text = "\n".join(sf.lines)
+    out = []
+    for m in _TRACE_MACRO_RE.finditer(code_text):
+        line_no = code_text.count("\n", 0, m.start()) + 1
+        line_begin = code_text.rfind("\n", 0, m.start()) + 1
+        if code_text[line_begin:m.start()].lstrip().startswith("#"):
+            continue  # the macro definitions themselves
+        args = _split_top_level_args(code_text, m.end() - 1)
+        if len(args) < 3:
+            continue
+        name_begin, name_end = args[2]
+        if not _STRING_LITERAL_RE.match(raw_text[name_begin:name_end]):
+            got = " ".join(raw_text[name_begin:name_end].split())
+            out.append(Violation(sf.relpath, line_no, "trace-static-name",
+                                 f"trace event name '{got}' is not a string literal; "
+                                 "the recorder keeps the pointer, not a copy"))
+    return out
+
+
 # --- Structural rules -------------------------------------------------------
 
 def expected_guard(relpath: str) -> str:
@@ -356,6 +414,7 @@ CHECKS = [
     check_unseeded_random,
     check_float_equal,
     check_no_cout,
+    check_trace_static_name,
     check_header_guard,
     check_include_order,
 ]

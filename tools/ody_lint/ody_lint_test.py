@@ -100,6 +100,37 @@ class OdyLintTest(unittest.TestCase):
         rel = self.place("no_cout_suppressed.cc", "src/core/no_cout_suppressed.cc")
         self.assertNotIn("no-cout", self.rules_found(rel))
 
+    # --- trace-static-name ---
+
+    def test_trace_name_flagged_everywhere(self):
+        rel = self.place("trace_name_bad.cc", "src/core/trace_name_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "trace-static-name"]
+        self.assertEqual([v.line for v in violations], [7, 8, 9])
+        rel = self.place("trace_name_bad.cc", "bench/trace_name_bad.cc")
+        self.assertIn("trace-static-name", self.rules_found(rel))
+
+    def test_trace_name_literal_across_lines_is_clean(self):
+        rel = self.place("trace_name_bad.cc", "src/core/trace_name_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "trace-static-name"]
+        self.assertNotIn(14, [v.line for v in violations])  # "rpc_call" literal
+        self.assertNotIn(15, [v.line for v in violations])  # literal on next line
+
+    def test_trace_name_suppressed(self):
+        rel = self.place("trace_name_suppressed.cc", "src/core/trace_name_suppressed.cc")
+        self.assertNotIn("trace-static-name", self.rules_found(rel))
+
+    def test_trace_name_skips_macro_definitions(self):
+        dest = os.path.join(self.root, "src/trace/trace_macros.h")
+        os.makedirs(os.path.dirname(dest), exist_ok=True)
+        with open(dest, "w", encoding="utf-8") as f:
+            f.write("#ifndef SRC_TRACE_TRACE_MACROS_H_\n"
+                    "#define SRC_TRACE_TRACE_MACROS_H_\n"
+                    "#define ODY_TRACE_INSTANT(rec, cat, name, ts, id) \\\n"
+                    "  ODY_TRACE_EVENT_(rec, cat, kInstant, name, ts, id)\n"
+                    "#endif  // SRC_TRACE_TRACE_MACROS_H_\n")
+        self.assertNotIn("trace-static-name",
+                         self.rules_found("src/trace/trace_macros.h"))
+
     # --- header-guard ---
 
     def test_header_guard_mismatch_flagged(self):
@@ -151,7 +182,7 @@ class OdyLintTest(unittest.TestCase):
 
     def test_list_rules_covers_all_checks(self):
         self.assertEqual(ody_lint.main(["--list-rules"]), 0)
-        self.assertEqual(len(ody_lint.RULES), 6)
+        self.assertEqual(len(ody_lint.RULES), 7)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,16 @@
+// Fixture: dynamically built ODY_TRACE_* event names (forbidden — the
+// recorder stores the pointer, so these would dangle and allocate).
+#include <string>
+
+void Bad(odyssey::TraceRecorder* rec, const std::string& which, long now) {
+  const std::string name = "event_" + which;
+  ODY_TRACE_INSTANT(rec, kApp, name.c_str(), now, 0);
+  ODY_TRACE_COUNTER(rec, kApp, which.c_str(), now, 0, 1.0);
+  ODY_TRACE_BEGIN1(rec, kRpc,
+                   (which + "_span").c_str(),
+                   now, 1, "bytes", 2.0);
+  // A literal name is fine, including over a line break:
+  ODY_TRACE_END1(rec, kRpc, "rpc_call", now, 1, "rtt_us", 3.0);
+  ODY_TRACE_INSTANT1(rec, kNet,
+                     "link_transition", now, 0, "bw", 4.0);
+}

@@ -1,0 +1,8 @@
+// Fixture: trace-static-name violations silenced by annotations.
+#include <string>
+
+void Suppressed(odyssey::TraceRecorder* rec, const std::string& which, long now) {
+  ODY_TRACE_INSTANT(rec, kApp, which.c_str(), now, 0);  // ody-lint: allow(trace-static-name)
+  // ody-lint: allow(trace-static-name)
+  ODY_TRACE_COUNTER(rec, kApp, which.c_str(), now, 0, 1.0);
+}

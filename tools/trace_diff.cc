@@ -1,0 +1,110 @@
+// trace_diff: canonicalize, validate, and compare odytrace exports.
+//
+// Usage:
+//   trace_diff A.json B.json     compare two traces; exit 0 iff identical
+//   trace_diff --validate A.json check one trace against the event schema
+//   trace_diff --canon A.json    print the canonical form (debugging aid)
+//
+// Canonicalization strips metadata events and densely renumbers span/flow
+// ids by first appearance, so two runs of the same seeded scenario compare
+// equal even across processes (see DESIGN.md §9).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_diff.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_diff: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Validate(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    return 2;
+  }
+  const odyssey::TraceValidationResult result = odyssey::ValidateChromeTrace(text);
+  if (!result.ok) {
+    std::cerr << path << ": INVALID: " << result.error << "\n";
+    return 1;
+  }
+  std::cout << path << ": OK (" << result.event_count << " events; categories:";
+  for (const std::string& category : result.categories) {
+    std::cout << " " << category;
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
+int Canonicalize(const std::string& path) {
+  std::string text;
+  std::string error;
+  if (!ReadFile(path, &text)) {
+    return 2;
+  }
+  const std::vector<std::string> lines = odyssey::CanonicalizeChromeTrace(text, &error);
+  if (!error.empty()) {
+    std::cerr << path << ": " << error << "\n";
+    return 2;
+  }
+  for (const std::string& line : lines) {
+    std::cout << line << "\n";
+  }
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b) {
+  std::string text_a;
+  std::string text_b;
+  if (!ReadFile(path_a, &text_a) || !ReadFile(path_b, &text_b)) {
+    return 2;
+  }
+  std::string error;
+  const std::vector<std::string> canon_a = odyssey::CanonicalizeChromeTrace(text_a, &error);
+  if (!error.empty()) {
+    std::cerr << path_a << ": " << error << "\n";
+    return 2;
+  }
+  const std::vector<std::string> canon_b = odyssey::CanonicalizeChromeTrace(text_b, &error);
+  if (!error.empty()) {
+    std::cerr << path_b << ": " << error << "\n";
+    return 2;
+  }
+  const odyssey::TraceDiffResult result = odyssey::DiffCanonical(canon_a, canon_b);
+  if (result.identical) {
+    std::cout << "identical: " << canon_a.size() << " canonical events\n";
+    return 0;
+  }
+  std::cerr << "traces diverge: " << result.Format() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 2 && args[0] == "--validate") {
+    return Validate(args[1]);
+  }
+  if (args.size() == 2 && args[0] == "--canon") {
+    return Canonicalize(args[1]);
+  }
+  if (args.size() == 2 && args[0][0] != '-') {
+    return Diff(args[0], args[1]);
+  }
+  std::cerr << "usage: trace_diff A.json B.json | --validate A.json | --canon A.json\n";
+  return 2;
+}
