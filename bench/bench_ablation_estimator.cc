@@ -14,8 +14,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "src/apps/bitstream_app.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
 
 namespace odyssey {
 namespace {
@@ -35,49 +34,15 @@ AgilityResult RunConfig(const SupplyModelConfig& config, double window_bytes) {
   AgilityResult result;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     for (const Waveform waveform : {Waveform::kStepUp, Waveform::kStepDown}) {
-      // Hand-built rig: the swept estimator configuration replaces the
-      // ExperimentRig default.
-      Simulation sim(static_cast<uint64_t>(trial + 1));
-      sim.set_trace(ClaimTraceOnce(g_trace_session));
-      Link link(&sim, kHighBandwidth, kOneWayLatency);
-      Modulator modulator(&sim, &link);
-      auto strategy = std::make_unique<CentralizedStrategy>(&sim, config);
-      CentralizedStrategy* centralized = strategy.get();
-      OdysseyClient client(&sim, &link, std::move(strategy));
-      client.InstallWarden(std::make_unique<BitstreamWarden>());
-      BitstreamApp app(&client, "bitstream");
-
-      const ReplayTrace trace = MakeWaveform(waveform).WithPriming(kPrimingPeriod);
-      modulator.Replay(trace);
-      const Time measure = kPrimingPeriod;
-      app.Start(0.0, window_bytes);
-      Sampler sampler(&sim, 100 * kMillisecond, measure, [&] {
-        return centralized->TotalSupply(sim.now());
-      });
-      sim.ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
-      sim.RunUntil(measure + kWaveformLength);
-
-      const double target = waveform == Waveform::kStepUp ? kHighBandwidth : kLowBandwidth;
-      const double settle =
-          SettlingTime(sampler.series(), 30.0, 0.85 * target, 1.15 * target);
+      const EstimatorAblationTrialResult outcome = RunEstimatorAblationTrial(
+          config, window_bytes, waveform, static_cast<uint64_t>(trial + 1),
+          g_trace_session->ClaimRecorderOnce());
       if (waveform == Waveform::kStepUp) {
-        result.step_up_settle.push_back(settle);
+        result.step_up_settle.push_back(outcome.settle_s);
       } else {
-        result.step_down_settle.push_back(settle);
+        result.step_down_settle.push_back(outcome.settle_s);
       }
-      // Steady-state error over the pre-transition half.
-      double error_sum = 0.0;
-      int error_count = 0;
-      const double pre = waveform == Waveform::kStepUp ? kLowBandwidth : kHighBandwidth;
-      for (const auto& point : sampler.series()) {
-        if (point.t_seconds > 10.0 && point.t_seconds < 29.0) {
-          error_sum += 100.0 * std::abs(point.value - pre) / pre;
-          ++error_count;
-        }
-      }
-      if (error_count > 0) {
-        result.steady_error_pct.push_back(error_sum / error_count);
-      }
+      result.steady_error_pct.push_back(outcome.steady_error_pct);
     }
   }
   return result;

@@ -10,11 +10,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "src/apps/speech_frontend.h"
-#include "src/apps/video_player.h"
-#include "src/apps/web_browser.h"
-#include "src/core/contract.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
 
 namespace odyssey {
 namespace {
@@ -31,56 +27,13 @@ struct WorkloadResult {
 
 WorkloadResult RunWorkload(const SupplyModelConfig& config) {
   WorkloadResult result;
-  // Shortened urban walk: H, L, H, L, H at 45 s each.
-  ReplayTrace trace;
-  for (int i = 0; i < 5; ++i) {
-    trace.Append(45 * kSecond, i % 2 == 0 ? kHighBandwidth : kLowBandwidth, kOneWayLatency);
-  }
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    Simulation sim(static_cast<uint64_t>(trial + 1));
-    sim.set_trace(ClaimTraceOnce(g_trace_session));
-    Link link(&sim, kHighBandwidth, kOneWayLatency);
-    Modulator modulator(&sim, &link);
-    OdysseyClient client(&sim, &link, std::make_unique<CentralizedStrategy>(&sim, config));
-
-    Rng* rng = &sim.rng();
-    VideoServer video_server(rng);
-    DistillationServer distillation(rng);
-    JanusServer janus(rng);
-    const Status added =
-        video_server.AddMovie(VideoServer::MakeDefaultMovie(kDefaultMovie, kVideoFramesPerTrial));
-    ODY_ASSERT(added.ok(), "fresh video server rejected the default movie");
-    distillation.PublishImage(kTestImageUrl, kWebImageBytes);
-    client.InstallWarden(std::make_unique<VideoWarden>(&video_server));
-    client.InstallWarden(std::make_unique<WebWarden>(&distillation));
-    client.InstallWarden(std::make_unique<SpeechWarden>(&janus));
-
-    VideoPlayerOptions video_options;
-    video_options.frames_to_play = 4000;
-    VideoPlayer video(&client, video_options);
-    WebBrowser web(&client, WebBrowserOptions{});
-    SpeechFrontEnd speech(&client, SpeechFrontEndOptions{});
-
-    modulator.Replay(trace.WithPriming(kPrimingPeriod));
-    const Time measure = kPrimingPeriod;
-    const Time end = measure + trace.TotalDuration();
-    video.Start();
-    web.Start();
-    speech.Start();
-    sim.RunUntil(end);
-
-    result.video_drops.push_back(video.DropsBetween(measure, end));
-    result.video_fidelity.push_back(video.MeanFidelityBetween(measure, end));
-    result.web_seconds.push_back(web.MeanSecondsBetween(measure, end));
-    int goal_met = 0;
-    int fetches = 0;
-    for (const auto& outcome : web.outcomes()) {
-      if (outcome.started >= measure && outcome.started < end) {
-        ++fetches;
-        goal_met += outcome.elapsed <= kWebGoal ? 1 : 0;
-      }
-    }
-    result.web_goal_pct.push_back(fetches == 0 ? 0.0 : 100.0 * goal_met / fetches);
+    const FairshareTrialResult outcome = RunFairshareAblationTrial(
+        config, static_cast<uint64_t>(trial + 1), g_trace_session->ClaimRecorderOnce());
+    result.video_drops.push_back(outcome.video_drops);
+    result.video_fidelity.push_back(outcome.video_fidelity);
+    result.web_seconds.push_back(outcome.web_seconds);
+    result.web_goal_pct.push_back(outcome.web_goal_pct);
   }
   return result;
 }

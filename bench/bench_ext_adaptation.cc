@@ -21,14 +21,12 @@
 #include "src/apps/video_player.h"
 #include "src/apps/web_browser.h"
 #include "src/core/battery_model.h"
-#include "src/core/cache_manager.h"
 #include "src/core/contract.h"
 #include "src/core/money_meter.h"
 #include "src/core/tsop_codec.h"
 #include "src/metrics/experiment.h"
-#include "src/servers/file_server.h"
+#include "src/metrics/scenarios.h"
 #include "src/servers/telemetry_server.h"
-#include "src/wardens/file_warden.h"
 #include "src/wardens/telemetry_warden.h"
 
 namespace odyssey {
@@ -50,59 +48,11 @@ struct FileRunResult {
 FileRunResult RunFileConsistency(FileConsistency level) {
   FileRunResult result;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
-    FileServer file_server(&rig.sim().rng());
-    CacheManager cache(&rig.client().viceroy(), 1024.0);
-    for (int i = 0; i < 8; ++i) {
-      file_server.Publish("doc/" + std::to_string(i), 12.0 * kKb);
-    }
-    rig.client().InstallWarden(std::make_unique<FileWarden>(&file_server, &cache));
-    const AppId app = rig.client().RegisterApplication("reader");
-    rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/", kFileSetConsistency,
-                      PackStruct(FileSetConsistencyRequest{static_cast<int>(level)}),
-                      [](Status, std::string) {});
-    rig.Replay(MakeStepDown(), /*prime=*/true);
-
-    // A server-side writer updates a random file every 2 s.
-    std::function<void()> writer = [&] {
-      const Status updated =
-          file_server.Update("doc/" + std::to_string(rig.sim().rng().UniformInt(8)));
-      ODY_ASSERT(updated.ok(), "writer touched an unpublished document");
-      rig.sim().Schedule(2 * kSecond, writer);
-    };
-    rig.sim().Schedule(2 * kSecond, writer);
-
-    // The reader sweeps the documents continuously.
-    double read_ms_sum = 0.0;
-    int reads = 0;
-    double fidelity_sum = 0.0;
-    std::function<void(int)> read_loop = [&](int index) {
-      const Time start = rig.sim().now();
-      rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/doc/" + std::to_string(index % 8),
-                        kFileRead, "", [&, start](Status status, std::string out) {
-                          FileReadReply reply;
-                          if (status.ok() && UnpackStruct(out, &reply)) {
-                            read_ms_sum += DurationToMillis(rig.sim().now() - start);
-                            fidelity_sum += reply.fidelity;
-                            ++reads;
-                          }
-                          rig.sim().Schedule(200 * kMillisecond,
-                                             [&read_loop, index] { read_loop(index + 1); });
-                        });
-    };
-    read_loop(0);
-    rig.sim().RunUntil(kPrimingPeriod + kWaveformLength);
-
-    FileWardenStats stats;
-    rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/", kFileStats, "",
-                      [&](Status status, std::string out) {
-                        ODY_ASSERT(status.ok() && UnpackStruct(out, &stats),
-                                   "file stats tsop failed");
-                      });
-    result.mean_read_ms.push_back(reads == 0 ? 0.0 : read_ms_sum / reads);
-    result.stale_pct.push_back(reads == 0 ? 0.0 : 100.0 * stats.stale_serves / reads);
-    result.fidelity.push_back(reads == 0 ? 0.0 : fidelity_sum / reads);
+    const FileConsistencyTrialResult outcome = RunFileConsistencyTrial(
+        level, static_cast<uint64_t>(trial + 1), g_trace_session->ClaimRecorderOnce());
+    result.mean_read_ms.push_back(outcome.mean_read_ms);
+    result.stale_pct.push_back(outcome.stale_pct);
+    result.fidelity.push_back(outcome.fidelity);
   }
   return result;
 }
@@ -136,7 +86,7 @@ void RunPageSection() {
     for (int trial = 0; trial < kPaperTrials; ++trial) {
       for (const double bandwidth : {kHighBandwidth, kLowBandwidth}) {
         ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-        rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
+        rig.sim().set_trace(g_trace_session->ClaimRecorderOnce());
         rig.distillation_server().PublishPage("http://origin/guide.html", 6.0 * kKb,
                                               {22.0 * kKb, 11.0 * kKb, 44.0 * kKb});
         const AppId app = rig.client().RegisterApplication("browser");
@@ -183,7 +133,7 @@ void RunVocabularySection() {
     int vocabulary = 0;
     for (int trial = 0; trial < kPaperTrials; ++trial) {
       ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-      rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
+      rig.sim().set_trace(g_trace_session->ClaimRecorderOnce());
       const AppId app = rig.client().RegisterApplication("speech");
       rig.Replay(MakeConstant(kLowBandwidth, 5 * kMinute), /*prime=*/false);
       const std::string path = std::string(kOdysseyRoot) + "speech/janus";
@@ -225,7 +175,7 @@ void RunResourceSection() {
                "battery upcall", "money upcall"});
   for (int trial = 0; trial < kPaperTrials; ++trial) {
     ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
+    rig.sim().set_trace(g_trace_session->ClaimRecorderOnce());
     BatteryModel::Config battery_config;
     battery_config.capacity_minutes = 60.0;
     battery_config.network_minutes_per_mb = 0.1;
@@ -290,7 +240,7 @@ void RunTelemetrySection() {
     std::vector<double> lag;
     for (int trial = 0; trial < kPaperTrials; ++trial) {
       ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-      rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
+      rig.sim().set_trace(g_trace_session->ClaimRecorderOnce());
       TelemetryServer telemetry(&rig.sim());
       telemetry.CreateFeed("stocks/ACME", 100 * kMillisecond, 100.0, 0.05);
       auto* warden = static_cast<TelemetryWarden*>(

@@ -38,7 +38,7 @@ void RunWaveform(Waveform waveform, TraceSession* session) {
     // The traced run is Step-Up, seed 1: the scenario the golden-trace
     // regression and the CI determinism diff replay.
     TraceRecorder* recorder =
-        (waveform == Waveform::kStepUp && trial == 0) ? session->recorder() : nullptr;
+        (waveform == Waveform::kStepUp && trial == 0) ? session->ClaimRecorderOnce() : nullptr;
     const AgilityTrialResult result =
         RunSupplyAgilityTrial(waveform, static_cast<uint64_t>(trial + 1), recorder);
     trials.push_back(result.series);

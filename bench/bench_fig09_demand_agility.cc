@@ -10,8 +10,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "src/apps/bitstream_app.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
 
 namespace odyssey {
 namespace {
@@ -19,52 +18,13 @@ namespace {
 // Set by main(); the first trial claims the --trace-out recorder.
 TraceSession* g_trace_session = nullptr;
 
-constexpr Duration kSamplePeriod = 100 * kMillisecond;
-constexpr Duration kObservation = 60 * kSecond;
-
-struct TrialSeries {
-  Series total;
-  Series second_share;
-};
-
-TrialSeries RunTrial(double utilization, uint64_t seed) {
-  ExperimentRig rig(seed, StrategyKind::kOdyssey);
-  rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
-  BitstreamApp first(&rig.client(), "bitstream-1");
-  BitstreamApp second(&rig.client(), "bitstream-2");
-  const double target = utilization >= 1.0 ? 0.0 : utilization * kHighBandwidth;
-
-  // Steady high bandwidth throughout (the demand experiments run at the
-  // higher modulated bandwidth, §6.2.1).
-  const Time measure = rig.Replay(MakeConstant(kHighBandwidth, 2 * kObservation));
-  first.Start(target);
-  rig.sim().ScheduleAt(measure + 30 * kSecond, [&] { second.Start(target); });
-
-  TrialSeries out;
-  Sampler total_sampler(&rig.sim(), kSamplePeriod, measure, [&rig] {
-    return rig.centralized()->TotalSupply(rig.sim().now());
-  });
-  Sampler share_sampler(&rig.sim(), kSamplePeriod, measure, [&rig, &second] {
-    if (second.connection() == 0) {
-      return 0.0;
-    }
-    return rig.centralized()->ConnectionAvailability(second.connection(), rig.sim().now());
-  });
-  rig.sim().ScheduleAt(measure, [&] {
-    total_sampler.Run(measure + kObservation);
-    share_sampler.Run(measure + kObservation);
-  });
-  rig.sim().RunUntil(measure + kObservation);
-  out.total = total_sampler.series();
-  out.second_share = share_sampler.series();
-  return out;
-}
-
 void RunUtilization(double utilization) {
   std::vector<Series> totals;
   std::vector<Series> shares;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    TrialSeries series = RunTrial(utilization, static_cast<uint64_t>(trial + 1));
+    DemandTrialResult series =
+        RunDemandAgilityTrial(utilization, static_cast<uint64_t>(trial + 1),
+                              g_trace_session->ClaimRecorderOnce());
     totals.push_back(std::move(series.total));
     shares.push_back(std::move(series.second_share));
   }

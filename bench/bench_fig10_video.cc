@@ -9,8 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "src/apps/video_player.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
 
 namespace odyssey {
 namespace {
@@ -26,19 +25,11 @@ struct CellResult {
 CellResult RunCell(Waveform waveform, int fixed_track) {
   CellResult result;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
-    VideoPlayerOptions options;
-    options.fixed_track = fixed_track;
-    // Play through priming plus the waveform; measure only the 600 frames
-    // displayed during the waveform.
-    options.frames_to_play = 1000;
-    VideoPlayer player(&rig.client(), options);
-    const Time measure = rig.Replay(MakeWaveform(waveform));
-    player.Start();
-    rig.sim().RunUntil(measure + kWaveformLength);
-    result.drops.push_back(player.DropsBetween(measure, measure + kWaveformLength));
-    result.fidelity.push_back(player.MeanFidelityBetween(measure, measure + kWaveformLength));
+    const VideoTrialResult outcome =
+        RunVideoTrial(waveform, fixed_track, static_cast<uint64_t>(trial + 1),
+                      g_trace_session->ClaimRecorderOnce());
+    result.drops.push_back(outcome.drops);
+    result.fidelity.push_back(outcome.fidelity);
   }
   return result;
 }

@@ -10,8 +10,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "src/apps/web_browser.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
 
 namespace odyssey {
 namespace {
@@ -27,18 +26,11 @@ struct CellResult {
 CellResult RunCell(const ReplayTrace& trace, int fixed_level, bool prime) {
   CellResult result;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
-    WebBrowserOptions options;
-    options.fixed_level = fixed_level;
-    WebBrowser browser(&rig.client(), options);
-    const Time measure = rig.Replay(trace, prime);
-    const Time end = measure + trace.TotalDuration();
-    browser.Start();
-    rig.sim().RunUntil(end);
-    browser.Stop();
-    result.seconds.push_back(browser.MeanSecondsBetween(measure, end));
-    result.fidelity.push_back(browser.MeanFidelityBetween(measure, end));
+    const WebTrialResult outcome =
+        RunWebTrial(trace, fixed_level, prime, static_cast<uint64_t>(trial + 1),
+                    g_trace_session->ClaimRecorderOnce());
+    result.seconds.push_back(outcome.seconds);
+    result.fidelity.push_back(outcome.fidelity);
   }
   return result;
 }

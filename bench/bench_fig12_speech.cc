@@ -9,8 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "src/apps/speech_frontend.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
 
 namespace odyssey {
 namespace {
@@ -21,16 +20,8 @@ TraceSession* g_trace_session = nullptr;
 std::vector<double> RunCell(Waveform waveform, SpeechMode mode) {
   std::vector<double> seconds;
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    ExperimentRig rig(static_cast<uint64_t>(trial + 1), StrategyKind::kOdyssey);
-    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
-    SpeechFrontEndOptions options;
-    options.mode = mode;
-    SpeechFrontEnd frontend(&rig.client(), options);
-    const Time measure = rig.Replay(MakeWaveform(waveform));
-    frontend.Start();
-    rig.sim().RunUntil(measure + kWaveformLength);
-    frontend.Stop();
-    seconds.push_back(frontend.MeanSecondsBetween(measure, measure + kWaveformLength));
+    seconds.push_back(RunSpeechTrialSeconds(waveform, mode, static_cast<uint64_t>(trial + 1),
+                                            g_trace_session->ClaimRecorderOnce()));
   }
   return seconds;
 }

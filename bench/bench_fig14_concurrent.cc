@@ -11,10 +11,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "src/apps/speech_frontend.h"
-#include "src/apps/video_player.h"
-#include "src/apps/web_browser.h"
-#include "src/metrics/experiment.h"
+#include "src/metrics/scenarios.h"
 
 namespace odyssey {
 namespace {
@@ -32,30 +29,15 @@ struct StrategyResult {
 
 StrategyResult RunStrategy(StrategyKind strategy) {
   StrategyResult result;
-  const ReplayTrace trace = MakeUrbanScenario();
   for (int trial = 0; trial < kPaperTrials; ++trial) {
-    ExperimentRig rig(static_cast<uint64_t>(trial + 1), strategy);
-    rig.sim().set_trace(ClaimTraceOnce(g_trace_session));
-    VideoPlayerOptions video_options;
-    // 15 minutes at 10 fps plus the priming period; the 600-frame movie
-    // loops continuously.
-    video_options.frames_to_play = 10000;
-    VideoPlayer video(&rig.client(), video_options);
-    WebBrowser web(&rig.client(), WebBrowserOptions{});
-    SpeechFrontEnd speech(&rig.client(), SpeechFrontEndOptions{});
-
-    const Time measure = rig.Replay(trace);
-    const Time end = measure + trace.TotalDuration();
-    video.Start();
-    web.Start();
-    speech.Start();
-    rig.sim().RunUntil(end);
-
-    result.video_drops.push_back(video.DropsBetween(measure, end));
-    result.video_fidelity.push_back(video.MeanFidelityBetween(measure, end));
-    result.web_seconds.push_back(web.MeanSecondsBetween(measure, end));
-    result.web_fidelity.push_back(web.MeanFidelityBetween(measure, end));
-    result.speech_seconds.push_back(speech.MeanSecondsBetween(measure, end));
+    const ConcurrentTrialResult outcome =
+        RunConcurrentTrial(strategy, static_cast<uint64_t>(trial + 1),
+                           g_trace_session->ClaimRecorderOnce());
+    result.video_drops.push_back(outcome.video_drops);
+    result.video_fidelity.push_back(outcome.video_fidelity);
+    result.web_seconds.push_back(outcome.web_seconds);
+    result.web_fidelity.push_back(outcome.web_fidelity);
+    result.speech_seconds.push_back(outcome.speech_seconds);
   }
   return result;
 }

@@ -14,18 +14,6 @@
 
 namespace odyssey {
 
-// Hands the --trace-out recorder to the first caller only, so a bench that
-// runs many trials exports one coherent timeline (the first trial of its
-// first configuration) rather than overlaying every trial's virtual clock.
-inline TraceRecorder* ClaimTraceOnce(TraceSession* session) {
-  static bool claimed = false;
-  if (session == nullptr || claimed) {
-    return nullptr;
-  }
-  claimed = true;
-  return session->recorder();
-}
-
 // Prints a figure banner.
 inline void PrintBanner(const std::string& title, const std::string& subtitle) {
   std::cout << "\n==============================================================\n"

@@ -1,0 +1,23 @@
+// Registration of the built-in scenarios: one registry entry per figure
+// and ablation of the evaluation, with one variant per cell of its grid.
+//
+// The nine bench binaries and the campaign runner draw on the same
+// single-trial bodies in src/metrics/scenarios.h; registering them here
+// makes every cell addressable by (scenario, variant) name so campaigns
+// can sweep them and BENCH_*.json artifacts can gate regressions on them.
+
+#ifndef SRC_HARNESS_BUILTIN_SCENARIOS_H_
+#define SRC_HARNESS_BUILTIN_SCENARIOS_H_
+
+#include "src/harness/scenario_registry.h"
+
+namespace odyssey {
+
+// Registers every built-in scenario into |registry|.  Asserts (via
+// ODY_ASSERT) that registration succeeds — the built-in tables are static
+// and a failure is a programming error, not an input error.
+void RegisterBuiltinScenarios(ScenarioRegistry* registry);
+
+}  // namespace odyssey
+
+#endif  // SRC_HARNESS_BUILTIN_SCENARIOS_H_

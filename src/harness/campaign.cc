@@ -1,0 +1,135 @@
+#include "src/harness/campaign.h"
+
+#include "src/metrics/trial.h"
+#include "src/sim/random.h"
+
+namespace odyssey {
+
+uint64_t DeriveTrialSeed(uint64_t campaign_seed, uint64_t trial_index) {
+  // SplitMix64's state advances by a fixed gamma per Next(), so the stream
+  // can be entered at any element in O(1): seeding at
+  // campaign_seed + trial_index * gamma and taking one step yields exactly
+  // what trial_index + 1 sequential Next() calls from the campaign seed
+  // would (wrapping uint64 arithmetic; identical on every platform).
+  constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  SplitMix64 at(campaign_seed + trial_index * kGamma);
+  return at.Next();
+}
+
+std::vector<CampaignSpec> BuiltinCampaigns() {
+  std::vector<CampaignSpec> campaigns;
+
+  // The CI gate: the Figure 8 and Figure 14 grids at 64 seeds each —
+  // enough samples for stable p95/p99, small enough to run on every push.
+  CampaignSpec tier1;
+  tier1.name = "tier1";
+  tier1.description = "Fig-8 and Fig-14 grids at 64 seeds (the CI regression gate)";
+  tier1.sweeps = {
+      {"fig08_supply_agility", {}, 64},
+      {"fig14_concurrent", {}, 64},
+  };
+  campaigns.push_back(tier1);
+
+  // A seconds-long sanity campaign for tests and quick local checks.
+  CampaignSpec smoke;
+  smoke.name = "smoke";
+  smoke.description = "four fast supply-agility trials (CLI and harness self-checks)";
+  smoke.sweeps = {
+      {"fig08_supply_agility", {"step_up", "step_down"}, 2},
+  };
+  campaigns.push_back(smoke);
+
+  CampaignSpec agility;
+  agility.name = "agility";
+  agility.description = "Figures 8 and 9: supply and demand estimation agility";
+  agility.sweeps = {
+      {"fig08_supply_agility", {}, kPaperTrials},
+      {"fig09_demand_agility", {}, kPaperTrials},
+  };
+  campaigns.push_back(agility);
+
+  CampaignSpec apps;
+  apps.name = "apps";
+  apps.description = "Figures 10-12: video, Web, and speech application grids";
+  apps.sweeps = {
+      {"fig10_video", {}, kPaperTrials},
+      {"fig11_web", {}, kPaperTrials},
+      {"fig12_speech", {}, kPaperTrials},
+  };
+  campaigns.push_back(apps);
+
+  CampaignSpec ablations;
+  ablations.name = "ablations";
+  ablations.description = "estimator and fair-share ablations plus the file extension";
+  ablations.sweeps = {
+      {"ablation_estimator", {}, kPaperTrials},
+      {"ablation_fairshare", {}, kPaperTrials},
+      {"ext_file_consistency", {}, kPaperTrials},
+  };
+  campaigns.push_back(ablations);
+
+  CampaignSpec full;
+  full.name = "full";
+  full.description = "every scenario and variant at the paper's five trials";
+  full.sweeps = {
+      {"fig08_supply_agility", {}, kPaperTrials},
+      {"fig09_demand_agility", {}, kPaperTrials},
+      {"fig10_video", {}, kPaperTrials},
+      {"fig11_web", {}, kPaperTrials},
+      {"fig12_speech", {}, kPaperTrials},
+      {"fig14_concurrent", {}, kPaperTrials},
+      {"ablation_estimator", {}, kPaperTrials},
+      {"ablation_fairshare", {}, kPaperTrials},
+      {"ext_file_consistency", {}, kPaperTrials},
+  };
+  campaigns.push_back(full);
+
+  return campaigns;
+}
+
+const CampaignSpec* FindCampaign(const std::vector<CampaignSpec>& campaigns,
+                                 const std::string& name) {
+  for (const CampaignSpec& campaign : campaigns) {
+    if (campaign.name == name) {
+      return &campaign;
+    }
+  }
+  return nullptr;
+}
+
+Status ExpandCampaign(const CampaignSpec& spec, const ScenarioRegistry& registry,
+                      std::vector<PlannedTrial>* plan) {
+  plan->clear();
+  uint64_t trial_index = 0;
+  for (const SweepSpec& sweep : spec.sweeps) {
+    const Scenario* scenario = registry.Find(sweep.scenario);
+    if (scenario == nullptr) {
+      return NotFoundError("campaign " + spec.name + " sweeps unknown scenario " +
+                           sweep.scenario);
+    }
+    if (sweep.trials <= 0) {
+      return InvalidArgumentError("campaign " + spec.name + " sweep " + sweep.scenario +
+                                  " has a non-positive trial count");
+    }
+    std::vector<std::string> variants = sweep.variants;
+    if (variants.empty()) {
+      for (const ScenarioVariant& variant : scenario->variants) {
+        variants.push_back(variant.name);
+      }
+    }
+    for (const std::string& variant_name : variants) {
+      if (scenario->FindVariant(variant_name) == nullptr) {
+        return NotFoundError("campaign " + spec.name + " sweeps unknown variant " +
+                             sweep.scenario + "/" + variant_name);
+      }
+      for (int trial = 0; trial < sweep.trials; ++trial) {
+        plan->push_back({sweep.scenario, variant_name, trial, trial_index,
+                         DeriveTrialSeed(spec.seed, trial_index)});
+        ++trial_index;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace odyssey

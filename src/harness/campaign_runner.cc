@@ -1,0 +1,48 @@
+#include "src/harness/campaign_runner.h"
+
+#include <cstddef>
+
+#include "src/core/contract.h"
+#include "src/harness/worker_pool.h"
+
+namespace odyssey {
+
+Status RunCampaign(const CampaignSpec& spec, const ScenarioRegistry& registry,
+                   const CampaignRunOptions& options, CampaignResult* result) {
+  result->spec = spec;
+  result->trials.clear();
+
+  std::vector<PlannedTrial> plan;
+  if (Status status = ExpandCampaign(spec, registry, &plan); !status.ok()) {
+    return status;
+  }
+
+  // Resolve every variant before any trial runs: expansion already
+  // validated the names, and after this loop the workers only ever read
+  // the registry through stable pointers.
+  std::vector<const ScenarioVariant*> variants;
+  variants.reserve(plan.size());
+  for (const PlannedTrial& trial : plan) {
+    const Scenario* scenario = registry.Find(trial.scenario);
+    ODY_ASSERT(scenario != nullptr, "expanded plan references unknown scenario");
+    const ScenarioVariant* variant = scenario->FindVariant(trial.variant);
+    ODY_ASSERT(variant != nullptr, "expanded plan references unknown variant");
+    variants.push_back(variant);
+  }
+
+  // Pre-sized result slots: each worker writes only its own index, and the
+  // collected order is the plan order no matter which worker finishes when.
+  result->trials.resize(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    result->trials[i].plan = plan[i];
+  }
+
+  std::vector<TrialOutcome>& trials = result->trials;
+  RunIndexedTasks(options.jobs, plan.size(), [&](size_t i) {
+    TraceRecorder* trace = i == 0 ? options.trace : nullptr;
+    trials[i].metrics = variants[i]->run(plan[i].seed, trace);
+  });
+  return OkStatus();
+}
+
+}  // namespace odyssey

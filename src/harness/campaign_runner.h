@@ -1,0 +1,50 @@
+// The campaign runner: expands a campaign into its trial plan and executes
+// it on a fixed-size worker pool.
+//
+// Trials are shared-nothing (each builds its own Simulation from its
+// derived seed) and results are written into slots indexed by plan
+// position, so the collected CampaignResult is byte-for-byte identical for
+// any worker count — `--jobs=4` must reproduce `--jobs=1` exactly, and the
+// jobs-invariance test holds the runner to that.
+
+#ifndef SRC_HARNESS_CAMPAIGN_RUNNER_H_
+#define SRC_HARNESS_CAMPAIGN_RUNNER_H_
+
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/harness/campaign.h"
+#include "src/harness/scenario_registry.h"
+
+namespace odyssey {
+
+struct CampaignRunOptions {
+  // Worker threads; <= 1 runs every trial inline on the calling thread.
+  int jobs = 1;
+  // When set, the first planned trial runs with this recorder (one traced
+  // exemplar per run keeps traces deterministic under any worker count).
+  TraceRecorder* trace = nullptr;
+};
+
+// One executed trial: its plan cell plus the metrics it reported.
+struct TrialOutcome {
+  PlannedTrial plan;
+  TrialMetrics metrics;
+};
+
+// A fully executed campaign, trials in plan order.
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<TrialOutcome> trials;
+};
+
+// Expands |spec| against |registry| and runs every planned trial on
+// |options.jobs| workers.  Fails (without running anything) if expansion
+// fails; otherwise |result| holds one outcome per planned trial, in plan
+// order regardless of execution order.
+Status RunCampaign(const CampaignSpec& spec, const ScenarioRegistry& registry,
+                   const CampaignRunOptions& options, CampaignResult* result);
+
+}  // namespace odyssey
+
+#endif  // SRC_HARNESS_CAMPAIGN_RUNNER_H_

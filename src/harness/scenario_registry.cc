@@ -1,0 +1,84 @@
+#include "src/harness/scenario_registry.h"
+
+#include <set>
+#include <utility>
+
+namespace odyssey {
+
+const char* MetricDirectionName(MetricDirection direction) {
+  switch (direction) {
+    case MetricDirection::kLowerIsBetter:
+      return "lower";
+    case MetricDirection::kHigherIsBetter:
+      return "higher";
+    case MetricDirection::kEither:
+      return "either";
+  }
+  return "either";
+}
+
+bool ParseMetricDirection(const std::string& name, MetricDirection* out) {
+  if (name == "lower") {
+    *out = MetricDirection::kLowerIsBetter;
+    return true;
+  }
+  if (name == "higher") {
+    *out = MetricDirection::kHigherIsBetter;
+    return true;
+  }
+  if (name == "either") {
+    *out = MetricDirection::kEither;
+    return true;
+  }
+  return false;
+}
+
+const ScenarioVariant* Scenario::FindVariant(const std::string& variant_name) const {
+  for (const ScenarioVariant& variant : variants) {
+    if (variant.name == variant_name) {
+      return &variant;
+    }
+  }
+  return nullptr;
+}
+
+Status ScenarioRegistry::Register(Scenario scenario) {
+  if (scenario.name.empty()) {
+    return InvalidArgumentError("scenario has no name");
+  }
+  if (scenario.variants.empty()) {
+    return InvalidArgumentError("scenario " + scenario.name + " has no variants");
+  }
+  std::set<std::string> seen;
+  for (const ScenarioVariant& variant : scenario.variants) {
+    if (variant.name.empty() || !variant.run) {
+      return InvalidArgumentError("scenario " + scenario.name +
+                                  " has an unnamed or empty variant");
+    }
+    if (!seen.insert(variant.name).second) {
+      return InvalidArgumentError("scenario " + scenario.name + " repeats variant " +
+                                  variant.name);
+    }
+  }
+  const std::string name = scenario.name;
+  if (!scenarios_.emplace(name, std::move(scenario)).second) {
+    return AlreadyExistsError("scenario " + name + " already registered");
+  }
+  return OkStatus();
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::scenario_names() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace odyssey

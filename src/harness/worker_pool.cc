@@ -1,0 +1,42 @@
+#include "src/harness/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace odyssey {
+
+int DefaultJobCount() {
+  const unsigned int hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+void RunIndexedTasks(int jobs, size_t count, const std::function<void(size_t)>& task) {
+  if (count == 0) {
+    return;
+  }
+  if (jobs <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+  const size_t workers = std::min(static_cast<size_t>(jobs), count);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, count, &task] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        task(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+}
+
+}  // namespace odyssey

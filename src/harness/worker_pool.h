@@ -1,0 +1,33 @@
+// A fixed-size worker pool for shared-nothing trial execution.
+//
+// This is the ONLY place in src/ that may create threads (ody_lint's
+// harness-no-raw-thread rule pins std::thread to this file): everything a
+// worker touches is handed to it through the indexed task callback, results
+// are written to distinct slots, and the pool joins every worker before
+// returning, so no thread ever outlives the call that spawned it and no
+// other subsystem needs to know threads exist.
+
+#ifndef SRC_HARNESS_WORKER_POOL_H_
+#define SRC_HARNESS_WORKER_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace odyssey {
+
+// The default --jobs value: the hardware concurrency, clamped to >= 1
+// (hardware_concurrency() may report 0 on exotic platforms).
+int DefaultJobCount();
+
+// Runs task(0) .. task(count - 1) on min(jobs, count) workers.  Tasks are
+// claimed from a shared atomic counter, so workers stay busy regardless of
+// per-task cost; every worker is joined before the call returns.  |task|
+// must be safe to call concurrently for distinct indices and must not
+// throw.  jobs <= 1 runs every task inline on the calling thread — the
+// degenerate case threads never touch, which the jobs-invariance tests use
+// as the reference ordering.
+void RunIndexedTasks(int jobs, size_t count, const std::function<void(size_t)>& task);
+
+}  // namespace odyssey
+
+#endif  // SRC_HARNESS_WORKER_POOL_H_

@@ -1,8 +1,22 @@
 #include "src/metrics/scenarios.h"
 
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
 #include "src/apps/bitstream_app.h"
+#include "src/apps/speech_frontend.h"
+#include "src/apps/video_player.h"
+#include "src/apps/web_browser.h"
+#include "src/core/cache_manager.h"
+#include "src/core/contract.h"
+#include "src/core/tsop_codec.h"
 #include "src/metrics/experiment.h"
 #include "src/metrics/trial.h"
+#include "src/servers/calibration.h"
+#include "src/servers/file_server.h"
 #include "src/trace/trace_macros.h"
 #include "src/trace/trace_recorder.h"
 
@@ -73,6 +87,287 @@ AgilityTrialResult RunSupplyAgilityTrial(Waveform waveform, uint64_t seed,
   result.upcalls = upcalls.delivered_count();
   result.upcall_latency_mean_ms = upcalls.latency_mean_us() / 1000.0;
   result.upcall_latency_max_ms = static_cast<double>(upcalls.latency_max()) / 1000.0;
+  return result;
+}
+
+DemandTrialResult RunDemandAgilityTrial(double utilization, uint64_t seed,
+                                        TraceRecorder* trace) {
+  constexpr Duration kSamplePeriod = 100 * kMillisecond;
+  constexpr Duration kObservation = 60 * kSecond;
+
+  ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace);
+  BitstreamApp first(&rig.client(), "bitstream-1");
+  BitstreamApp second(&rig.client(), "bitstream-2");
+  const double target = utilization >= 1.0 ? 0.0 : utilization * kHighBandwidth;
+
+  // Steady high bandwidth throughout (the demand experiments run at the
+  // higher modulated bandwidth, §6.2.1).
+  const Time measure = rig.Replay(MakeConstant(kHighBandwidth, 2 * kObservation));
+  first.Start(target);
+  rig.sim().ScheduleAt(measure + 30 * kSecond, [&] { second.Start(target); });
+
+  DemandTrialResult out;
+  Sampler total_sampler(&rig.sim(), kSamplePeriod, measure, [&rig] {
+    return rig.centralized()->TotalSupply(rig.sim().now());
+  });
+  Sampler share_sampler(&rig.sim(), kSamplePeriod, measure, [&rig, &second] {
+    if (second.connection() == 0) {
+      return 0.0;
+    }
+    return rig.centralized()->ConnectionAvailability(second.connection(), rig.sim().now());
+  });
+  rig.sim().ScheduleAt(measure, [&] {
+    total_sampler.Run(measure + kObservation);
+    share_sampler.Run(measure + kObservation);
+  });
+  rig.sim().RunUntil(measure + kObservation);
+  out.total = total_sampler.series();
+  out.second_share = share_sampler.series();
+  return out;
+}
+
+VideoTrialResult RunVideoTrial(Waveform waveform, int fixed_track, uint64_t seed,
+                               TraceRecorder* trace) {
+  ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace);
+  VideoPlayerOptions options;
+  options.fixed_track = fixed_track;
+  // Play through priming plus the waveform; measure only the 600 frames
+  // displayed during the waveform.
+  options.frames_to_play = 1000;
+  VideoPlayer player(&rig.client(), options);
+  const Time measure = rig.Replay(MakeWaveform(waveform));
+  player.Start();
+  rig.sim().RunUntil(measure + kWaveformLength);
+  VideoTrialResult result;
+  result.drops = player.DropsBetween(measure, measure + kWaveformLength);
+  result.fidelity = player.MeanFidelityBetween(measure, measure + kWaveformLength);
+  return result;
+}
+
+WebTrialResult RunWebTrial(const ReplayTrace& replay, int fixed_level, bool prime,
+                           uint64_t seed, TraceRecorder* trace) {
+  ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace);
+  WebBrowserOptions options;
+  options.fixed_level = fixed_level;
+  WebBrowser browser(&rig.client(), options);
+  const Time measure = rig.Replay(replay, prime);
+  const Time end = measure + replay.TotalDuration();
+  browser.Start();
+  rig.sim().RunUntil(end);
+  browser.Stop();
+  WebTrialResult result;
+  result.seconds = browser.MeanSecondsBetween(measure, end);
+  result.fidelity = browser.MeanFidelityBetween(measure, end);
+  return result;
+}
+
+double RunSpeechTrialSeconds(Waveform waveform, SpeechMode mode, uint64_t seed,
+                             TraceRecorder* trace) {
+  ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace);
+  SpeechFrontEndOptions options;
+  options.mode = mode;
+  SpeechFrontEnd frontend(&rig.client(), options);
+  const Time measure = rig.Replay(MakeWaveform(waveform));
+  frontend.Start();
+  rig.sim().RunUntil(measure + kWaveformLength);
+  frontend.Stop();
+  return frontend.MeanSecondsBetween(measure, measure + kWaveformLength);
+}
+
+ConcurrentTrialResult RunConcurrentTrial(StrategyKind strategy, uint64_t seed,
+                                         TraceRecorder* trace) {
+  ExperimentRig rig(seed, strategy);
+  rig.sim().set_trace(trace);
+  VideoPlayerOptions video_options;
+  // 15 minutes at 10 fps plus the priming period; the 600-frame movie
+  // loops continuously.
+  video_options.frames_to_play = 10000;
+  VideoPlayer video(&rig.client(), video_options);
+  WebBrowser web(&rig.client(), WebBrowserOptions{});
+  SpeechFrontEnd speech(&rig.client(), SpeechFrontEndOptions{});
+
+  const ReplayTrace urban = MakeUrbanScenario();
+  const Time measure = rig.Replay(urban);
+  const Time end = measure + urban.TotalDuration();
+  video.Start();
+  web.Start();
+  speech.Start();
+  rig.sim().RunUntil(end);
+
+  ConcurrentTrialResult result;
+  result.video_drops = video.DropsBetween(measure, end);
+  result.video_fidelity = video.MeanFidelityBetween(measure, end);
+  result.web_seconds = web.MeanSecondsBetween(measure, end);
+  result.web_fidelity = web.MeanFidelityBetween(measure, end);
+  result.speech_seconds = speech.MeanSecondsBetween(measure, end);
+  return result;
+}
+
+EstimatorAblationTrialResult RunEstimatorAblationTrial(const SupplyModelConfig& config,
+                                                       double window_bytes, Waveform waveform,
+                                                       uint64_t seed, TraceRecorder* trace) {
+  // Hand-built rig: the swept estimator configuration replaces the
+  // ExperimentRig default.
+  Simulation sim(seed);
+  sim.set_trace(trace);
+  Link link(&sim, kHighBandwidth, kOneWayLatency);
+  Modulator modulator(&sim, &link);
+  auto strategy = std::make_unique<CentralizedStrategy>(&sim, config);
+  CentralizedStrategy* centralized = strategy.get();
+  OdysseyClient client(&sim, &link, std::move(strategy));
+  client.InstallWarden(std::make_unique<BitstreamWarden>());
+  BitstreamApp app(&client, "bitstream");
+
+  const ReplayTrace replay = MakeWaveform(waveform).WithPriming(kPrimingPeriod);
+  modulator.Replay(replay);
+  const Time measure = kPrimingPeriod;
+  app.Start(0.0, window_bytes);
+  Sampler sampler(&sim, 100 * kMillisecond, measure,
+                  [&] { return centralized->TotalSupply(sim.now()); });
+  sim.ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
+  sim.RunUntil(measure + kWaveformLength);
+
+  EstimatorAblationTrialResult result;
+  const double target = waveform == Waveform::kStepUp ? kHighBandwidth : kLowBandwidth;
+  result.settle_s = SettlingTime(sampler.series(), 30.0, 0.85 * target, 1.15 * target);
+  // Steady-state error over the pre-transition half.
+  double error_sum = 0.0;
+  int error_count = 0;
+  const double pre = waveform == Waveform::kStepUp ? kLowBandwidth : kHighBandwidth;
+  for (const auto& point : sampler.series()) {
+    if (point.t_seconds > 10.0 && point.t_seconds < 29.0) {
+      error_sum += 100.0 * std::abs(point.value - pre) / pre;
+      ++error_count;
+    }
+  }
+  if (error_count > 0) {
+    result.steady_error_pct = error_sum / error_count;
+  }
+  return result;
+}
+
+FairshareTrialResult RunFairshareAblationTrial(const SupplyModelConfig& config, uint64_t seed,
+                                               TraceRecorder* trace) {
+  // Shortened urban walk: H, L, H, L, H at 45 s each.
+  ReplayTrace replay;
+  for (int i = 0; i < 5; ++i) {
+    replay.Append(45 * kSecond, i % 2 == 0 ? kHighBandwidth : kLowBandwidth, kOneWayLatency);
+  }
+
+  Simulation sim(seed);
+  sim.set_trace(trace);
+  Link link(&sim, kHighBandwidth, kOneWayLatency);
+  Modulator modulator(&sim, &link);
+  OdysseyClient client(&sim, &link, std::make_unique<CentralizedStrategy>(&sim, config));
+
+  Rng* rng = &sim.rng();
+  VideoServer video_server(rng);
+  DistillationServer distillation(rng);
+  JanusServer janus(rng);
+  const Status added =
+      video_server.AddMovie(VideoServer::MakeDefaultMovie(kDefaultMovie, kVideoFramesPerTrial));
+  ODY_ASSERT(added.ok(), "fresh video server rejected the default movie");
+  distillation.PublishImage(kTestImageUrl, kWebImageBytes);
+  client.InstallWarden(std::make_unique<VideoWarden>(&video_server));
+  client.InstallWarden(std::make_unique<WebWarden>(&distillation));
+  client.InstallWarden(std::make_unique<SpeechWarden>(&janus));
+
+  VideoPlayerOptions video_options;
+  video_options.frames_to_play = 4000;
+  VideoPlayer video(&client, video_options);
+  WebBrowser web(&client, WebBrowserOptions{});
+  SpeechFrontEnd speech(&client, SpeechFrontEndOptions{});
+
+  modulator.Replay(replay.WithPriming(kPrimingPeriod));
+  const Time measure = kPrimingPeriod;
+  const Time end = measure + replay.TotalDuration();
+  video.Start();
+  web.Start();
+  speech.Start();
+  sim.RunUntil(end);
+
+  FairshareTrialResult result;
+  result.video_drops = video.DropsBetween(measure, end);
+  result.video_fidelity = video.MeanFidelityBetween(measure, end);
+  result.web_seconds = web.MeanSecondsBetween(measure, end);
+  int goal_met = 0;
+  int fetches = 0;
+  for (const auto& outcome : web.outcomes()) {
+    if (outcome.started >= measure && outcome.started < end) {
+      ++fetches;
+      goal_met += outcome.elapsed <= kWebGoal ? 1 : 0;
+    }
+  }
+  result.web_goal_pct = fetches == 0 ? 0.0 : 100.0 * goal_met / fetches;
+  return result;
+}
+
+FileConsistencyTrialResult RunFileConsistencyTrial(FileConsistency level, uint64_t seed,
+                                                   TraceRecorder* trace) {
+  constexpr double kKb = 1024.0;
+  ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace);
+  FileServer file_server(&rig.sim().rng());
+  CacheManager cache(&rig.client().viceroy(), 1024.0);
+  for (int i = 0; i < 8; ++i) {
+    file_server.Publish("doc/" + std::to_string(i), 12.0 * kKb);
+  }
+  rig.client().InstallWarden(std::make_unique<FileWarden>(&file_server, &cache));
+  const AppId app = rig.client().RegisterApplication("reader");
+  rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/", kFileSetConsistency,
+                    PackStruct(FileSetConsistencyRequest{static_cast<int>(level)}),
+                    [](Status, std::string) {});
+  rig.Replay(MakeStepDown(), /*prime=*/true);
+
+  // A server-side writer updates a random file every 2 s.
+  std::function<void()> writer = [&] {
+    const Status updated =
+        file_server.Update("doc/" + std::to_string(rig.sim().rng().UniformInt(8)));
+    ODY_ASSERT(updated.ok(), "writer touched an unpublished document");
+    rig.sim().Schedule(2 * kSecond, writer);
+  };
+  rig.sim().Schedule(2 * kSecond, writer);
+
+  // The reader sweeps the documents continuously.
+  double read_ms_sum = 0.0;
+  int reads = 0;
+  double fidelity_sum = 0.0;
+  // |index| and |start| are captured by value: the Tsop callback runs after
+  // read_loop's frame is gone, so a default reference capture of the
+  // parameter would read a dead stack slot (and did, before this was a
+  // shared scenario — the reads swept pseudo-random documents that varied
+  // with address-space layout instead of cycling 0..7).
+  std::function<void(int)> read_loop = [&](int index) {
+    const Time start = rig.sim().now();
+    rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/doc/" + std::to_string(index % 8),
+                      kFileRead, "", [&, start, index](Status status, std::string out) {
+                        FileReadReply reply;
+                        if (status.ok() && UnpackStruct(out, &reply)) {
+                          read_ms_sum += DurationToMillis(rig.sim().now() - start);
+                          fidelity_sum += reply.fidelity;
+                          ++reads;
+                        }
+                        rig.sim().Schedule(200 * kMillisecond,
+                                           [&read_loop, index] { read_loop(index + 1); });
+                      });
+  };
+  read_loop(0);
+  rig.sim().RunUntil(kPrimingPeriod + kWaveformLength);
+
+  FileWardenStats stats;
+  rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/", kFileStats, "",
+                    [&](Status status, std::string out) {
+                      ODY_ASSERT(status.ok() && UnpackStruct(out, &stats),
+                                 "file stats tsop failed");
+                    });
+  FileConsistencyTrialResult result;
+  result.mean_read_ms = reads == 0 ? 0.0 : read_ms_sum / reads;
+  result.stale_pct = reads == 0 ? 0.0 : 100.0 * stats.stale_serves / reads;
+  result.fidelity = reads == 0 ? 0.0 : fidelity_sum / reads;
   return result;
 }
 

@@ -1,20 +1,32 @@
-// Reusable experiment scenarios.
+// Reusable experiment scenarios: the per-trial bodies of every figure and
+// ablation in the evaluation.
 //
-// The Figure-8 supply-agility trial lives here rather than in the bench so
-// that the golden-trace regression, the CI determinism diff, and
-// bench_fig08 all run the exact same event sequence.  The trial adds an
-// adaptive consumer on top of the raw bitstream workload: it holds a
-// window of tolerance around the reported bandwidth and re-centers on
-// every upcall, so a traced run exercises the viceroy and application
-// layers as well as estimation.
+// Each function runs ONE trial — one cell of a figure's grid at one seed —
+// and returns plain numbers.  They live here rather than in the bench
+// binaries so that three consumers run the exact same event sequence: the
+// figure benches (which loop over kPaperTrials and print tables), the
+// campaign harness in src/harness (which fans trials across a worker pool
+// and aggregates them into BENCH_*.json artifacts), and the golden-trace /
+// agility regression tests.  Every trial is shared-nothing: it builds its
+// own Simulation from |seed|, touches no global state, and is safe to run
+// concurrently with any other trial.
+//
+// The Figure-8 trial additionally adds an adaptive consumer on top of the
+// raw bitstream workload: it holds a window of tolerance around the
+// reported bandwidth and re-centers on every upcall, so a traced run
+// exercises the viceroy and application layers as well as estimation.
 
 #ifndef SRC_METRICS_SCENARIOS_H_
 #define SRC_METRICS_SCENARIOS_H_
 
 #include <cstdint>
 
+#include "src/estimator/supply_model.h"
+#include "src/metrics/experiment.h"
 #include "src/metrics/stats.h"
 #include "src/tracemod/waveforms.h"
+#include "src/wardens/file_warden.h"
+#include "src/wardens/speech_warden.h"
 
 namespace odyssey {
 
@@ -36,6 +48,109 @@ struct AgilityTrialResult {
 // When |trace| is non-null every instrumented component records into it.
 AgilityTrialResult RunSupplyAgilityTrial(Waveform waveform, uint64_t seed,
                                          TraceRecorder* trace = nullptr);
+
+// --- Figure 9: demand agility ---
+
+// One demand-agility trial: a first bitstream runs from the start, an
+// identical second one joins at t=30s, both at |utilization| of nominal
+// (>= 1.0 means unthrottled).  Returns the total supply estimate and the
+// second stream's availability estimate on the 100ms grid.
+struct DemandTrialResult {
+  Series total;
+  Series second_share;
+};
+
+DemandTrialResult RunDemandAgilityTrial(double utilization, uint64_t seed,
+                                        TraceRecorder* trace = nullptr);
+
+// --- Figure 10: video player ---
+
+// One video trial: the player runs over |waveform| on the given fixed track
+// (-1 = Odyssey's adaptive selection), measured across the waveform minute.
+struct VideoTrialResult {
+  double drops = 0.0;
+  double fidelity = 0.0;
+};
+
+VideoTrialResult RunVideoTrial(Waveform waveform, int fixed_track, uint64_t seed,
+                               TraceRecorder* trace = nullptr);
+
+// --- Figure 11: Web browser ---
+
+// One Web trial: repeated image fetches over |replay| at the given fixed
+// fidelity level (-1 = adaptive), with or without the priming prefix.
+struct WebTrialResult {
+  double seconds = 0.0;
+  double fidelity = 0.0;
+};
+
+WebTrialResult RunWebTrial(const ReplayTrace& replay, int fixed_level, bool prime,
+                           uint64_t seed, TraceRecorder* trace = nullptr);
+
+// --- Figure 12: speech recognizer ---
+
+// One speech trial: repeated short-phrase recognition over |waveform| under
+// |mode|; returns the mean recognition seconds of the measured minute.
+double RunSpeechTrialSeconds(Waveform waveform, SpeechMode mode, uint64_t seed,
+                             TraceRecorder* trace = nullptr);
+
+// --- Figures 13+14: concurrent applications ---
+
+// One concurrent-applications trial: video + web + speech over the
+// 15-minute urban trace under |strategy|.
+struct ConcurrentTrialResult {
+  double video_drops = 0.0;
+  double video_fidelity = 0.0;
+  double web_seconds = 0.0;
+  double web_fidelity = 0.0;
+  double speech_seconds = 0.0;
+};
+
+ConcurrentTrialResult RunConcurrentTrial(StrategyKind strategy, uint64_t seed,
+                                         TraceRecorder* trace = nullptr);
+
+// --- Ablation: estimator design choices ---
+
+// One estimator-ablation trial: a bitstream over |waveform| with the swept
+// estimator |config| and bulk-transfer |window_bytes|; returns the settling
+// time after the t=30s transition and the pre-transition steady-state
+// estimate error.
+struct EstimatorAblationTrialResult {
+  double settle_s = 0.0;
+  double steady_error_pct = 0.0;
+};
+
+EstimatorAblationTrialResult RunEstimatorAblationTrial(const SupplyModelConfig& config,
+                                                       double window_bytes, Waveform waveform,
+                                                       uint64_t seed,
+                                                       TraceRecorder* trace = nullptr);
+
+// --- Ablation: availability-formula design choices ---
+
+// One fair-share ablation trial: video + web + speech on the shortened
+// urban walk under Odyssey with the swept |config|.
+struct FairshareTrialResult {
+  double video_drops = 0.0;
+  double video_fidelity = 0.0;
+  double web_seconds = 0.0;
+  double web_goal_pct = 0.0;  // fetches meeting the 0.4 s goal
+};
+
+FairshareTrialResult RunFairshareAblationTrial(const SupplyModelConfig& config, uint64_t seed,
+                                               TraceRecorder* trace = nullptr);
+
+// --- Extension: consistency as fidelity (file warden) ---
+
+// One file-consistency trial: a reader sweeps eight documents over
+// Step-Down while a server-side writer updates them underneath the cache.
+struct FileConsistencyTrialResult {
+  double mean_read_ms = 0.0;
+  double stale_pct = 0.0;
+  double fidelity = 0.0;
+};
+
+FileConsistencyTrialResult RunFileConsistencyTrial(FileConsistency level, uint64_t seed,
+                                                   TraceRecorder* trace = nullptr);
 
 }  // namespace odyssey
 

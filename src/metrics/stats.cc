@@ -1,5 +1,6 @@
 #include "src/metrics/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -40,6 +41,43 @@ std::string Stats::Format(int precision) const {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f (%.*f)", precision, mean(), precision, stddev());
   return buffer;
+}
+
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  if (pct > 100.0) {
+    pct = 100.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto n = samples.size();
+  // Nearest rank, 1-based: rank = ceil(pct/100 * n), clamped to [1, n].
+  auto rank = static_cast<size_t>(std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  return samples[rank - 1];
+}
+
+SummaryStats Summarize(const std::vector<double>& samples) {
+  SummaryStats out;
+  if (samples.empty()) {
+    return out;
+  }
+  const Stats stats(samples);
+  out.count = stats.count();
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  out.min = stats.min();
+  out.max = stats.max();
+  out.p50 = Percentile(samples, 50.0);
+  out.p95 = Percentile(samples, 95.0);
+  out.p99 = Percentile(samples, 99.0);
+  return out;
 }
 
 double SettlingTime(const Series& series, double from, double lo, double hi) {

@@ -38,6 +38,29 @@ class Stats {
   double max_ = 0.0;
 };
 
+// Nearest-rank percentile: the smallest sample s such that at least
+// ceil(pct/100 * n) of the samples are <= s.  Takes its input by value and
+// sorts the copy, so the result is deterministic regardless of sample
+// order and no interpolation ever mixes two samples.  |pct| is clamped to
+// (0, 100]; an empty input yields 0.
+double Percentile(std::vector<double> samples, double pct);
+
+// The full per-metric summary the campaign artifact layer reports.
+// Percentiles are nearest-rank (see Percentile) so a summary of n trials is
+// a pure function of the sample multiset.
+struct SummaryStats {
+  int count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+SummaryStats Summarize(const std::vector<double>& samples);
+
 // A timestamped series of measurements (estimate traces for Figures 8/9).
 struct SeriesPoint {
   double t_seconds = 0.0;

@@ -27,10 +27,8 @@ Duration AttemptBudget(const RetryPolicy& policy, double bytes, Duration server_
 
 }  // namespace
 
-ConnectionId Endpoint::next_id_ = 1;
-
 Endpoint::Endpoint(Simulation* sim, Link* link, std::string name)
-    : sim_(sim), link_(link), name_(std::move(name)), id_(next_id_++), log_(id_) {}
+    : sim_(sim), link_(link), name_(std::move(name)), id_(sim->NextConnectionId()), log_(id_) {}
 
 void Endpoint::Call(double request_bytes, double response_bytes, Duration server_compute,
                     StatusDone done) {

@@ -86,7 +86,9 @@ class Endpoint {
   using StatusDone = std::function<void(Status)>;
 
   // |name| identifies the remote service for diagnostics.  Each endpoint is
-  // assigned a process-unique ConnectionId.
+  // assigned the next ConnectionId of its simulation, so id assignment is a
+  // pure function of construction order within the trial — independent of
+  // any other trial running in the process.
   Endpoint(Simulation* sim, Link* link, std::string name);
 
   Endpoint(const Endpoint&) = delete;
@@ -217,8 +219,6 @@ class Endpoint {
   uint64_t retries_ = 0;
   uint64_t exchanges_failed_ = 0;
   uint64_t timeouts_ = 0;
-
-  static ConnectionId next_id_;
 };
 
 }  // namespace odyssey

@@ -81,6 +81,14 @@ class Simulation {
 
   size_t pending_events() { return queue_.size(); }
 
+  // Allocates the next connection id for an Endpoint built on this
+  // simulation.  Ids are per-simulation (not process-global) so that trials
+  // are shared-nothing: a rig constructed from the same seed assigns the
+  // same ids no matter how many other trials ran before it or on which
+  // thread, which the campaign runner's jobs-invariance guarantee needs.
+  // Starts at 1; 0 means "no connection".
+  uint64_t NextConnectionId() { return next_connection_id_++; }
+
   // Opt-in tracing: when a recorder is installed, instrumented components
   // record events into it; when null (the default) every ODY_TRACE_* macro
   // reduces to a pointer test.  The recorder is borrowed, not owned.
@@ -92,6 +100,7 @@ class Simulation {
   EventQueue queue_;
   Rng rng_;
   TraceRecorder* trace_ = nullptr;
+  uint64_t next_connection_id_ = 1;
 };
 
 }  // namespace odyssey

@@ -12,6 +12,7 @@
 #ifndef SRC_TRACE_TRACE_SESSION_H_
 #define SRC_TRACE_TRACE_SESSION_H_
 
+#include <atomic>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -31,8 +32,8 @@ class TraceSession {
     }
   }
 
-  TraceSession(TraceSession&&) = default;
-  TraceSession& operator=(TraceSession&&) = default;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
 
   // Consumes --trace-out=<path> from |argv| (compacting the array and
   // decrementing |*argc|) and returns the corresponding session.
@@ -55,6 +56,21 @@ class TraceSession {
   bool enabled() const { return recorder_ != nullptr; }
   TraceRecorder* recorder() { return recorder_.get(); }
   const std::string& path() const { return path_; }
+
+  // Hands the recorder to the first caller only, so a harness that runs many
+  // trials exports one coherent timeline (the first trial that asked) rather
+  // than overlaying every trial's virtual clock.  Thread-safe: trials may
+  // race to claim from worker threads and exactly one wins.  Returns null
+  // when tracing is off or the recorder was already claimed.  (Deterministic
+  // drivers — the campaign runner — should instead designate one trial and
+  // claim once on its behalf, so the exported timeline does not depend on
+  // which worker got there first.)
+  TraceRecorder* ClaimRecorderOnce() {
+    if (recorder_ == nullptr || claimed_.exchange(true, std::memory_order_acq_rel)) {
+      return nullptr;
+    }
+    return recorder_.get();
+  }
 
   // Writes the trace to path().  No-op success when tracing is disabled.
   [[nodiscard]] bool Export(std::string* error) {
@@ -84,6 +100,7 @@ class TraceSession {
  private:
   std::string path_;
   std::unique_ptr<TraceRecorder> recorder_;
+  std::atomic<bool> claimed_{false};
 };
 
 }  // namespace odyssey

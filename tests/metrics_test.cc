@@ -59,6 +59,60 @@ TEST(StatsTest, FormatMatchesPaperStyle) {
   EXPECT_EQ(stats.Format(0), "2 (1)");
 }
 
+TEST(PercentileTest, NearestRankOnKnownSamples) {
+  // The NIST nearest-rank example: rank = ceil(p/100 * n) into the sorted
+  // samples, never interpolated.
+  const std::vector<double> samples = {15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 5.0), 15.0);    // ceil(0.25) = 1st
+  EXPECT_DOUBLE_EQ(Percentile(samples, 30.0), 20.0);   // ceil(1.5) = 2nd
+  EXPECT_DOUBLE_EQ(Percentile(samples, 40.0), 20.0);   // ceil(2.0) = 2nd
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50.0), 35.0);   // ceil(2.5) = 3rd
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100.0), 50.0);  // always the max
+}
+
+TEST(PercentileTest, OrderInsensitiveAndClamped) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> shuffled = {3.0, 1.0, 4.0, 2.0};
+  for (double pct : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile(sorted, pct), Percentile(shuffled, pct)) << pct;
+  }
+  // Out-of-range percentiles clamp to (0, 100]; empty input yields zero.
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 250.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  for (double pct : {1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({42.0}, pct), 42.0);
+  }
+}
+
+TEST(SummarizeTest, CombinesMomentsAndPercentiles) {
+  // 1..100: mean 50.5, p50 = 50th sample = 50, p95 = 95, p99 = 99.
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  const SummaryStats summary = Summarize(samples);
+  EXPECT_EQ(summary.count, 100);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_NEAR(summary.stddev, 29.011, 0.001);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+  EXPECT_DOUBLE_EQ(summary.p50, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95, 95.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 99.0);
+}
+
+TEST(SummarizeTest, EmptyIsAllZero) {
+  const SummaryStats summary = Summarize({});
+  EXPECT_EQ(summary.count, 0);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 0.0);
+}
+
 TEST(SettlingTimeTest, FindsEntryIntoBand) {
   Series series;
   for (int i = 0; i <= 100; ++i) {

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""End-to-end checks for the ody_bench CLI.
+
+Drives the installed binary the way CI does: runs the smoke campaign at two
+job counts and byte-compares the artifacts, then exercises the compare
+gate's exit codes — pass on identical artifacts, fail on a synthetically
+regressed baseline, usage errors on garbage.
+
+Usage: ody_bench_cli_test.py <path-to-ody_bench>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    tag = "ok" if ok else "FAIL"
+    print(f"{tag:4} {name}" + (f": {detail}" if detail and not ok else ""))
+    if not ok:
+        FAILURES.append(name)
+
+
+def run(bench, *args, cwd=None):
+    return subprocess.run([str(bench), *args], capture_output=True, text=True, cwd=cwd)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <path-to-ody_bench>", file=sys.stderr)
+        return 2
+    bench = Path(sys.argv[1]).resolve()
+
+    with tempfile.TemporaryDirectory(prefix="ody_bench_cli_") as tmp:
+        tmp = Path(tmp)
+        a = tmp / "smoke_j1.json"
+        b = tmp / "smoke_j2.json"
+
+        result = run(bench, "list")
+        check("list exits 0", result.returncode == 0, result.stderr)
+        check("list names tier1", "tier1" in result.stdout)
+        check("list names scenarios", "fig08_supply_agility" in result.stdout)
+
+        result = run(bench, "run", "--campaign=smoke", "--jobs=1", f"--out={a}")
+        check("run --jobs=1 exits 0", result.returncode == 0, result.stderr)
+        result = run(bench, "run", "--campaign=smoke", "--jobs=2", f"--out={b}")
+        check("run --jobs=2 exits 0", result.returncode == 0, result.stderr)
+        check(
+            "artifacts are byte-identical across job counts",
+            a.read_bytes() == b.read_bytes(),
+        )
+
+        # The default output name is BENCH_<campaign>.json in the cwd.
+        result = run(bench, "run", "--campaign=smoke", cwd=tmp)
+        check("run with default --out exits 0", result.returncode == 0, result.stderr)
+        check("default artifact name", (tmp / "BENCH_smoke.json").is_file())
+
+        result = run(bench, "compare", f"--baseline={a}", f"--current={b}")
+        check("compare identical artifacts exits 0", result.returncode == 0, result.stderr)
+
+        # A baseline whose lower-is-better mean is 20% below today's value
+        # must fail the gate at 5% tolerance: the CLI is the CI gate, so the
+        # nonzero exit is the contract.
+        artifact = json.loads(a.read_text())
+        regressed = False
+        for metric in artifact["metrics"]:
+            if metric["direction"] == "lower" and metric["mean"] > 0:
+                metric["mean"] *= 0.8
+                regressed = True
+        check("smoke artifact has gateable metrics", regressed)
+        baseline = tmp / "regressed_baseline.json"
+        baseline.write_text(json.dumps(artifact))
+        result = run(bench, "compare", f"--baseline={baseline}", f"--current={a}")
+        check("compare regressed baseline exits 1", result.returncode == 1, result.stdout)
+        check("compare reports the regression", "REGRESSED" in result.stdout)
+        result = run(
+            bench, "compare", f"--baseline={baseline}", f"--current={a}", "--tolerance=50"
+        )
+        check("loose tolerance passes the same delta", result.returncode == 0, result.stdout)
+
+        garbage = tmp / "garbage.json"
+        garbage.write_text("not json at all")
+        result = run(bench, "compare", f"--baseline={garbage}", f"--current={a}")
+        check("compare with garbage baseline exits 2", result.returncode == 2)
+        result = run(bench, "run", "--campaign=no_such_campaign")
+        check("run with unknown campaign exits 2", result.returncode == 2)
+        result = run(bench, "frobnicate")
+        check("unknown subcommand exits 2", result.returncode == 2)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} CLI check(s) failed: {', '.join(FAILURES)}")
+        return 1
+    print("all ody_bench CLI checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+// ody_bench: run experiment campaigns and gate on their artifacts.
+//
+// Usage:
+//   ody_bench list
+//       show every built-in campaign and registered scenario
+//   ody_bench run --campaign=<name> [--jobs=N] [--seed=U64] [--out=PATH]
+//       execute the campaign and write BENCH_<name>.json (or PATH)
+//   ody_bench compare --baseline=A.json --current=B.json [--tolerance=PCT]
+//       exit 0 iff no gated metric mean regressed beyond the tolerance
+//
+// The artifact bytes are a pure function of (campaign, seed): --jobs only
+// changes wall-clock time, never output — CI byte-diffs --jobs=1 against
+// --jobs=4 to hold the runner to that.  Wall-clock time is printed here but
+// deliberately never written into the artifact.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/bench_artifact.h"
+#include "src/harness/builtin_scenarios.h"
+#include "src/harness/campaign.h"
+#include "src/harness/campaign_runner.h"
+#include "src/harness/scenario_registry.h"
+#include "src/harness/worker_pool.h"
+
+namespace {
+
+using odyssey::BenchArtifact;
+using odyssey::CampaignResult;
+using odyssey::CampaignRunOptions;
+using odyssey::CampaignSpec;
+using odyssey::ComparisonReport;
+using odyssey::ComparisonRow;
+using odyssey::MetricDirection;
+using odyssey::MetricDirectionName;
+using odyssey::Scenario;
+using odyssey::ScenarioRegistry;
+using odyssey::Status;
+
+// Parses "--name=value" into |out|; returns false if |arg| is a different
+// flag (or not a flag at all).
+bool FlagValue(const std::string& arg, const std::string& name, std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "ody_bench: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "ody_bench: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+int ListCommand() {
+  std::cout << "campaigns:\n";
+  for (const CampaignSpec& campaign : odyssey::BuiltinCampaigns()) {
+    std::cout << "  " << campaign.name << " - " << campaign.description << "\n";
+  }
+  ScenarioRegistry registry;
+  odyssey::RegisterBuiltinScenarios(&registry);
+  std::cout << "scenarios:\n";
+  for (const std::string& name : registry.scenario_names()) {
+    const Scenario* scenario = registry.Find(name);
+    std::cout << "  " << name << " - " << scenario->description << " ("
+              << scenario->variants.size() << " variants:";
+    for (const odyssey::ScenarioVariant& variant : scenario->variants) {
+      std::cout << " " << variant.name;
+    }
+    std::cout << ")\n";
+  }
+  return 0;
+}
+
+int RunCommand(const std::vector<std::string>& args) {
+  std::string campaign_name;
+  std::string out_path;
+  int jobs = odyssey::DefaultJobCount();
+  uint64_t seed = 0;
+  bool seed_set = false;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (FlagValue(arg, "campaign", &value)) {
+      campaign_name = value;
+    } else if (FlagValue(arg, "jobs", &value)) {
+      uint64_t parsed = 0;
+      if (!ParseU64(value, &parsed) || parsed == 0 || parsed > 1024) {
+        std::cerr << "ody_bench: --jobs must be an integer in [1, 1024]\n";
+        return 2;
+      }
+      jobs = static_cast<int>(parsed);
+    } else if (FlagValue(arg, "seed", &value)) {
+      if (!ParseU64(value, &seed)) {
+        std::cerr << "ody_bench: --seed must be a decimal uint64\n";
+        return 2;
+      }
+      seed_set = true;
+    } else if (FlagValue(arg, "out", &value)) {
+      out_path = value;
+    } else {
+      std::cerr << "ody_bench: unknown run flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (campaign_name.empty()) {
+    std::cerr << "ody_bench: run requires --campaign=<name> (see `ody_bench list`)\n";
+    return 2;
+  }
+
+  const std::vector<CampaignSpec> campaigns = odyssey::BuiltinCampaigns();
+  const CampaignSpec* found = odyssey::FindCampaign(campaigns, campaign_name);
+  if (found == nullptr) {
+    std::cerr << "ody_bench: unknown campaign " << campaign_name << "\n";
+    return 2;
+  }
+  CampaignSpec spec = *found;
+  if (seed_set) {
+    spec.seed = seed;
+  }
+  if (out_path.empty()) {
+    out_path = "BENCH_" + spec.name + ".json";
+  }
+
+  ScenarioRegistry registry;
+  odyssey::RegisterBuiltinScenarios(&registry);
+
+  CampaignRunOptions options;
+  options.jobs = jobs;
+  CampaignResult result;
+  const auto start = std::chrono::steady_clock::now();
+  if (const Status status = RunCampaign(spec, registry, options, &result); !status.ok()) {
+    std::cerr << "ody_bench: " << status.ToString() << "\n";
+    return 2;
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+  BenchArtifact artifact;
+  if (const Status status = AggregateCampaign(result, &artifact); !status.ok()) {
+    std::cerr << "ody_bench: " << status.ToString() << "\n";
+    return 2;
+  }
+  if (!WriteFile(out_path, ArtifactToJson(artifact))) {
+    return 2;
+  }
+  // Wall-clock time goes to the console (CI logs the speedup from it), not
+  // into the artifact, which must not depend on the machine or job count.
+  std::printf("campaign %s: %llu trials, %zu metric summaries, jobs=%d, %.3f s wall\n",
+              spec.name.c_str(), static_cast<unsigned long long>(artifact.trials),
+              artifact.metrics.size(), jobs, elapsed.count());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int CompareCommand(const std::vector<std::string>& args) {
+  std::string baseline_path;
+  std::string current_path;
+  double tolerance_pct = 5.0;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (FlagValue(arg, "baseline", &value)) {
+      baseline_path = value;
+    } else if (FlagValue(arg, "current", &value)) {
+      current_path = value;
+    } else if (FlagValue(arg, "tolerance", &value)) {
+      char* end = nullptr;
+      tolerance_pct = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() || tolerance_pct < 0.0) {
+        std::cerr << "ody_bench: --tolerance must be a non-negative percentage\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "ody_bench: unknown compare flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "ody_bench: compare requires --baseline=<json> and --current=<json>\n";
+    return 2;
+  }
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!ReadFile(baseline_path, &baseline_text) || !ReadFile(current_path, &current_text)) {
+    return 2;
+  }
+  BenchArtifact baseline;
+  BenchArtifact current;
+  if (const Status status = ParseArtifact(baseline_text, &baseline); !status.ok()) {
+    std::cerr << "ody_bench: " << baseline_path << ": " << status.ToString() << "\n";
+    return 2;
+  }
+  if (const Status status = ParseArtifact(current_text, &current); !status.ok()) {
+    std::cerr << "ody_bench: " << current_path << ": " << status.ToString() << "\n";
+    return 2;
+  }
+
+  const ComparisonReport report = odyssey::CompareArtifacts(baseline, current, tolerance_pct);
+  for (const std::string& failure : report.failures) {
+    std::cout << "FAIL  " << failure << "\n";
+  }
+  int regressions = 0;
+  for (const ComparisonRow& row : report.rows) {
+    if (row.regressed) {
+      ++regressions;
+    }
+    // Print regressions always; healthy rows only when they moved at all.
+    if (row.regressed || row.delta_pct != 0.0) {
+      std::printf("%s  %s/%s/%s (%s): baseline %.6g, current %.6g (%+.2f%%)\n",
+                  row.regressed ? "REGRESSED" : "ok       ", row.scenario.c_str(),
+                  row.variant.c_str(), row.metric.c_str(), MetricDirectionName(row.direction),
+                  row.baseline_mean, row.current_mean, row.delta_pct);
+    }
+  }
+  std::printf("compared %zu metrics at tolerance %.2f%%: %d regressed, %zu structural failures\n",
+              report.rows.size(), tolerance_pct, regressions, report.failures.size());
+  return report.ok() ? 0 : 1;
+}
+
+int Usage() {
+  std::cerr << "usage:\n"
+            << "  ody_bench list\n"
+            << "  ody_bench run --campaign=<name> [--jobs=N] [--seed=U64] [--out=PATH]\n"
+            << "  ody_bench compare --baseline=<json> --current=<json> [--tolerance=PCT]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "list" && args.empty()) {
+    return ListCommand();
+  }
+  if (command == "run") {
+    return RunCommand(args);
+  }
+  if (command == "compare") {
+    return CompareCommand(args);
+  }
+  return Usage();
+}

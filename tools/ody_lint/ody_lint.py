@@ -58,6 +58,14 @@ RULES = {
         "ODY_TRACE_* event names must be string literals; the recorder "
         "stores the pointer, so a built string would dangle and allocate"
     ),
+    "harness-no-raw-thread": (
+        "raw std::thread in src/ outside src/harness/worker_pool, or a "
+        "detached thread anywhere; concurrency flows through RunIndexedTasks"
+    ),
+    "harness-no-global-state": (
+        "static non-const or mutable state in src/harness/; campaign trials "
+        "are shared-nothing, so the engine may hold no cross-trial state"
+    ),
 }
 
 # Directories whose sources are scanned at all.
@@ -69,6 +77,10 @@ LIBRARY_DIRS = ("src",)
 SIMULATED_DIRS = ("src/sim", "src/net", "src/estimator")
 # The one blessed home for entropy.
 RANDOM_HOME = "src/sim/random.h"
+# The one blessed home for threads (see worker_pool.h's contract).
+THREAD_HOME = ("src/harness/worker_pool.h", "src/harness/worker_pool.cc")
+# The campaign engine: jobs-invariance requires it to stay shared-nothing.
+HARNESS_DIRS = ("src/harness",)
 
 SOURCE_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
 
@@ -317,6 +329,50 @@ def check_trace_static_name(sf: SourceFile) -> list[Violation]:
     return out
 
 
+_THREAD_RE = re.compile(r"\bstd::(?:thread|jthread)\b|\bpthread_create\b")
+_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+
+
+def check_harness_thread(sf: SourceFile) -> list[Violation]:
+    thread_restricted = _in_dirs(sf.relpath, LIBRARY_DIRS) and sf.relpath not in THREAD_HOME
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = _THREAD_RE.search(line)
+        if thread_restricted and m:
+            out.append(Violation(sf.relpath, idx, "harness-no-raw-thread",
+                                 f"'{m.group(0)}' outside src/harness/worker_pool; "
+                                 "run concurrent work through RunIndexedTasks"))
+        # A detached thread outlives whatever spawned it, which no part of
+        # this codebase can ever need: flagged everywhere, thread home too.
+        if _DETACH_RE.search(line):
+            out.append(Violation(sf.relpath, idx, "harness-no-raw-thread",
+                                 "detached thread; every thread must be joined by "
+                                 "the RunIndexedTasks call that created it"))
+    return out
+
+
+# `static` not immediately qualified as immutable.  \b does not match before
+# an underscore, so static_cast/static_assert never trip this.
+_MUTABLE_STATIC_RE = re.compile(r"\bstatic\b(?!\s+(?:const|constexpr)\b)")
+_MUTABLE_MEMBER_RE = re.compile(r"\bmutable\b")
+
+
+def check_harness_global_state(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, HARNESS_DIRS):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        if _MUTABLE_STATIC_RE.search(line):
+            out.append(Violation(sf.relpath, idx, "harness-no-global-state",
+                                 "non-const static in the campaign engine; state that "
+                                 "survives a trial breaks shared-nothing execution"))
+        if _MUTABLE_MEMBER_RE.search(line):
+            out.append(Violation(sf.relpath, idx, "harness-no-global-state",
+                                 "mutable member in the campaign engine; trials must "
+                                 "not communicate through hidden writable state"))
+    return out
+
+
 # --- Structural rules -------------------------------------------------------
 
 def expected_guard(relpath: str) -> str:
@@ -415,6 +471,8 @@ CHECKS = [
     check_float_equal,
     check_no_cout,
     check_trace_static_name,
+    check_harness_thread,
+    check_harness_global_state,
     check_header_guard,
     check_include_order,
 ]

@@ -131,6 +131,48 @@ class OdyLintTest(unittest.TestCase):
         self.assertNotIn("trace-static-name",
                          self.rules_found("src/trace/trace_macros.h"))
 
+    # --- harness-no-raw-thread ---
+
+    def test_raw_thread_flagged_in_library(self):
+        rel = self.place("harness_thread_bad.cc", "src/core/harness_thread_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "harness-no-raw-thread"]
+        # std::thread, .detach(), and std::jthread each fire.
+        self.assertEqual([v.line for v in violations], [7, 8, 9])
+
+    def test_worker_pool_may_use_threads_but_never_detach(self):
+        rel = self.place("harness_thread_bad.cc", "src/harness/worker_pool.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "harness-no-raw-thread"]
+        self.assertEqual([v.line for v in violations], [8])  # only the detach
+        self.assertIn("detach", violations[0].message)
+
+    def test_raw_thread_allowed_outside_library_except_detach(self):
+        rel = self.place("harness_thread_bad.cc", "tests/harness_thread_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "harness-no-raw-thread"]
+        self.assertEqual([v.line for v in violations], [8])  # only the detach
+
+    def test_raw_thread_suppressed(self):
+        rel = self.place("harness_thread_suppressed.cc",
+                         "src/core/harness_thread_suppressed.cc")
+        self.assertNotIn("harness-no-raw-thread", self.rules_found(rel))
+
+    # --- harness-no-global-state ---
+
+    def test_global_state_flagged_in_harness(self):
+        rel = self.place("harness_state_bad.cc", "src/harness/harness_state_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "harness-no-global-state"]
+        # The global counter, the function-local static, and the mutable
+        # member fire; static const / static constexpr stay clean.
+        self.assertEqual([v.line for v in violations], [4, 9, 14])
+
+    def test_global_state_allowed_outside_harness(self):
+        rel = self.place("harness_state_bad.cc", "src/core/harness_state_bad.cc")
+        self.assertNotIn("harness-no-global-state", self.rules_found(rel))
+
+    def test_global_state_suppressed(self):
+        rel = self.place("harness_state_suppressed.cc",
+                         "src/harness/harness_state_suppressed.cc")
+        self.assertNotIn("harness-no-global-state", self.rules_found(rel))
+
     # --- header-guard ---
 
     def test_header_guard_mismatch_flagged(self):
@@ -182,7 +224,7 @@ class OdyLintTest(unittest.TestCase):
 
     def test_list_rules_covers_all_checks(self):
         self.assertEqual(ody_lint.main(["--list-rules"]), 0)
-        self.assertEqual(len(ody_lint.RULES), 7)
+        self.assertEqual(len(ody_lint.RULES), 9)
 
 
 if __name__ == "__main__":

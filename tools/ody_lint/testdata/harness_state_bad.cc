@@ -1,0 +1,23 @@
+// Fixture: cross-trial state the campaign engine must not hold.
+namespace odyssey {
+
+static int g_trial_counter = 0;
+
+class Cache {
+ public:
+  int Lookup() const {
+    static int hits = 0;
+    return ++hits;
+  }
+
+ private:
+  mutable int misses_ = 0;
+};
+
+// Immutable statics are fine: these two lines must stay clean.
+static const int kLimit = 8;
+static constexpr double kTolerance = 0.05;
+
+int Bump() { return ++g_trial_counter; }
+
+}  // namespace odyssey

@@ -1,0 +1,9 @@
+// Fixture: global state silenced by a file-wide annotation.
+// ody-lint: allow-file(harness-no-global-state)
+namespace odyssey {
+
+static int g_trial_counter = 0;
+
+int Bump() { return ++g_trial_counter; }
+
+}  // namespace odyssey

@@ -1,0 +1,12 @@
+// Fixture: raw threads outside the worker pool, plus a detach.
+#include <thread>
+
+namespace odyssey {
+
+void SpawnWorkers() {
+  std::thread worker([] {});
+  worker.detach();
+  std::jthread other([] {});
+}
+
+}  // namespace odyssey

@@ -1,0 +1,13 @@
+// Fixture: the same raw threads, silenced by annotations.
+#include <thread>
+
+namespace odyssey {
+
+void SpawnWorkers() {
+  std::thread worker([] {});  // ody-lint: allow(harness-no-raw-thread)
+  // ody-lint: allow(harness-no-raw-thread)
+  worker.detach();
+  std::jthread other([] {});  // ody-lint: allow(harness-no-raw-thread)
+}
+
+}  // namespace odyssey
