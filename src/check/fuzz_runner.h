@@ -1,0 +1,66 @@
+// Executes one FuzzScenario against a full Odyssey stack under oracles.
+//
+// RunFuzzScenario builds a fresh shared-nothing rig (simulation, modulated
+// link, fault injector, centralized strategy, all six wardens and their
+// servers), attaches the invariant oracles, drives the scenario's per-app
+// operation schedule, and returns every violation the oracles recorded.
+// The result is a pure function of (scenario, options): running the same
+// scenario twice — on any thread, in any order, with any number of sibling
+// runs — yields identical results, which is what seed replay and shrinking
+// rely on.
+
+#ifndef SRC_CHECK_FUZZ_RUNNER_H_
+#define SRC_CHECK_FUZZ_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/check/fuzz_scenario.h"
+#include "src/check/oracles.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class TraceRecorder;
+
+// Whether the intentionally seeded oracle-violation mutation was compiled
+// in (-DODYSSEY_FUZZ_SELFTEST).  Release builds carry no mutation code.
+#ifdef ODYSSEY_FUZZ_SELFTEST
+inline constexpr bool kFuzzSelftestCompiled = true;
+#else
+inline constexpr bool kFuzzSelftestCompiled = false;
+#endif
+
+struct FuzzRunOptions {
+  // Injects a deliberate duplicate upcall-delivery notification (the second
+  // upcall of every app is observed twice), so CI can verify end-to-end
+  // that the oracles detect it and the shrinker minimizes it.  Only honored
+  // when kFuzzSelftestCompiled; silently inert otherwise.
+  bool selftest_mutation = false;
+  // Cadence of the periodic estimator/fair-share/conservation audit.
+  Duration oracle_period = 100 * kMillisecond;
+  // Extra virtual time after the horizon for queued upcalls and in-flight
+  // transfers to drain before the stranded-upcall check.
+  Duration drain_grace = 2 * kSecond;
+  // Optional recorder for the canonical failure trace; borrowed.
+  TraceRecorder* trace = nullptr;
+};
+
+struct FuzzRunResult {
+  std::vector<FuzzViolation> violations;  // capped per oracle; see OracleSet
+  uint64_t violation_count = 0;           // uncapped total
+  uint64_t upcalls_delivered = 0;
+  uint64_t requests_granted = 0;
+  uint64_t requests_denied = 0;
+  uint64_t cancels_ok = 0;
+  uint64_t tsops_issued = 0;
+  double bytes_delivered = 0.0;
+
+  bool ok() const { return violation_count == 0; }
+};
+
+FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions& options = {});
+
+}  // namespace odyssey
+
+#endif  // SRC_CHECK_FUZZ_RUNNER_H_

@@ -1,0 +1,232 @@
+#include "src/check/fuzz_scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/random.h"
+
+namespace odyssey {
+namespace {
+
+// Generation bounds.  Chosen so every scenario finishes in well under a
+// second of wall time while still exercising contention, starvation and
+// recovery: the waveform spans the calibrated experiment range (and dips to
+// zero for radio shadows), and fault windows are short enough that the
+// workload always gets bandwidth again before the horizon.
+constexpr Duration kMinHorizon = 20 * kSecond;
+constexpr Duration kMaxHorizon = 60 * kSecond;
+constexpr int kMinSegments = 2;
+constexpr int kMaxSegments = 6;
+constexpr double kMinBandwidth = 8.0 * 1024.0;
+constexpr double kMaxBandwidth = 240.0 * 1024.0;
+constexpr Duration kMaxZeroSegment = 3 * kSecond;
+constexpr int kMaxApps = 8;
+constexpr int kMaxOpsPerApp = 6;
+constexpr int kMaxFaults = 4;
+constexpr Duration kMaxOutage = 3 * kSecond;
+constexpr Duration kMaxSpikeExtra = 500 * kMillisecond;
+constexpr Duration kMaxStallExtra = 200 * kMillisecond;
+
+Duration UniformDuration(Rng& rng, Duration lo, Duration hi) {
+  return lo + static_cast<Duration>(rng.UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+FuzzFault GenerateFault(Rng& rng, Duration horizon) {
+  FuzzFault fault;
+  fault.kind = static_cast<FuzzFaultKind>(rng.UniformInt(6));
+  fault.start = UniformDuration(rng, 0, horizon);
+  switch (fault.kind) {
+    case FuzzFaultKind::kDropProbability:
+      fault.p = rng.Uniform(0.01, 0.3);
+      break;
+    case FuzzFaultKind::kDropMessage:
+      fault.index = 1 + rng.UniformInt(200);
+      break;
+    case FuzzFaultKind::kOutage:
+      fault.duration = UniformDuration(rng, 100 * kMillisecond, kMaxOutage);
+      break;
+    case FuzzFaultKind::kLatencySpike:
+      fault.duration = UniformDuration(rng, 100 * kMillisecond, 2 * kSecond);
+      fault.extra = UniformDuration(rng, 1 * kMillisecond, kMaxSpikeExtra);
+      break;
+    case FuzzFaultKind::kServerStall:
+      fault.duration = UniformDuration(rng, 100 * kMillisecond, 2 * kSecond);
+      fault.extra = UniformDuration(rng, 1 * kMillisecond, kMaxStallExtra);
+      break;
+    case FuzzFaultKind::kFlowKill:
+      break;
+  }
+  return fault;
+}
+
+}  // namespace
+
+const char* FuzzWardenName(FuzzWardenKind kind) {
+  switch (kind) {
+    case FuzzWardenKind::kVideo:
+      return "video";
+    case FuzzWardenKind::kWeb:
+      return "web";
+    case FuzzWardenKind::kSpeech:
+      return "speech";
+    case FuzzWardenKind::kBitstream:
+      return "bitstream";
+    case FuzzWardenKind::kFile:
+      return "files";
+    case FuzzWardenKind::kTelemetry:
+      return "telemetry";
+  }
+  return "unknown";
+}
+
+const char* FuzzFaultName(FuzzFaultKind kind) {
+  switch (kind) {
+    case FuzzFaultKind::kDropProbability:
+      return "drop_probability";
+    case FuzzFaultKind::kDropMessage:
+      return "drop_message";
+    case FuzzFaultKind::kOutage:
+      return "outage";
+    case FuzzFaultKind::kLatencySpike:
+      return "latency_spike";
+    case FuzzFaultKind::kServerStall:
+      return "server_stall";
+    case FuzzFaultKind::kFlowKill:
+      return "flow_kill";
+  }
+  return "unknown";
+}
+
+size_t FuzzScenario::ElementCount() const {
+  size_t count = segments.size() + apps.size() + faults.size();
+  for (const FuzzApp& app : apps) {
+    count += app.ops.size();
+  }
+  return count;
+}
+
+std::string FuzzScenario::Describe() const {
+  std::ostringstream out;
+  out << "scenario seed=" << seed << " horizon=" << DurationToSeconds(horizon)
+      << "s elements=" << ElementCount() << "\n";
+  for (const FuzzSegment& segment : segments) {
+    out << "  segment " << DurationToSeconds(segment.duration) << "s "
+        << segment.bandwidth_bps / 1024.0 << " KB/s latency "
+        << DurationToMillis(segment.latency) << "ms\n";
+  }
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const FuzzApp& app = apps[i];
+    out << "  app" << i << " warden=" << FuzzWardenName(app.warden)
+        << " start=" << DurationToSeconds(app.start) << "s ops=" << app.ops.size() << "\n";
+    for (const FuzzOp& op : app.ops) {
+      out << "    t=" << DurationToSeconds(op.at) << "s ";
+      switch (op.kind) {
+        case FuzzOpKind::kRequest:
+          out << "request window [" << op.window_lo_frac << ", " << op.window_hi_frac
+              << "] x level";
+          break;
+        case FuzzOpKind::kCancel:
+          out << "cancel #" << op.variant;
+          break;
+        case FuzzOpKind::kTsop:
+          out << "tsop variant=" << op.variant << " magnitude=" << op.magnitude;
+          break;
+      }
+      out << "\n";
+    }
+  }
+  for (const FuzzFault& fault : faults) {
+    out << "  fault " << FuzzFaultName(fault.kind) << " start="
+        << DurationToSeconds(fault.start) << "s duration="
+        << DurationToSeconds(fault.duration) << "s extra=" << DurationToMillis(fault.extra)
+        << "ms p=" << fault.p << " index=" << fault.index << "\n";
+  }
+  return out.str();
+}
+
+FuzzScenario GenerateScenario(uint64_t seed) {
+  // The generator stream is independent of the Simulation stream (which is
+  // also rooted at scenario.seed): mixing once keeps the two decoupled.
+  Rng rng(SplitMix64(seed ^ 0x6f647966757a7aULL).Next());
+
+  FuzzScenario scenario;
+  scenario.seed = seed;
+  scenario.horizon = UniformDuration(rng, kMinHorizon, kMaxHorizon);
+
+  const int segment_count =
+      kMinSegments + static_cast<int>(rng.UniformInt(kMaxSegments - kMinSegments + 1));
+  for (int i = 0; i < segment_count; ++i) {
+    FuzzSegment segment;
+    const bool last = i + 1 == segment_count;
+    // Radio shadows: an occasional zero-bandwidth segment, never last (the
+    // final segment persists forever, and a dead tail would strand every
+    // in-flight transfer until the horizon).
+    const bool shadow = !last && rng.NextDouble() < 0.2;
+    if (shadow) {
+      segment.duration = UniformDuration(rng, 200 * kMillisecond, kMaxZeroSegment);
+      segment.bandwidth_bps = 0.0;
+    } else {
+      segment.duration = UniformDuration(rng, 2 * kSecond, 15 * kSecond);
+      segment.bandwidth_bps = rng.Uniform(kMinBandwidth, kMaxBandwidth);
+    }
+    segment.latency = UniformDuration(rng, 1 * kMillisecond, 50 * kMillisecond);
+    scenario.segments.push_back(segment);
+  }
+
+  const int app_count = 1 + static_cast<int>(rng.UniformInt(kMaxApps));
+  for (int i = 0; i < app_count; ++i) {
+    FuzzApp app;
+    // Cycle through the wardens so every scenario with >= 6 apps covers all
+    // six data types; the offset randomizes which types small scenarios get.
+    const auto offset = static_cast<int>(rng.UniformInt(kFuzzWardenKinds));
+    app.warden = static_cast<FuzzWardenKind>((i + offset) % kFuzzWardenKinds);
+    app.start = UniformDuration(rng, 0, scenario.horizon / 4);
+    const int op_count = static_cast<int>(rng.UniformInt(kMaxOpsPerApp + 1));
+    for (int j = 0; j < op_count; ++j) {
+      FuzzOp op;
+      op.at = UniformDuration(rng, app.start + kSecond, scenario.horizon);
+      const double kind_draw = rng.NextDouble();
+      if (kind_draw < 0.35) {
+        op.kind = FuzzOpKind::kRequest;
+      } else if (kind_draw < 0.5) {
+        op.kind = FuzzOpKind::kCancel;
+      } else {
+        op.kind = FuzzOpKind::kTsop;
+      }
+      op.window_lo_frac = rng.Uniform(0.3, 0.9);
+      op.window_hi_frac = op.window_lo_frac * rng.Uniform(1.2, 3.0);
+      op.variant = static_cast<int>(rng.UniformInt(8));
+      op.magnitude = rng.NextDouble();
+      app.ops.push_back(op);
+    }
+    std::sort(app.ops.begin(), app.ops.end(),
+              [](const FuzzOp& a, const FuzzOp& b) { return a.at < b.at; });
+    scenario.apps.push_back(std::move(app));
+  }
+
+  const int fault_count = static_cast<int>(rng.UniformInt(kMaxFaults + 1));
+  for (int i = 0; i < fault_count; ++i) {
+    scenario.faults.push_back(GenerateFault(rng, scenario.horizon));
+  }
+
+  return scenario;
+}
+
+double IntegrateCapacityBytes(const FuzzScenario& scenario, Time until) {
+  double bytes = 0.0;
+  Time t = 0;
+  for (const FuzzSegment& segment : scenario.segments) {
+    if (t >= until) {
+      return bytes;
+    }
+    const Duration span = std::min(segment.duration, until - t);
+    bytes += segment.bandwidth_bps * DurationToSeconds(span);
+    t += span;
+  }
+  if (t < until && !scenario.segments.empty()) {
+    bytes += scenario.segments.back().bandwidth_bps * DurationToSeconds(until - t);
+  }
+  return bytes;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,126 @@
+// Scenario synthesis for the deterministic simulation fuzzer (ody_fuzz).
+//
+// A FuzzScenario is a small, declarative description of one randomized but
+// schedulable workload: a piecewise-constant link waveform, a handful of
+// concurrent applications spread across all six wardens with randomized
+// request/cancel/tsop interleavings, and a fault schedule drawn from the
+// fault-injection vocabulary.  Everything downstream — execution
+// (fuzz_runner), oracle checking (oracles) and minimization (shrink) — is a
+// pure function of this description, which is itself a pure function of a
+// single 64-bit seed.  That is what makes a fuzz failure replayable from one
+// integer and shrinkable by editing the description rather than the trace.
+
+#ifndef SRC_CHECK_FUZZ_SCENARIO_H_
+#define SRC_CHECK_FUZZ_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+// The six data types a fuzzed application can exercise.
+enum class FuzzWardenKind : int {
+  kVideo = 0,
+  kWeb = 1,
+  kSpeech = 2,
+  kBitstream = 3,
+  kFile = 4,
+  kTelemetry = 5,
+};
+
+inline constexpr int kFuzzWardenKinds = 6;
+
+const char* FuzzWardenName(FuzzWardenKind kind);
+
+// One piecewise-constant segment of the link waveform (mirrors
+// TraceSegment, duplicated here so a scenario is self-contained and
+// trivially serializable in a repro snippet).
+struct FuzzSegment {
+  Duration duration = 0;
+  double bandwidth_bps = 0.0;
+  Duration latency = 0;
+};
+
+// What a scheduled application action does.
+enum class FuzzOpKind : int {
+  kRequest = 0,  // register a window of tolerance around the current level
+  kCancel = 1,   // cancel one outstanding registration
+  kTsop = 2,     // a warden-specific type-specific operation
+};
+
+// One scheduled action of one application.  |variant| and |magnitude|
+// parameterize the action per warden (opcode choice, levels, sizes); the
+// driver derives every concrete argument from these two fields alone, never
+// from the simulation's random stream, so replaying a scenario is exact.
+struct FuzzOp {
+  Time at = 0;
+  FuzzOpKind kind = FuzzOpKind::kRequest;
+  double window_lo_frac = 0.5;  // kRequest: lower bound as a fraction of level
+  double window_hi_frac = 1.5;  // kRequest: upper bound as a fraction of level
+  int variant = 0;
+  double magnitude = 0.0;  // in [0, 1)
+};
+
+struct FuzzApp {
+  FuzzWardenKind warden = FuzzWardenKind::kBitstream;
+  Time start = 0;
+  std::vector<FuzzOp> ops;
+};
+
+// One fault from the FaultPlan vocabulary (src/net/fault_injector.h).
+enum class FuzzFaultKind : int {
+  kDropProbability = 0,
+  kDropMessage = 1,
+  kOutage = 2,
+  kLatencySpike = 3,
+  kServerStall = 4,
+  kFlowKill = 5,
+};
+
+const char* FuzzFaultName(FuzzFaultKind kind);
+
+struct FuzzFault {
+  FuzzFaultKind kind = FuzzFaultKind::kOutage;
+  Time start = 0;
+  Duration duration = 0;
+  Duration extra = 0;    // spike latency / stall compute
+  double p = 0.0;        // drop probability
+  uint64_t index = 0;    // deterministic drop: global message ordinal
+};
+
+struct FuzzScenario {
+  uint64_t seed = 1;
+  Duration horizon = 0;
+  std::vector<FuzzSegment> segments;
+  std::vector<FuzzApp> apps;
+  std::vector<FuzzFault> faults;
+
+  // Number of shrinkable elements: segments + apps + ops + faults.  The
+  // shrinker minimizes this count; "minimal reproducer" is measured in it.
+  size_t ElementCount() const;
+
+  // Human-readable multi-line description (for failure reports).
+  std::string Describe() const;
+};
+
+// Synthesizes a schedulable scenario from |seed| alone.  Guarantees: at
+// least one segment, the final segment has positive bandwidth (so flows in
+// flight at the end of the waveform can drain), all op times lie within the
+// horizon, and fault windows are bounded so the workload cannot be starved
+// for more than a few seconds at a time.
+FuzzScenario GenerateScenario(uint64_t seed);
+
+// Upper bound on bytes the link can deliver by |until|: the integral of the
+// nominal waveform (the final segment persists past the end of the trace,
+// matching Modulator semantics).  Faults only reduce delivery, so this
+// bound holds for every fault schedule; the byte-conservation oracle checks
+// the link never exceeds it.
+double IntegrateCapacityBytes(const FuzzScenario& scenario, Time until);
+
+}  // namespace odyssey
+
+#endif  // SRC_CHECK_FUZZ_SCENARIO_H_

@@ -1,0 +1,68 @@
+// Greedy delta-debugging shrinker for failing fuzz scenarios.
+//
+// Given a scenario that trips an oracle, the shrinker searches for a
+// smaller scenario that still trips the same oracle, by repeatedly trying
+// structural reductions — drop an application, drop one of its operations,
+// drop a fault, remove or merge waveform segments, shorten the horizon —
+// and keeping each reduction that preserves the failure.  The search is
+// greedy to a fixpoint: when no single reduction preserves the failure, the
+// scenario is 1-minimal with respect to the reduction vocabulary.  Because
+// scenario execution is deterministic, "preserves the failure" is a pure
+// predicate and the minimization is reproducible.
+
+#ifndef SRC_CHECK_SHRINK_H_
+#define SRC_CHECK_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "src/check/fuzz_runner.h"
+#include "src/check/fuzz_scenario.h"
+
+namespace odyssey {
+
+// Returns true when a candidate scenario still exhibits the failure of
+// interest.  Must be deterministic.
+using ScenarioPredicate = std::function<bool(const FuzzScenario&)>;
+
+struct ShrinkResult {
+  FuzzScenario minimized;
+  size_t initial_elements = 0;
+  size_t final_elements = 0;
+  int rounds = 0;     // fixpoint iterations
+  int attempts = 0;   // candidate evaluations (predicate calls)
+  int accepted = 0;   // reductions that preserved the failure
+};
+
+// Minimizes |scenario| under |still_fails|, which must hold for |scenario|
+// itself.  |max_attempts| bounds predicate evaluations; the search stops
+// early (still sound, possibly less minimal) when exhausted.
+ShrinkResult ShrinkWithPredicate(const FuzzScenario& scenario,
+                                 const ScenarioPredicate& still_fails,
+                                 int max_attempts = 500);
+
+// Convenience wrapper: minimizes |scenario| while it keeps producing at
+// least one violation of |oracle_name| (any oracle when empty) when run
+// with |options|.
+ShrinkResult ShrinkFailingScenario(const FuzzScenario& scenario, const std::string& oracle_name,
+                                   const FuzzRunOptions& options = {});
+
+// True when |result| (of running a candidate) contains a violation of
+// |oracle_name| (any violation when the name is empty).
+bool HasViolationOf(const FuzzRunResult& result, const std::string& oracle_name);
+
+// Renders a minimized scenario as a self-contained C++ test snippet that
+// reconstructs it literally and asserts the run is violation-free — the
+// "minimal reproducer" artifact a failing CI run uploads.
+std::string EmitReproSnippet(const FuzzScenario& scenario, const std::string& oracle_name);
+
+// Runs |scenario| with tracing enabled and returns the canonicalized trace
+// (one event per line, volatile fields scrubbed — see src/trace/trace_diff),
+// so two replays of the reproducer can be diffed byte-for-byte.
+std::string CanonicalTraceForScenario(const FuzzScenario& scenario,
+                                      const FuzzRunOptions& options = {});
+
+}  // namespace odyssey
+
+#endif  // SRC_CHECK_SHRINK_H_

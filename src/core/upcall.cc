@@ -76,6 +76,9 @@ void UpcallDispatcher::DeliverNext(AppId app) {
                     static_cast<double>(latency));
   ODY_TRACE_COUNTER(sim_->trace(), kViceroy, "upcall_queue_depth", sim_->now(), 0,
                     static_cast<double>(queued_));
+  if (observer_) {
+    observer_(app, upcall.seq, upcall.request, upcall.resource, upcall.level, upcall.posted_at);
+  }
   if (upcall.handler) {
     upcall.handler(upcall.request, upcall.resource, upcall.level);
   }

@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <utility>
 
 #include "src/core/resource.h"
 #include "src/sim/simulation.h"
@@ -21,6 +23,13 @@ namespace odyssey {
 
 class UpcallDispatcher {
  public:
+  // Observes every delivery, after the bookkeeping but before the handler
+  // runs: (app, seq, request, resource, level, posted_at).  Installed by the
+  // fuzzing oracles (src/check) to audit exactly-once/in-order semantics
+  // without aborting; unset (the default) costs one branch per delivery.
+  using DeliveryObserver =
+      std::function<void(AppId, uint64_t, RequestId, ResourceId, double, Time)>;
+
   // |delivery_latency| models the cost of crossing into the application;
   // zero still defers delivery to a subsequent event-loop turn.
   explicit UpcallDispatcher(Simulation* sim, Duration delivery_latency = 0)
@@ -58,6 +67,9 @@ class UpcallDispatcher {
   // Upcalls posted but not yet delivered, across all apps.
   size_t queued_count() const { return queued_; }
 
+  // Installs (or clears, with an empty function) the delivery observer.
+  void set_delivery_observer(DeliveryObserver observer) { observer_ = std::move(observer); }
+
  private:
   struct PendingUpcall {
     uint64_t seq;
@@ -81,6 +93,7 @@ class UpcallDispatcher {
 
   Simulation* sim_;
   Duration delivery_latency_;
+  DeliveryObserver observer_;
   std::map<AppId, AppQueue> queues_;
   uint64_t delivered_ = 0;
   size_t queued_ = 0;

@@ -101,4 +101,13 @@ double CentralizedStrategy::ConnectionAvailability(ConnectionId connection, Time
   return model_.AvailabilityFor(connection, now);
 }
 
+std::vector<ConnectionId> CentralizedStrategy::AttachedConnections() const {
+  std::vector<ConnectionId> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [connection, endpoint] : endpoints_) {
+    out.push_back(connection);
+  }
+  return out;
+}
+
 }  // namespace odyssey

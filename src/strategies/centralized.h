@@ -9,6 +9,7 @@
 #define SRC_STRATEGIES_CENTRALIZED_H_
 
 #include <map>
+#include <vector>
 
 #include "src/core/bandwidth_strategy.h"
 #include "src/estimator/supply_model.h"
@@ -38,6 +39,10 @@ class CentralizedStrategy : public BandwidthStrategy, public LogListener {
 
   // Share estimate for one connection (Figure 9's lower curve).
   double ConnectionAvailability(ConnectionId connection, Time now) const;
+
+  // Every currently attached connection, in id order.  The fuzzing oracles
+  // iterate these to audit the fair-share lower bound per connection.
+  std::vector<ConnectionId> AttachedConnections() const;
 
   const SupplyModel& supply_model() const { return model_; }
 

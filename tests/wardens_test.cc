@@ -1,5 +1,7 @@
-// Unit tests for the four wardens, run against the full experiment rig.
+// Unit tests for the wardens, run against the full experiment rig, plus
+// edge cases of the request/cancel/upcall contract they sit on.
 
+#include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -7,6 +9,8 @@
 #include "src/core/tsop_codec.h"
 #include "src/metrics/experiment.h"
 #include "src/servers/calibration.h"
+#include "src/servers/telemetry_server.h"
+#include "src/wardens/telemetry_warden.h"
 
 namespace odyssey {
 namespace {
@@ -374,6 +378,131 @@ TEST_F(WardenTest, BitstreamStopWithoutStartFails) {
   rig_.client().Tsop(app_, BitstreamPath(), kBitstreamStop, "",
                      [&](Status s, std::string) { status = s; });
   EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+// --- Edge cases: window bounds, cancel vs. upcall, dead-link tsops ---
+
+TEST_F(WardenTest, FidelityTransitionExactlyAtWindowBoundStaysInside) {
+  Viceroy& viceroy = rig_.client().viceroy();
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 100.0);
+  int upcalls = 0;
+  double seen_level = -1.0;
+  ResourceDescriptor descriptor;
+  descriptor.resource = ResourceId::kDiskCacheSpace;
+  descriptor.lower = 50.0;
+  descriptor.upper = 150.0;
+  descriptor.handler = [&](RequestId, ResourceId, double level) {
+    ++upcalls;
+    seen_level = level;
+  };
+  const RequestResult result = rig_.client().Request(app_, descriptor);
+  ASSERT_TRUE(result.ok());
+  // A transition that lands exactly on either bound is still inside the
+  // window of tolerance (§4.2 violation is strict): no upcall.
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 50.0);
+  rig_.sim().RunUntil(rig_.sim().now() + kSecond);
+  EXPECT_EQ(upcalls, 0);
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 150.0);
+  rig_.sim().RunUntil(rig_.sim().now() + kSecond);
+  EXPECT_EQ(upcalls, 0);
+  // The first step past the bound violates the window, exactly once.
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 150.5);
+  rig_.sim().RunUntil(rig_.sim().now() + kSecond);
+  EXPECT_EQ(upcalls, 1);
+  EXPECT_DOUBLE_EQ(seen_level, 150.5);
+  // The upcall consumed the registration; further motion is silent.
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 10.0);
+  rig_.sim().RunUntil(rig_.sim().now() + kSecond);
+  EXPECT_EQ(upcalls, 1);
+}
+
+TEST_F(WardenTest, CancelDuringUpcallDeliveryCannotSuppressIt) {
+  Viceroy& viceroy = rig_.client().viceroy();
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 100.0);
+  int upcalls = 0;
+  ResourceDescriptor descriptor;
+  descriptor.resource = ResourceId::kDiskCacheSpace;
+  descriptor.lower = 90.0;
+  descriptor.upper = 110.0;
+  descriptor.handler = [&](RequestId, ResourceId, double) { ++upcalls; };
+  const RequestResult result = rig_.client().Request(app_, descriptor);
+  ASSERT_TRUE(result.ok());
+  // Violating the window posts the upcall and consumes the registration;
+  // the delivery is in flight but not yet in the application.
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 10.0);
+  EXPECT_EQ(upcalls, 0);
+  // A cancel racing the in-flight upcall must lose: the entry is gone, so
+  // the cancel reports failure and the delivery still happens exactly once.
+  EXPECT_FALSE(rig_.client().Cancel(result.id).ok());
+  rig_.sim().RunUntil(rig_.sim().now() + kSecond);
+  EXPECT_EQ(upcalls, 1);
+
+  // The dual guarantee (the upcall-after-cancel oracle relies on it): a
+  // cancel that returns ok proves no upcall was posted, so none may ever
+  // arrive for that registration.
+  int late_upcalls = 0;
+  ResourceDescriptor second;
+  second.resource = ResourceId::kDiskCacheSpace;
+  second.lower = 5.0;
+  second.upper = 20.0;
+  second.handler = [&](RequestId, ResourceId, double) { ++late_upcalls; };
+  const RequestResult granted = rig_.client().Request(app_, second);
+  ASSERT_TRUE(granted.ok());
+  EXPECT_TRUE(rig_.client().Cancel(granted.id).ok());
+  viceroy.SetStaticLevel(ResourceId::kDiskCacheSpace, 1000.0);
+  rig_.sim().RunUntil(rig_.sim().now() + kSecond);
+  EXPECT_EQ(late_upcalls, 0);
+}
+
+TEST_F(WardenTest, SpeechRecognizeOnZeroBandwidthLinkEndsLocal) {
+  // An adaptive recognition issued while the link is dead must complete —
+  // either by planning local outright or via the watchdog — never hang.
+  rig_.modulator().Replay(MakeConstant(0.0, 5 * kMinute, kOneWayLatency));
+  rig_.client().Tsop(app_, SpeechPath(), kSpeechSetMode,
+                     PackStruct(SpeechSetModeRequest{static_cast<int>(SpeechMode::kAdaptive)}),
+                     [](Status, std::string) {});
+  SpeechResult result;
+  bool finished = false;
+  rig_.client().Tsop(app_, SpeechPath(), kSpeechRecognize,
+                     PackStruct(SpeechUtterance{kSpeechRawBytes}),
+                     [&](Status s, std::string out) {
+                       EXPECT_TRUE(s.ok());
+                       EXPECT_TRUE(UnpackStruct(out, &result));
+                       finished = true;
+                     });
+  rig_.sim().RunUntil(rig_.sim().now() + kMinute);
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(result.plan, static_cast<int>(SpeechMode::kAlwaysLocal));
+}
+
+TEST_F(WardenTest, TelemetrySubscribeOnZeroBandwidthLinkStallsSafely) {
+  TelemetryServer server(&rig_.sim());
+  server.CreateFeed("stocks/ACME", 100 * kMillisecond, 100.0, 0.2);
+  rig_.client().InstallWarden(std::make_unique<TelemetryWarden>(&server));
+  rig_.modulator().Replay(MakeConstant(0.0, 5 * kMinute, kOneWayLatency));
+  const std::string path = std::string(kOdysseyRoot) + "telemetry/stocks/ACME";
+  // Subscribing is a control operation: it must succeed with no network.
+  Status subscribed;
+  rig_.client().Tsop(app_, path, kTelemetrySubscribe,
+                     PackStruct(TelemetrySubscribeRequest{0}),
+                     [&](Status s, std::string) { subscribed = s; });
+  ASSERT_TRUE(subscribed.ok());
+  rig_.sim().RunUntil(rig_.sim().now() + 20 * kSecond);
+  // The poll pipeline stalls on the dead link: it must neither fabricate
+  // samples nor crash, and the stats op still answers locally.
+  TelemetryStats stats;
+  Status stats_status;
+  rig_.client().Tsop(app_, path, kTelemetryStats, "",
+                     [&](Status s, std::string out) {
+                       stats_status = s;
+                       EXPECT_TRUE(UnpackStruct(out, &stats));
+                     });
+  ASSERT_TRUE(stats_status.ok());
+  EXPECT_LE(stats.samples_delivered, 2);
+  Status unsubscribed;
+  rig_.client().Tsop(app_, path, kTelemetryUnsubscribe, "",
+                     [&](Status s, std::string) { unsubscribed = s; });
+  EXPECT_TRUE(unsubscribed.ok());
 }
 
 }  // namespace

@@ -1,0 +1,239 @@
+// ody_fuzz: the deterministic simulation fuzzer's fleet driver.
+//
+// Usage:
+//   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--selftest-mutation]
+//            [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] [--verbose]
+//
+// Synthesizes N scenarios from a single campaign seed (trial seeds derived
+// with the same O(1) stream jump the bench campaigns use), executes each
+// against a fresh Odyssey stack under the invariant oracles, and reports
+// every violation.  Output is a pure function of (--runs, --seed,
+// --selftest-mutation): --jobs only changes wall-clock time, never a byte
+// of stdout or the artifacts — results land in per-run slots and are
+// printed in plan order after the pool drains.
+//
+// On failure the first failing scenario is shrunk to a minimal reproducer
+// (greedy delta debugging over the scenario description); the reproducer is
+// written as a self-contained C++ test snippet to --repro-out and its
+// canonicalized trace to --trace-out, and the exit code is 1.
+//
+// --selftest-mutation requires a build with -DODYSSEY_FUZZ_SELFTEST=ON; it
+// makes the runner observe the second upcall of every app twice, so CI can
+// prove the upcall-duplicate oracle and the shrinker work end to end.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/check/fuzz_runner.h"
+#include "src/check/fuzz_scenario.h"
+#include "src/check/oracles.h"
+#include "src/check/shrink.h"
+#include "src/harness/campaign.h"
+#include "src/harness/worker_pool.h"
+
+namespace {
+
+using odyssey::DeriveTrialSeed;
+using odyssey::FormatViolations;
+using odyssey::FuzzRunOptions;
+using odyssey::FuzzRunResult;
+using odyssey::FuzzScenario;
+using odyssey::GenerateScenario;
+using odyssey::RunFuzzScenario;
+using odyssey::ShrinkFailingScenario;
+using odyssey::ShrinkResult;
+
+struct Options {
+  int runs = 50;
+  int jobs = odyssey::DefaultJobCount();
+  uint64_t seed = 1;
+  bool selftest_mutation = false;
+  bool shrink = true;
+  bool verbose = false;
+  std::string repro_out = "fuzz_repro.cc";
+  std::string trace_out = "fuzz_trace.txt";
+};
+
+bool FlagValue(const std::string& arg, const std::string& name, std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  uint64_t value = 0;
+  if (!ParseU64(text, &value) || value > 1u << 20) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--selftest-mutation]\n"
+               "                [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] "
+               "[--verbose]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (FlagValue(arg, "runs", &value)) {
+      if (!ParseInt(value, &options->runs) || options->runs <= 0) {
+        return false;
+      }
+    } else if (FlagValue(arg, "jobs", &value)) {
+      if (!ParseInt(value, &options->jobs) || options->jobs <= 0) {
+        return false;
+      }
+    } else if (FlagValue(arg, "seed", &value)) {
+      if (!ParseU64(value, &options->seed)) {
+        return false;
+      }
+    } else if (FlagValue(arg, "repro-out", &value)) {
+      options->repro_out = value;
+    } else if (FlagValue(arg, "trace-out", &value)) {
+      options->trace_out = value;
+    } else if (arg == "--selftest-mutation") {
+      options->selftest_mutation = true;
+    } else if (arg == "--no-shrink") {
+      options->shrink = false;
+    } else if (arg == "--verbose") {
+      options->verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    return Usage();
+  }
+  if (options.selftest_mutation && !odyssey::kFuzzSelftestCompiled) {
+    std::fprintf(stderr,
+                 "ody_fuzz: --selftest-mutation needs a -DODYSSEY_FUZZ_SELFTEST=ON build\n");
+    return 2;
+  }
+
+  FuzzRunOptions run_options;
+  run_options.selftest_mutation = options.selftest_mutation;
+
+  // Fleet execution: every run writes only its own slot, so the report
+  // below is independent of worker count and completion order.
+  const auto count = static_cast<size_t>(options.runs);
+  std::vector<FuzzRunResult> results(count);
+  std::vector<uint64_t> seeds(count);
+  for (size_t i = 0; i < count; ++i) {
+    seeds[i] = DeriveTrialSeed(options.seed, static_cast<uint64_t>(i));
+  }
+  odyssey::RunIndexedTasks(options.jobs, count, [&](size_t i) {
+    results[i] = RunFuzzScenario(GenerateScenario(seeds[i]), run_options);
+  });
+
+  std::printf("ody_fuzz: %d runs, seed %llu%s\n", options.runs,
+              static_cast<unsigned long long>(options.seed),
+              options.selftest_mutation ? ", selftest mutation armed" : "");
+
+  uint64_t total_violations = 0;
+  uint64_t total_upcalls = 0;
+  uint64_t total_requests = 0;
+  uint64_t total_tsops = 0;
+  size_t failing_runs = 0;
+  size_t first_failure = count;
+  for (size_t i = 0; i < count; ++i) {
+    const FuzzRunResult& result = results[i];
+    total_violations += result.violation_count;
+    total_upcalls += result.upcalls_delivered;
+    total_requests += result.requests_granted;
+    total_tsops += result.tsops_issued;
+    if (!result.ok()) {
+      ++failing_runs;
+      if (first_failure == count) {
+        first_failure = i;
+      }
+      std::printf("run %zu seed %llu: %llu violations\n%s", i,
+                  static_cast<unsigned long long>(seeds[i]),
+                  static_cast<unsigned long long>(result.violation_count),
+                  FormatViolations(result.violations).c_str());
+    } else if (options.verbose) {
+      std::printf("run %zu seed %llu: ok (%llu upcalls, %llu requests, %llu tsops)\n", i,
+                  static_cast<unsigned long long>(seeds[i]),
+                  static_cast<unsigned long long>(result.upcalls_delivered),
+                  static_cast<unsigned long long>(result.requests_granted),
+                  static_cast<unsigned long long>(result.tsops_issued));
+    }
+  }
+  std::printf(
+      "totals: %llu violations in %zu/%zu runs (%llu upcalls, %llu requests, %llu tsops)\n",
+      static_cast<unsigned long long>(total_violations), failing_runs, count,
+      static_cast<unsigned long long>(total_upcalls),
+      static_cast<unsigned long long>(total_requests),
+      static_cast<unsigned long long>(total_tsops));
+
+  if (failing_runs == 0) {
+    return 0;
+  }
+
+  if (options.shrink) {
+    const FuzzScenario failing = GenerateScenario(seeds[first_failure]);
+    const std::string oracle = results[first_failure].violations.empty()
+                                   ? std::string()
+                                   : results[first_failure].violations.front().oracle;
+    std::printf("shrinking run %zu (oracle \"%s\", %zu elements)...\n", first_failure,
+                oracle.c_str(), failing.ElementCount());
+    const ShrinkResult shrunk = ShrinkFailingScenario(failing, oracle, run_options);
+    std::printf("shrink: minimized to %zu elements (from %zu) in %d rounds, %d attempts\n",
+                shrunk.final_elements, shrunk.initial_elements, shrunk.rounds,
+                shrunk.attempts);
+    std::printf("%s", shrunk.minimized.Describe().c_str());
+    if (WriteFile(options.repro_out, odyssey::EmitReproSnippet(shrunk.minimized, oracle))) {
+      std::printf("repro snippet: %s\n", options.repro_out.c_str());
+    } else {
+      std::fprintf(stderr, "ody_fuzz: cannot write %s\n", options.repro_out.c_str());
+    }
+    if (WriteFile(options.trace_out,
+                  odyssey::CanonicalTraceForScenario(shrunk.minimized, run_options))) {
+      std::printf("canonical trace: %s\n", options.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "ody_fuzz: cannot write %s\n", options.trace_out.c_str());
+    }
+  }
+  return 1;
+}

@@ -66,6 +66,10 @@ RULES = {
         "static non-const or mutable state in src/harness/; campaign trials "
         "are shared-nothing, so the engine may hold no cross-trial state"
     ),
+    "test-no-wallclock": (
+        "wall-clock reads or real sleeping in tests/; tests advance virtual "
+        "time with Simulation::RunUntil, never by waiting"
+    ),
 }
 
 # Directories whose sources are scanned at all.
@@ -81,6 +85,8 @@ RANDOM_HOME = "src/sim/random.h"
 THREAD_HOME = ("src/harness/worker_pool.h", "src/harness/worker_pool.cc")
 # The campaign engine: jobs-invariance requires it to stay shared-nothing.
 HARNESS_DIRS = ("src/harness",)
+# Tests: any dependence on real time makes a test flaky and unreproducible.
+TEST_DIRS = ("tests",)
 
 SOURCE_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
 
@@ -373,6 +379,28 @@ def check_harness_global_state(sf: SourceFile) -> list[Violation]:
     return out
 
 
+# A test that reads a real clock or really sleeps is flaky by construction
+# and defeats the virtual-time determinism every suite here relies on.
+_TEST_WALL_CLOCK_RE = re.compile(
+    r"\b(system_clock|steady_clock|high_resolution_clock|sleep_for|"
+    r"sleep_until|usleep|nanosleep)\b"
+)
+
+
+def check_test_no_wallclock(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, TEST_DIRS):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = _TEST_WALL_CLOCK_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "test-no-wallclock",
+                                 f"'{m.group(0)}' in a test; advance virtual time with "
+                                 "Simulation::RunUntil instead of waiting on the real "
+                                 "clock"))
+    return out
+
+
 # --- Structural rules -------------------------------------------------------
 
 def expected_guard(relpath: str) -> str:
@@ -473,6 +501,7 @@ CHECKS = [
     check_trace_static_name,
     check_harness_thread,
     check_harness_global_state,
+    check_test_no_wallclock,
     check_header_guard,
     check_include_order,
 ]

@@ -173,6 +173,26 @@ class OdyLintTest(unittest.TestCase):
                          "src/harness/harness_state_suppressed.cc")
         self.assertNotIn("harness-no-global-state", self.rules_found(rel))
 
+    # --- test-no-wallclock ---
+
+    def test_wallclock_in_tests_flagged(self):
+        rel = self.place("test_wallclock_bad.cc", "tests/test_wallclock_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "test-no-wallclock"]
+        # steady_clock, sleep_for, system_clock each fire once.
+        self.assertEqual([v.line for v in violations], [8, 9, 10])
+
+    def test_wallclock_rule_scoped_to_tests(self):
+        # src/ has its own wall-clock rule (scoped to the simulated dirs);
+        # bench and examples may legitimately time themselves.
+        for tree in ("src/metrics", "bench", "examples"):
+            rel = self.place("test_wallclock_bad.cc", tree + "/test_wallclock_bad.cc")
+            self.assertNotIn("test-no-wallclock", self.rules_found(rel))
+
+    def test_wallclock_in_tests_suppressed(self):
+        rel = self.place("test_wallclock_suppressed.cc",
+                         "tests/test_wallclock_suppressed.cc")
+        self.assertNotIn("test-no-wallclock", self.rules_found(rel))
+
     # --- header-guard ---
 
     def test_header_guard_mismatch_flagged(self):
@@ -224,7 +244,7 @@ class OdyLintTest(unittest.TestCase):
 
     def test_list_rules_covers_all_checks(self):
         self.assertEqual(ody_lint.main(["--list-rules"]), 0)
-        self.assertEqual(len(ody_lint.RULES), 9)
+        self.assertEqual(len(ody_lint.RULES), 10)
 
 
 if __name__ == "__main__":

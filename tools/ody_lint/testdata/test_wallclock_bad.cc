@@ -1,0 +1,15 @@
+// Fixture: real-time waits and wall-clock reads inside a test.
+#include <chrono>
+#include <thread>
+
+namespace odyssey {
+
+void Bad() {
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto wall = std::chrono::system_clock::now();
+  (void)start;
+  (void)wall;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,14 @@
+// Fixture: the same real-time calls, each suppressed inline.
+#include <chrono>
+#include <thread>
+
+namespace odyssey {
+
+void Suppressed() {
+  auto start = std::chrono::steady_clock::now();  // ody-lint: allow(test-no-wallclock)
+  // ody-lint: allow(test-no-wallclock)
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  (void)start;
+}
+
+}  // namespace odyssey
