@@ -126,6 +126,72 @@ void BM_AvailabilityQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_AvailabilityQuery)->Arg(1)->Arg(4)->Arg(16);
 
+// --- Scaled-core microbenchmarks ----------------------------------------
+//
+// The scale work's claims, measured in isolation: event-queue operations
+// stay logarithmic in the number of pending events, and an observation
+// followed by an availability query is O(1) on the incremental supply
+// model where the naive model rescans every connection.
+
+void BM_EventQueuePushPopAtDepth(benchmark::State& state) {
+  Simulation sim;
+  // |range(0)| events pending far in the future form the standing depth.
+  for (int i = 0; i < state.range(0); ++i) {
+    sim.Schedule(kSecond * 1000000, [] {});
+  }
+  int sink = 0;
+  for (auto _ : state) {
+    sim.Schedule(1, [&] { ++sink; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueuePushPopAtDepth)->Arg(1)->Arg(100)->Arg(10000);
+
+void BM_EventCancelAtDepth(benchmark::State& state) {
+  Simulation sim;
+  for (int i = 0; i < state.range(0); ++i) {
+    sim.Schedule(kSecond * 1000000, [] {});
+  }
+  for (auto _ : state) {
+    EventHandle handle = sim.Schedule(kSecond * 500000, [] {});
+    handle.Cancel();
+  }
+}
+BENCHMARK(BM_EventCancelAtDepth)->Arg(1)->Arg(100)->Arg(10000);
+
+// One observation plus one availability query against a population of
+// |range(0)| connections — the per-event unit of work on the adaptation
+// hot path.  Run with kIncremental and kNaive to see the rescan cost the
+// incremental model removes.
+void RunSupplyRecompute(benchmark::State& state, SupplyModelKind kind) {
+  std::unique_ptr<SupplyModelInterface> model = MakeSupplyModel(kind, SupplyModelConfig{});
+  const int connections = static_cast<int>(state.range(0));
+  Time at = 0;
+  for (int i = 0; i < connections; ++i) {
+    model->AddConnection(i + 1);
+    at += kMillisecond;
+    model->OnThroughput(i + 1, {at, 65536.0, 521 * kMillisecond});
+  }
+  ConnectionId next = 1;
+  for (auto _ : state) {
+    at += 50 * kMillisecond;
+    model->OnThroughput(next, {at, 65536.0, 521 * kMillisecond});
+    benchmark::DoNotOptimize(model->AvailabilityFor(next, at));
+    next = next % connections + 1;
+  }
+}
+
+void BM_SupplyRecomputeIncremental(benchmark::State& state) {
+  RunSupplyRecompute(state, SupplyModelKind::kIncremental);
+}
+BENCHMARK(BM_SupplyRecomputeIncremental)->Arg(1)->Arg(100)->Arg(10000);
+
+void BM_SupplyRecomputeNaive(benchmark::State& state) {
+  RunSupplyRecompute(state, SupplyModelKind::kNaive);
+}
+BENCHMARK(BM_SupplyRecomputeNaive)->Arg(1)->Arg(100)->Arg(10000);
+
 void BM_TsopDispatch(benchmark::State& state) {
   Simulation sim;
   Link link(&sim, 1e9, 0);

@@ -287,15 +287,28 @@ class FuzzDriver {
   std::vector<RequestId> outstanding_;
 };
 
-// Self-rescheduling periodic oracle audit.
+// Self-rescheduling periodic oracle audit; optionally records the
+// availability figures the differential tests compare.
 struct Sampler {
   Simulation* sim = nullptr;
   OracleSet* oracle = nullptr;
+  CentralizedStrategy* strategy = nullptr;
+  DifferentialLog* differential = nullptr;
   Time end = 0;
   Duration period = 0;
 
   void Tick() {
     oracle->Sample();
+    if (differential != nullptr) {
+      const Time now = sim->now();
+      differential->samples.push_back(static_cast<double>(now));
+      differential->samples.push_back(strategy->TotalSupply(now));
+      differential->samples.push_back(
+          static_cast<double>(strategy->supply_model().ActiveConnectionCount(now)));
+      for (const ConnectionId connection : strategy->AttachedConnections()) {
+        differential->samples.push_back(strategy->ConnectionAvailability(connection, now));
+      }
+    }
     if (sim->now() < end) {
       sim->Schedule(period, [this] { Tick(); });
     }
@@ -332,9 +345,14 @@ FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions
   TelemetryServer telemetry_server(&sim);
   telemetry_server.CreateFeed(kFuzzFeed, 200 * kMillisecond, 100.0, 5.0);
 
-  auto strategy = std::make_unique<CentralizedStrategy>(&sim);
+  auto strategy = std::make_unique<CentralizedStrategy>(
+      &sim, SupplyModelConfig{},
+      options.reference_stack ? SupplyModelKind::kNaive : SupplyModelKind::kIncremental);
   CentralizedStrategy* strategy_ptr = strategy.get();
   OdysseyClient client(&sim, &link, std::move(strategy), kUpcallLatency);
+  if (options.reference_stack) {
+    client.viceroy().set_reevaluate_mode(ReevaluateMode::kFullScan);
+  }
   client.InstallWarden(std::make_unique<VideoWarden>(&video_server));
   client.InstallWarden(std::make_unique<WebWarden>(&distillation_server));
   client.InstallWarden(std::make_unique<SpeechWarden>(&janus_server));
@@ -346,10 +364,15 @@ FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions
   injector.Arm(BuildFaultPlan(scenario));
 
   OracleSet oracle(scenario, &sim, &client.viceroy(), strategy_ptr, &link);
+  oracle.set_max_audited_connections(options.max_audited_connections);
   client.viceroy().upcalls().set_delivery_observer(
-      [&oracle, &result, &options](AppId app, uint64_t seq, RequestId request,
-                                   ResourceId resource, double level, Time posted_at) {
+      [&oracle, &result, &options, &sim](AppId app, uint64_t seq, RequestId request,
+                                         ResourceId resource, double level, Time posted_at) {
         ++result.upcalls_delivered;
+        if (options.differential != nullptr) {
+          options.differential->upcalls.push_back(
+              UpcallRecord{app, seq, request, resource, level, posted_at, sim.now()});
+        }
         oracle.OnUpcallDelivered(app, seq, request, resource, level, posted_at);
 #ifdef ODYSSEY_FUZZ_SELFTEST
         if (options.selftest_mutation && seq == 2) {
@@ -366,7 +389,7 @@ FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions
   sim.set_step_observer([&oracle](Time when) { oracle.OnStep(when); });
 
   const Time end = scenario.horizon + options.drain_grace;
-  Sampler sampler{&sim, &oracle, end, options.oracle_period};
+  Sampler sampler{&sim, &oracle, strategy_ptr, options.differential, end, options.oracle_period};
   sim.Schedule(options.oracle_period, [&sampler] { sampler.Tick(); });
 
   std::vector<std::unique_ptr<FuzzDriver>> drivers;

@@ -31,6 +31,31 @@ inline constexpr bool kFuzzSelftestCompiled = true;
 inline constexpr bool kFuzzSelftestCompiled = false;
 #endif
 
+// One delivered upcall, as captured for differential comparison.  Two
+// stacks that adapt identically produce identical record sequences.
+struct UpcallRecord {
+  AppId app = 0;
+  uint64_t seq = 0;
+  RequestId request = 0;
+  ResourceId resource = ResourceId::kNetworkBandwidth;
+  double level = 0.0;
+  Time posted_at = 0;
+  Time delivered_at = 0;
+
+  bool operator==(const UpcallRecord&) const = default;
+};
+
+// Everything the differential tests compare between the production stack
+// and the naive reference stack: the full upcall sequence and the
+// availability figures observed at each periodic sample.
+struct DifferentialLog {
+  std::vector<UpcallRecord> upcalls;
+  // Flat stream per sample: now, total supply, active count, then each
+  // attached connection's availability in id order.  Bit-for-bit equality
+  // is the pass criterion, so doubles are stored unrounded.
+  std::vector<double> samples;
+};
+
 struct FuzzRunOptions {
   // Injects a deliberate duplicate upcall-delivery notification (the second
   // upcall of every app is observed twice), so CI can verify end-to-end
@@ -44,6 +69,16 @@ struct FuzzRunOptions {
   Duration drain_grace = 2 * kSecond;
   // Optional recorder for the canonical failure trace; borrowed.
   TraceRecorder* trace = nullptr;
+  // Runs the pre-scale reference stack instead of the production one: the
+  // naive full-rescan supply model and the viceroy's full-scan
+  // re-evaluation.  The differential tests run every scenario both ways
+  // and require identical DifferentialLogs.
+  bool reference_stack = false;
+  // When set, the run appends its upcall records and availability samples
+  // here; borrowed.
+  DifferentialLog* differential = nullptr;
+  // Forwarded to OracleSet::set_max_audited_connections (0 = audit all).
+  size_t max_audited_connections = 0;
 };
 
 struct FuzzRunResult {

@@ -1,6 +1,7 @@
 #include "src/check/fuzz_scenario.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "src/sim/random.h"
@@ -144,7 +145,9 @@ std::string FuzzScenario::Describe() const {
   return out.str();
 }
 
-FuzzScenario GenerateScenario(uint64_t seed) {
+FuzzScenario GenerateScenario(uint64_t seed) { return GenerateScenario(seed, ScenarioOptions{}); }
+
+FuzzScenario GenerateScenario(uint64_t seed, const ScenarioOptions& options) {
   // The generator stream is independent of the Simulation stream (which is
   // also rooted at scenario.seed): mixing once keeps the two decoupled.
   Rng rng(SplitMix64(seed ^ 0x6f647966757a7aULL).Next());
@@ -173,7 +176,18 @@ FuzzScenario GenerateScenario(uint64_t seed) {
     scenario.segments.push_back(segment);
   }
 
-  const int app_count = 1 + static_cast<int>(rng.UniformInt(kMaxApps));
+  // Large-N mode (max_apps above the default): log-uniform in [1, max_apps]
+  // biases toward moderate sizes while still reaching the configured scale
+  // regularly.  The default takes the original uniform draw verbatim, so
+  // historical seeds keep producing byte-identical scenarios.
+  int app_count;
+  if (options.max_apps <= kMaxApps) {
+    app_count = 1 + static_cast<int>(rng.UniformInt(kMaxApps));
+  } else {
+    const double u = rng.NextDouble();
+    const double raw = std::exp(u * std::log(static_cast<double>(options.max_apps) + 1.0));
+    app_count = std::clamp(static_cast<int>(raw), 1, options.max_apps);
+  }
   for (int i = 0; i < app_count; ++i) {
     FuzzApp app;
     // Cycle through the wardens so every scenario with >= 6 apps covers all

@@ -107,12 +107,24 @@ struct FuzzScenario {
   std::string Describe() const;
 };
 
+// Knobs for scenario synthesis beyond the seed.  Defaults reproduce the
+// historical generator exactly (same seed -> byte-identical scenario).
+struct ScenarioOptions {
+  // Upper bound on the number of concurrent applications.  At the default
+  // the app count is drawn uniformly in [1, 8], matching the original
+  // generator draw for draw; above it the count is drawn log-uniform in
+  // [1, max_apps], so large-N sweeps still spend most runs at moderate
+  // sizes while regularly reaching the configured scale.
+  int max_apps = 8;
+};
+
 // Synthesizes a schedulable scenario from |seed| alone.  Guarantees: at
 // least one segment, the final segment has positive bandwidth (so flows in
 // flight at the end of the waveform can drain), all op times lie within the
 // horizon, and fault windows are bounded so the workload cannot be starved
 // for more than a few seconds at a time.
 FuzzScenario GenerateScenario(uint64_t seed);
+FuzzScenario GenerateScenario(uint64_t seed, const ScenarioOptions& options);
 
 // Upper bound on bytes the link can deliver by |until|: the integral of the
 // nominal waveform (the final segment persists past the end of the trace,

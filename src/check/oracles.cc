@@ -156,7 +156,7 @@ void OracleSet::Sample() {
   if (!strategy_->HasEstimate()) {
     return;
   }
-  const SupplyModel& model = strategy_->supply_model();
+  const SupplyModelInterface& model = strategy_->supply_model();
   const double supply = model.TotalSupply();
   if (!std::isfinite(supply) || supply < 0.0) {
     std::ostringstream detail;
@@ -175,10 +175,20 @@ void OracleSet::Sample() {
 
   // Fair share (§6.2.1): every connection is guaranteed at least the fair
   // share a hypothetical extra connection would get, and never more than
-  // the whole supply.
+  // the whole supply.  At 100k connections a full audit per sample would
+  // dominate the run, so past the cap each sample audits a rotating window
+  // — every connection is still visited regularly across samples.
   const double floor = supply / static_cast<double>(active + 1);
   const double eps = ShareEps(supply);
-  for (const ConnectionId connection : connections) {
+  size_t begin = 0;
+  size_t count = connections.size();
+  if (max_audited_connections_ > 0 && count > max_audited_connections_) {
+    begin = audit_cursor_ % count;
+    count = max_audited_connections_;
+    audit_cursor_ += count;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const ConnectionId connection = connections[(begin + i) % connections.size()];
     const double availability = strategy_->ConnectionAvailability(connection, now);
     if (availability + eps < floor) {
       std::ostringstream detail;

@@ -88,6 +88,12 @@ class OracleSet {
   // Periodic audit of estimator, fair-share and link-conservation bounds.
   void Sample();
 
+  // Caps how many connections one Sample() audits for the fair-share and
+  // ewma bounds (0 = all).  Above the cap, samples audit a rotating window
+  // so every connection is still covered across consecutive samples; the
+  // tier_scale campaign sets this to keep oracle cost sub-linear in N.
+  void set_max_audited_connections(size_t cap) { max_audited_connections_ = cap; }
+
   // End-of-run audit, after the drain grace period.
   void Finish();
 
@@ -115,6 +121,8 @@ class OracleSet {
   std::set<RequestId> cancelled_;
   Time last_event_time_ = 0;
   double last_bytes_delivered_ = 0.0;
+  size_t max_audited_connections_ = 0;
+  size_t audit_cursor_ = 0;
 
   std::vector<FuzzViolation> violations_;
   std::map<std::string, uint64_t> per_oracle_count_;

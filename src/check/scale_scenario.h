@@ -1,0 +1,40 @@
+// The tier_scale campaign: the viceroy hot core at 100 to 100k concurrent
+// adaptive applications, with every fuzzing oracle left on.
+//
+// Each variant builds a shared-nothing rig — simulation, link, centralized
+// strategy, viceroy — registers N applications each holding a re-registering
+// window of tolerance, and drives a stepped supply waveform through a small
+// set of hot connections.  Every supply step violates every window at once,
+// so the rig exercises exactly the paths the scale work optimized: the
+// indexed re-evaluation, batched upcall dispatch, slab-allocated request
+// table and incremental supply model.  The n10k_naive variant runs the same
+// rig on the pre-scale reference stack (naive supply model, full-scan
+// re-evaluation) over a reduced schedule; comparing its events/sec rate
+// against n10k's is the campaign's headline speedup figure.
+//
+// This lives in odyssey_check rather than odyssey_harness because the rig
+// keeps the PR-5 OracleSet attached throughout — a trial with any oracle
+// violation reports it in the artifact (oracle_violations gates at zero).
+
+#ifndef SRC_CHECK_SCALE_SCENARIO_H_
+#define SRC_CHECK_SCALE_SCENARIO_H_
+
+#include "src/harness/campaign.h"
+#include "src/harness/scenario_registry.h"
+
+namespace odyssey {
+
+// Registers the "scale_core" scenario (variants n100, n1k, n10k, n100k,
+// n10k_naive).  Asserts that registration succeeds, like
+// RegisterBuiltinScenarios.
+void RegisterScaleScenarios(ScenarioRegistry* registry);
+
+// The tier_scale campaign spec.  Declared here instead of in
+// BuiltinCampaigns() because its scenario lives in odyssey_check: callers
+// that can run it (ody_bench, the scale tests) append it to the built-in
+// list after registering the scale scenarios.
+CampaignSpec ScaleCampaign();
+
+}  // namespace odyssey
+
+#endif  // SRC_CHECK_SCALE_SCENARIO_H_

@@ -16,12 +16,38 @@
 
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/resource.h"
 #include "src/rpc/endpoint.h"
 #include "src/sim/time.h"
 
 namespace odyssey {
+
+// A strategy's summary of which applications a re-evaluation pass must
+// look at, produced by TakeReevalHint() when estimates move.
+//
+// When |exact| is set, the hint is a *complete* description: every app not
+// in |dirty| has had no per-connection state change since the last hint was
+// taken, so its bandwidth availability is the pure fair-share level for an
+// app with its connection count, and its smoothed rtt is unchanged.
+// |idle_levels| lists, for each connection count k present among
+// registered apps, the bandwidth level such an all-idle app sees — the
+// viceroy probes the request table's interval index at each level to find
+// the non-dirty apps whose windows those levels violate, instead of
+// walking every app.  A hint with |exact| false (the default every
+// strategy without incremental bookkeeping returns) tells the viceroy to
+// fall back to the full scan.
+struct ReevalHint {
+  bool exact = false;
+  // Apps whose availability or rtt may have moved arbitrarily.  Sorted and
+  // deduplicated.
+  std::vector<AppId> dirty;
+  // (connection count, bandwidth availability) for every connection count
+  // that at least one app currently has.  Valid for non-dirty apps.
+  std::vector<std::pair<int, double>> idle_levels;
+};
 
 class BandwidthStrategy {
  public:
@@ -48,6 +74,31 @@ class BandwidthStrategy {
   // Smoothed round trip for the app's connections (microseconds); zero if
   // unknown.
   virtual Duration SmoothedRttFor(AppId app) const = 0;
+
+  // Connections currently attached for |app|.  The viceroy uses this as the
+  // window class for the request table's interval index (idle apps with the
+  // same count share one availability level), so strategies that produce
+  // exact reevaluation hints must track it.  Strategies without connection
+  // bookkeeping may leave the default; their hints are inexact, so the
+  // class is never probed.
+  virtual int ConnectionCountFor(AppId app) const {
+    (void)app;
+    return 0;
+  }
+
+  // The app |connection| is attached to, or 0 if unknown.
+  virtual AppId OwnerOf(ConnectionId connection) const {
+    (void)connection;
+    return 0;
+  }
+
+  // Drains and returns the set of apps the next re-evaluation must visit.
+  // Strategies that track per-app changes incrementally override this; the
+  // default is the conservative "scan everything" hint.
+  virtual ReevalHint TakeReevalHint(Time now) {
+    (void)now;
+    return {};
+  }
 
   // The viceroy installs a callback to be told estimates may have moved; it
   // then re-evaluates registered windows of tolerance.

@@ -45,7 +45,23 @@ void UpcallDispatcher::ScheduleDelivery(AppId app) {
     return;
   }
   q.delivery_scheduled = true;
-  sim_->Schedule(delivery_latency_, [this, app] { DeliverNext(app); });
+  const Time due = sim_->now() + delivery_latency_;
+  if (!batches_.empty() && batches_.back().due == due) {
+    // Ride the already-scheduled event for this instant.
+    batches_.back().apps.push_back(app);
+    return;
+  }
+  batches_.push_back(Batch{due, {app}});
+  sim_->Post(delivery_latency_, [this] { FireBatch(); });
+}
+
+void UpcallDispatcher::FireBatch() {
+  ODY_ASSERT(!batches_.empty(), "upcall batch event with no batch");
+  Batch batch = std::move(batches_.front());
+  batches_.pop_front();
+  for (const AppId app : batch.apps) {
+    DeliverNext(app);
+  }
 }
 
 void UpcallDispatcher::DeliverNext(AppId app) {

@@ -1,5 +1,6 @@
 #include "src/core/viceroy.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/core/contract.h"
@@ -42,9 +43,23 @@ const std::string& Viceroy::ApplicationName(AppId app) const {
 
 void Viceroy::AttachConnection(AppId app, Endpoint* endpoint) {
   strategy_->AttachConnection(app, endpoint);
+  // Window classes track the owner's connection count (see Request), so an
+  // attach moves the app's existing windows to the new count's class.
+  requests_.Reclassify(app, WindowClassOf(app));
 }
 
-void Viceroy::DetachConnection(Endpoint* endpoint) { strategy_->DetachConnection(endpoint); }
+void Viceroy::DetachConnection(Endpoint* endpoint) {
+  const AppId app = strategy_->OwnerOf(endpoint->id());
+  strategy_->DetachConnection(endpoint);
+  if (app != 0) {
+    requests_.Reclassify(app, WindowClassOf(app));
+  }
+}
+
+uint32_t Viceroy::WindowClassOf(AppId app) const {
+  const int count = strategy_->ConnectionCountFor(app);
+  return count > 0 ? static_cast<uint32_t>(count) : 0;
+}
 
 RequestResult Viceroy::Request(AppId app, const ResourceDescriptor& descriptor) {
   // A window of tolerance is an interval (Figure 3b); an inverted one is a
@@ -59,7 +74,7 @@ RequestResult Viceroy::Request(AppId app, const ResourceDescriptor& descriptor) 
     return result;
   }
   result.status_ok = true;
-  result.id = requests_.Register(app, descriptor);
+  result.id = requests_.Register(app, descriptor, WindowClassOf(app));
   ODY_TRACE_INSTANT2(sim_->trace(), kViceroy, "request_granted", sim_->now(), app, "lower",
                      descriptor.lower, "upper", descriptor.upper);
   return result;
@@ -90,13 +105,62 @@ void Viceroy::SetStaticLevel(ResourceId resource, double level) {
   static_levels_[resource] = level;
   ODY_TRACE_INSTANT1(sim_->trace(), kViceroy, "static_level", sim_->now(),
                      static_cast<uint64_t>(resource), "level", level);
+  if (reevaluate_mode_ == ReevaluateMode::kIndexed) {
+    // A static level is the same for every app, so the interval index
+    // answers "whose windows does this violate" directly.
+    candidates_.clear();
+    requests_.CollectViolatedApps(resource, level, &candidates_);
+    std::sort(candidates_.begin(), candidates_.end());
+    candidates_.erase(std::unique(candidates_.begin(), candidates_.end()), candidates_.end());
+    for (const AppId app : candidates_) {
+      EvaluateApp(app, resource, level);
+    }
+    return;
+  }
   for (const auto& [app, name] : apps_) {
     EvaluateApp(app, resource, level);
   }
 }
 
 void Viceroy::Reevaluate() {
+  if (reevaluate_mode_ == ReevaluateMode::kIndexed) {
+    ReevalHint hint = strategy_->TakeReevalHint(sim_->now());
+    if (hint.exact) {
+      candidates_.clear();
+      candidates_.insert(candidates_.end(), hint.dirty.begin(), hint.dirty.end());
+      // A non-dirty app sits exactly at the idle fair-share level for its
+      // connection count, and its windows are indexed under that count as
+      // their class — so each count's probe scans only its own class's
+      // windows.  Probing whole-table instead would be sound (a superset;
+      // evaluating a non-violated app posts nothing) but quadratic in
+      // steady state: every bucket's level would sweep in all windows of
+      // every *other* bucket, each re-evaluation.  The probe may still
+      // return dirty apps (their windows share the class); dedup below.
+      for (const auto& [count, level] : hint.idle_levels) {
+        requests_.CollectViolatedApps(ResourceId::kNetworkBandwidth,
+                                      static_cast<uint32_t>(count), level, &candidates_);
+      }
+      // Apps with no connections see the empty-sum level 0.0; their windows
+      // sit in class 0, which apps_by_count_ never lists.
+      requests_.CollectViolatedApps(ResourceId::kNetworkBandwidth, 0, 0.0, &candidates_);
+      std::sort(candidates_.begin(), candidates_.end());
+      candidates_.erase(std::unique(candidates_.begin(), candidates_.end()), candidates_.end());
+      EvaluateCandidates();
+      return;
+    }
+  }
+  candidates_.clear();
   for (const auto& [app, name] : apps_) {
+    candidates_.push_back(app);
+  }
+  EvaluateCandidates();
+}
+
+// Evaluates candidates_ in ascending AppId order with their real levels,
+// bandwidth before latency per app — the same visit order as the original
+// all-apps loop, restricted to the candidate set.
+void Viceroy::EvaluateCandidates() {
+  for (const AppId app : candidates_) {
     EvaluateApp(app, ResourceId::kNetworkBandwidth,
                 strategy_->AvailabilityFor(app, sim_->now()));
     EvaluateApp(app, ResourceId::kNetworkLatency,

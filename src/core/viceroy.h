@@ -25,6 +25,19 @@
 
 namespace odyssey {
 
+// How Reevaluate() finds the apps whose windows a change may have
+// violated.  kIndexed consults the strategy's ReevalHint plus the request
+// table's interval index and visits only candidate apps; kFullScan visits
+// every registered app (the original behavior, kept as the reference side
+// of the differential tests).  Both visit candidates in ascending AppId
+// order and evaluate them with their real levels, and evaluating an app
+// with no violated window posts nothing — so the two modes produce
+// identical upcall sequences whenever the strategy's hint is exact.
+enum class ReevaluateMode {
+  kIndexed,
+  kFullScan,
+};
+
 class Viceroy {
  public:
   // |strategy| decides bandwidth availability; |upcall_latency| models the
@@ -73,8 +86,15 @@ class Viceroy {
   // strategy's change notifications).
   void Reevaluate();
 
+  void set_reevaluate_mode(ReevaluateMode mode) { reevaluate_mode_ = mode; }
+  ReevaluateMode reevaluate_mode() const { return reevaluate_mode_; }
+
  private:
   void EvaluateApp(AppId app, ResourceId resource, double level);
+  void EvaluateCandidates();
+
+  // The request-table class for |app|'s windows: its connection count.
+  uint32_t WindowClassOf(AppId app) const;
 
   Simulation* sim_;
   std::unique_ptr<BandwidthStrategy> strategy_;
@@ -83,6 +103,10 @@ class Viceroy {
   std::map<AppId, std::string> apps_;
   std::map<ResourceId, double> static_levels_;
   AppId next_app_ = 1;
+  ReevaluateMode reevaluate_mode_ = ReevaluateMode::kIndexed;
+  // Candidate scratch, reused across re-evaluations to avoid reallocating
+  // in the hot notification path.
+  std::vector<AppId> candidates_;
 };
 
 }  // namespace odyssey

@@ -1,6 +1,16 @@
 #include "src/estimator/supply_model.h"
 
+#include <algorithm>
+
 namespace odyssey {
+
+// --- SupplyModel (incremental) ---
+//
+// Bit-identity with the naive full rescan rests on two facts: an idle
+// connection (meter pruned empty) contributes exactly 0.0 to the aggregate,
+// and x + 0.0 == x for every non-negative IEEE double — so summing only the
+// live set, in the same ascending-id order the full scan uses, produces the
+// same bits.  The differential tests hold the model to this.
 
 SupplyModel::SupplyModel(const SupplyModelConfig& config)
     : config_(config), supply_(config.supply_window) {}
@@ -10,7 +20,13 @@ void SupplyModel::AddConnection(ConnectionId connection) {
 }
 
 void SupplyModel::RemoveConnection(ConnectionId connection) {
-  connections_.erase(connection);
+  if (connections_.erase(connection) > 0) {
+    const auto it = std::lower_bound(live_.begin(), live_.end(), connection);
+    if (it != live_.end() && *it == connection) {
+      live_.erase(it);
+    }
+    ++version_;
+  }
 }
 
 void SupplyModel::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
@@ -30,6 +46,11 @@ void SupplyModel::OnThroughput(ConnectionId connection, const ThroughputObservat
   // The window's bytes arrived over its whole transfer span, not at the
   // completion instant.
   it->second.usage.Record(obs.at - obs.elapsed, obs.at, obs.window_bytes);
+  const auto pos = std::lower_bound(live_.begin(), live_.end(), connection);
+  if (pos == live_.end() || *pos != connection) {
+    live_.insert(pos, connection);
+  }
+  ++version_;
 
   // Capacity sample: the larger of two lower bounds on link capacity.  The
   // window's raw rate is one (the link carried at least that for one flow);
@@ -37,10 +58,8 @@ void SupplyModel::OnThroughput(ConnectionId connection, const ThroughputObservat
   // (the link carried at least their sum).  Taking the max never double
   // counts: a burst that ran fast because competitors were momentarily idle
   // is not inflated by their long-run usage.
-  double aggregate = 0.0;
-  for (const auto& [id, state] : connections_) {
-    aggregate += state.usage.RateAt(obs.at);
-  }
+  ScanAt(obs.at);
+  const double aggregate = cached_usage_;
   supply_.Push(obs.at, raw_bps > aggregate ? raw_bps : aggregate);
 }
 
@@ -57,6 +76,36 @@ void SupplyModel::OnFailure(ConnectionId connection, const FailureObservation& o
   supply_.Push(obs.at, 0.0);
 }
 
+void SupplyModel::ScanAt(Time now) const {
+  if (cache_valid_ && cache_at_ == now && cache_version_ == version_) {
+    return;
+  }
+  double aggregate = 0.0;
+  int active = 0;
+  size_t keep = 0;
+  for (const ConnectionId id : live_) {
+    const auto it = connections_.find(id);
+    ++scan_ops_;
+    const double rate = it->second.usage.RateAt(now);
+    aggregate += rate;
+    if (rate > 16.0) {  // UsageMeter::ActiveAt's default threshold
+      ++active;
+    }
+    // Eviction: RateAt pruned the meter; once empty it stays empty (event
+    // end times are non-decreasing), so the connection is idle for good
+    // until its next Record.
+    if (!it->second.usage.empty()) {
+      live_[keep++] = id;
+    }
+  }
+  live_.resize(keep);
+  cache_valid_ = true;
+  cache_at_ = now;
+  cache_version_ = version_;
+  cached_usage_ = aggregate;
+  cached_active_ = active;
+}
+
 double SupplyModel::AvailabilityFor(ConnectionId connection, Time now) const {
   const double supply = TotalSupply();
   if (supply <= 0.0) {
@@ -66,6 +115,7 @@ double SupplyModel::AvailabilityFor(ConnectionId connection, Time now) const {
 
   const auto it = connections_.find(connection);
   const bool known = it != connections_.end();
+  ++scan_ops_;
   const bool self_active = known && it->second.usage.ActiveAt(now);
 
   // Fair share: the expected lower bound (§6.2.1).  If this connection is
@@ -84,10 +134,8 @@ double SupplyModel::AvailabilityFor(ConnectionId connection, Time now) const {
   // and grows as its usage registers ("higher rates of consumption by the
   // first stream give it more weight compared to the startup of the
   // second", §6.2.1).
-  double total_usage = 0.0;
-  for (const auto& [id, state] : connections_) {
-    total_usage += state.usage.RateAt(now);
-  }
+  ScanAt(now);
+  const double total_usage = cached_usage_;
   if (total_usage <= 0.0) {
     return fair_share;
   }
@@ -98,12 +146,8 @@ double SupplyModel::AvailabilityFor(ConnectionId connection, Time now) const {
 }
 
 int SupplyModel::ActiveConnectionCount(Time now) const {
-  int active = 0;
-  for (const auto& [id, state] : connections_) {
-    if (state.usage.ActiveAt(now)) {
-      ++active;
-    }
-  }
+  ScanAt(now);
+  int active = cached_active_;
   if (active == 0 && !connections_.empty()) {
     active = 1;
   }
@@ -118,6 +162,131 @@ const ConnectionEstimator* SupplyModel::EstimatorFor(ConnectionId connection) co
 double SupplyModel::UsageRateFor(ConnectionId connection, Time now) const {
   const auto it = connections_.find(connection);
   return it == connections_.end() ? 0.0 : it->second.usage.RateAt(now);
+}
+
+void SupplyModel::CollectLiveConnections(Time now, std::vector<ConnectionId>* out) const {
+  (void)now;  // the unevicted live set is a valid superset at any instant
+  out->insert(out->end(), live_.begin(), live_.end());
+}
+
+// --- NaiveSupplyModel (reference) ---
+//
+// The pre-scale implementation, verbatim except for the scan_ops counter:
+// every estimator update and every availability query rescans all
+// registered connections.
+
+NaiveSupplyModel::NaiveSupplyModel(const SupplyModelConfig& config)
+    : config_(config), supply_(config.supply_window) {}
+
+void NaiveSupplyModel::AddConnection(ConnectionId connection) {
+  connections_.try_emplace(connection, config_);
+}
+
+void NaiveSupplyModel::RemoveConnection(ConnectionId connection) {
+  connections_.erase(connection);
+}
+
+void NaiveSupplyModel::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
+  auto it = connections_.find(connection);
+  if (it == connections_.end()) {
+    return;
+  }
+  it->second.estimator.OnRoundTrip(obs);
+}
+
+void NaiveSupplyModel::OnThroughput(ConnectionId connection, const ThroughputObservation& obs) {
+  auto it = connections_.find(connection);
+  if (it == connections_.end()) {
+    return;
+  }
+  const double raw_bps = it->second.estimator.OnThroughput(obs);
+  it->second.usage.Record(obs.at - obs.elapsed, obs.at, obs.window_bytes);
+
+  double aggregate = 0.0;
+  for (const auto& [id, state] : connections_) {
+    ++scan_ops_;
+    aggregate += state.usage.RateAt(obs.at);
+  }
+  supply_.Push(obs.at, raw_bps > aggregate ? raw_bps : aggregate);
+}
+
+void NaiveSupplyModel::OnFailure(ConnectionId connection, const FailureObservation& obs) {
+  if (!connections_.contains(connection)) {
+    return;
+  }
+  supply_.Push(obs.at, 0.0);
+}
+
+double NaiveSupplyModel::AvailabilityFor(ConnectionId connection, Time now) const {
+  const double supply = TotalSupply();
+  if (supply <= 0.0) {
+    return 0.0;
+  }
+  const int active = ActiveConnectionCount(now);
+
+  const auto it = connections_.find(connection);
+  const bool known = it != connections_.end();
+  ++scan_ops_;
+  const bool self_active = known && it->second.usage.ActiveAt(now);
+
+  const int share_ways = active + (self_active ? 0 : 1);
+  const double fair_share = supply / static_cast<double>(share_ways < 1 ? 1 : share_ways);
+
+  if (!known) {
+    return fair_share;
+  }
+
+  double total_usage = 0.0;
+  for (const auto& [id, state] : connections_) {
+    ++scan_ops_;
+    total_usage += state.usage.RateAt(now);
+  }
+  if (total_usage <= 0.0) {
+    return fair_share;
+  }
+  const double slack = supply > total_usage ? supply - total_usage : 0.0;
+  const double competed_for = slack * (it->second.usage.RateAt(now) / total_usage);
+  const double availability = fair_share + competed_for;
+  return availability < supply ? availability : supply;
+}
+
+int NaiveSupplyModel::ActiveConnectionCount(Time now) const {
+  int active = 0;
+  for (const auto& [id, state] : connections_) {
+    ++scan_ops_;
+    if (state.usage.ActiveAt(now)) {
+      ++active;
+    }
+  }
+  if (active == 0 && !connections_.empty()) {
+    active = 1;
+  }
+  return active;
+}
+
+const ConnectionEstimator* NaiveSupplyModel::EstimatorFor(ConnectionId connection) const {
+  const auto it = connections_.find(connection);
+  return it == connections_.end() ? nullptr : &it->second.estimator;
+}
+
+double NaiveSupplyModel::UsageRateFor(ConnectionId connection, Time now) const {
+  const auto it = connections_.find(connection);
+  return it == connections_.end() ? 0.0 : it->second.usage.RateAt(now);
+}
+
+void NaiveSupplyModel::CollectLiveConnections(Time now, std::vector<ConnectionId>* out) const {
+  (void)now;  // the naive model has no live set; every connection qualifies
+  for (const auto& [id, state] : connections_) {
+    out->push_back(id);
+  }
+}
+
+std::unique_ptr<SupplyModelInterface> MakeSupplyModel(SupplyModelKind kind,
+                                                      const SupplyModelConfig& config) {
+  if (kind == SupplyModelKind::kNaive) {
+    return std::make_unique<NaiveSupplyModel>(config);
+  }
+  return std::make_unique<SupplyModel>(config);
 }
 
 }  // namespace odyssey

@@ -19,11 +19,29 @@
 // connection availability is the fair share (supply / active connections)
 // plus a competed-for slice of the unused headroom proportional to recent
 // use, capped at the supply.
+//
+// Two implementations live behind SupplyModelInterface:
+//
+//   * SupplyModel — the production model.  It keeps a *live set*: the
+//     connections whose usage meters may still hold unexpired events.  An
+//     idle connection's rate is exactly 0.0 and adding 0.0 to an IEEE sum
+//     of non-negative terms changes no bits, so summing only the live set
+//     in ascending connection-id order reproduces the full-scan aggregate
+//     bit for bit while costing O(recently active) instead of
+//     O(registered).  Aggregate and active-count results are cached per
+//     (time, mutation version), so a burst of availability queries at one
+//     instant — the viceroy re-evaluating every app — pays for one scan.
+//   * NaiveSupplyModel — the original full-rescan implementation, kept
+//     verbatim as the reference side of the differential tests
+//     (tests/scale_differential_test.cc).  Never used in production paths.
 
 #ifndef SRC_ESTIMATOR_SUPPLY_MODEL_H_
 #define SRC_ESTIMATOR_SUPPLY_MODEL_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "src/estimator/connection_estimator.h"
 #include "src/estimator/sliding_max.h"
@@ -44,37 +62,126 @@ struct SupplyModelConfig {
   Duration activity_window = 5 * kSecond;
 };
 
-class SupplyModel {
+// The estimator contract shared by the incremental model and the naive
+// reference.  Everything the strategies, oracles and diagnostics need.
+class SupplyModelInterface {
  public:
-  explicit SupplyModel(const SupplyModelConfig& config = {});
+  virtual ~SupplyModelInterface() = default;
+
+  virtual const char* name() const = 0;
 
   // Registers a connection.  Registered connections count toward fair-share
   // splitting once they have recent usage.
-  void AddConnection(ConnectionId connection);
-  void RemoveConnection(ConnectionId connection);
+  virtual void AddConnection(ConnectionId connection) = 0;
+  virtual void RemoveConnection(ConnectionId connection) = 0;
 
   // Feeds observations from connection logs.
-  void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs);
-  void OnThroughput(ConnectionId connection, const ThroughputObservation& obs);
-  void OnFailure(ConnectionId connection, const FailureObservation& obs);
+  virtual void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) = 0;
+  virtual void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) = 0;
+  virtual void OnFailure(ConnectionId connection, const FailureObservation& obs) = 0;
 
   // Estimated total bandwidth available to the client, bytes/second.
-  double TotalSupply() const { return supply_.value(); }
-  bool has_supply() const { return supply_.has_value(); }
+  virtual double TotalSupply() const = 0;
+  virtual bool has_supply() const = 0;
 
   // Estimated bandwidth available to |connection| at time |now|:
   // max(fair share, competed-for share).  Unknown connections get the fair
   // share of a hypothetical additional connection.
-  double AvailabilityFor(ConnectionId connection, Time now) const;
+  virtual double AvailabilityFor(ConnectionId connection, Time now) const = 0;
 
   // Number of connections with significant recent usage at |now| (at least
   // one, once any connection exists).
-  int ActiveConnectionCount(Time now) const;
+  virtual int ActiveConnectionCount(Time now) const = 0;
 
   // Per-connection smoothed estimates, for diagnostics and the
   // laissez-faire strategy.
-  const ConnectionEstimator* EstimatorFor(ConnectionId connection) const;
-  double UsageRateFor(ConnectionId connection, Time now) const;
+  virtual const ConnectionEstimator* EstimatorFor(ConnectionId connection) const = 0;
+  virtual double UsageRateFor(ConnectionId connection, Time now) const = 0;
+
+  // Appends the connections whose availability may differ from the idle
+  // level at |now| (a superset is allowed).  The centralized strategy turns
+  // these into the dirty-app set of its re-evaluation hint.
+  virtual void CollectLiveConnections(Time now, std::vector<ConnectionId>* out) const = 0;
+
+  // Lifetime count of per-connection meter evaluations performed by
+  // aggregate scans and availability queries — a deterministic proxy for
+  // the model's work, independent of the machine (the tier_scale campaign
+  // charts it against the naive model's count).
+  virtual uint64_t scan_ops() const = 0;
+};
+
+// The incremental production model (live set + per-instant cache).
+class SupplyModel : public SupplyModelInterface {
+ public:
+  explicit SupplyModel(const SupplyModelConfig& config = {});
+
+  const char* name() const override { return "incremental"; }
+  void AddConnection(ConnectionId connection) override;
+  void RemoveConnection(ConnectionId connection) override;
+  void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) override;
+  void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) override;
+  void OnFailure(ConnectionId connection, const FailureObservation& obs) override;
+  double TotalSupply() const override { return supply_.value(); }
+  bool has_supply() const override { return supply_.has_value(); }
+  double AvailabilityFor(ConnectionId connection, Time now) const override;
+  int ActiveConnectionCount(Time now) const override;
+  const ConnectionEstimator* EstimatorFor(ConnectionId connection) const override;
+  double UsageRateFor(ConnectionId connection, Time now) const override;
+  void CollectLiveConnections(Time now, std::vector<ConnectionId>* out) const override;
+  uint64_t scan_ops() const override { return scan_ops_; }
+
+ private:
+  struct PerConnection {
+    ConnectionEstimator estimator;
+    UsageMeter usage;
+
+    explicit PerConnection(const SupplyModelConfig& config)
+        : estimator(config.estimator), usage(config.usage_tau) {}
+  };
+
+  // Recomputes (and caches) the aggregate usage rate and active count over
+  // the live set at |now|, evicting connections whose meters pruned empty.
+  void ScanAt(Time now) const;
+
+  SupplyModelConfig config_;
+  std::map<ConnectionId, PerConnection> connections_;
+  SlidingMax supply_;
+
+  // Ascending ids of connections whose meters may hold unexpired events.
+  // Mutated lazily from const scans (eviction), like the meters' pruning.
+  mutable std::vector<ConnectionId> live_;
+
+  // Cache of the last ScanAt, keyed by (time, mutation version).
+  mutable bool cache_valid_ = false;
+  mutable Time cache_at_ = 0;
+  mutable uint64_t cache_version_ = 0;
+  mutable double cached_usage_ = 0.0;
+  mutable int cached_active_ = 0;
+
+  uint64_t version_ = 0;  // bumped whenever a meter or the live set changes
+  mutable uint64_t scan_ops_ = 0;
+};
+
+// The original O(registered-connections) implementation, preserved as the
+// reference side of the differential tests.
+class NaiveSupplyModel : public SupplyModelInterface {
+ public:
+  explicit NaiveSupplyModel(const SupplyModelConfig& config = {});
+
+  const char* name() const override { return "naive"; }
+  void AddConnection(ConnectionId connection) override;
+  void RemoveConnection(ConnectionId connection) override;
+  void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) override;
+  void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) override;
+  void OnFailure(ConnectionId connection, const FailureObservation& obs) override;
+  double TotalSupply() const override { return supply_.value(); }
+  bool has_supply() const override { return supply_.has_value(); }
+  double AvailabilityFor(ConnectionId connection, Time now) const override;
+  int ActiveConnectionCount(Time now) const override;
+  const ConnectionEstimator* EstimatorFor(ConnectionId connection) const override;
+  double UsageRateFor(ConnectionId connection, Time now) const override;
+  void CollectLiveConnections(Time now, std::vector<ConnectionId>* out) const override;
+  uint64_t scan_ops() const override { return scan_ops_; }
 
  private:
   struct PerConnection {
@@ -88,7 +195,17 @@ class SupplyModel {
   SupplyModelConfig config_;
   std::map<ConnectionId, PerConnection> connections_;
   SlidingMax supply_;
+  mutable uint64_t scan_ops_ = 0;
 };
+
+// Which implementation a strategy should instantiate.
+enum class SupplyModelKind {
+  kIncremental,  // production
+  kNaive,        // differential-test reference
+};
+
+std::unique_ptr<SupplyModelInterface> MakeSupplyModel(SupplyModelKind kind,
+                                                      const SupplyModelConfig& config);
 
 }  // namespace odyssey
 

@@ -8,11 +8,18 @@
 // consumption of c bytes/second reads back as exactly c no matter when the
 // rate is sampled.  Phase bias here would leak straight into the supply
 // estimate, which the availability formula cannot afford.
+//
+// Storage is a contiguous ring buffer rather than a deque: with 100k+
+// meters alive at once (one per connection), the deque's chunked heap
+// blocks cost an indirection per event and scatter the working set; a ring
+// keeps each meter's window in one cache-resident run and makes the empty
+// (idle) case a pointer-free size check.
 
 #ifndef SRC_ESTIMATOR_USAGE_METER_H_
 #define SRC_ESTIMATOR_USAGE_METER_H_
 
-#include <deque>
+#include <cstddef>
+#include <vector>
 
 #include "src/sim/time.h"
 
@@ -29,7 +36,7 @@ class UsageMeter {
     if (end < start) {
       start = end;
     }
-    events_.push_back(Event{start, end, bytes});
+    PushBack(Event{start, end, bytes});
   }
 
   // Point-delivery convenience.
@@ -40,7 +47,8 @@ class UsageMeter {
     Prune(at);
     const Time window_start = at - tau_;
     double bytes_in_window = 0.0;
-    for (const Event& event : events_) {
+    for (size_t i = 0; i < count_; ++i) {
+      const Event& event = ring_[Index(i)];
       if (event.start == event.end) {
         // Point delivery: counts fully if inside the window.
         if (event.start > window_start && event.start <= at) {
@@ -62,9 +70,17 @@ class UsageMeter {
   // connection is "active" for fair-share counting).
   bool ActiveAt(Time at, double threshold_bps = 16.0) const { return RateAt(at) > threshold_bps; }
 
-  Time last_event() const { return events_.empty() ? 0 : events_.back().end; }
+  Time last_event() const { return count_ == 0 ? 0 : ring_[Index(count_ - 1)].end; }
 
-  void Reset() { events_.clear(); }
+  // No recorded events survive (everything pruned or never recorded).  The
+  // rate is then exactly 0.0 at this and every later instant, which is what
+  // lets the supply model drop the meter from its live set.
+  bool empty() const { return count_ == 0; }
+
+  void Reset() {
+    head_ = 0;
+    count_ = 0;
+  }
 
  private:
   struct Event {
@@ -73,16 +89,39 @@ class UsageMeter {
     double bytes;
   };
 
+  size_t Index(size_t i) const { return (head_ + i) % ring_.size(); }
+
+  void PushBack(const Event& event) {
+    if (count_ == ring_.size()) {
+      Grow();
+    }
+    ring_[(head_ + count_) % ring_.size()] = event;
+    ++count_;
+  }
+
+  // Doubles capacity, unrolling the ring into logical order.
+  void Grow() {
+    std::vector<Event> bigger(ring_.empty() ? 8 : ring_.size() * 2);
+    for (size_t i = 0; i < count_; ++i) {
+      bigger[i] = ring_[Index(i)];
+    }
+    ring_.swap(bigger);
+    head_ = 0;
+  }
+
   // Drops events fully left of the window.  Pruning on read keeps RateAt()
   // logically const.
   void Prune(Time at) const {
-    while (!events_.empty() && events_.front().end + tau_ <= at) {
-      events_.pop_front();
+    while (count_ > 0 && ring_[head_].end + tau_ <= at) {
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
     }
   }
 
   Duration tau_;
-  mutable std::deque<Event> events_;
+  mutable std::vector<Event> ring_;
+  mutable size_t head_ = 0;
+  mutable size_t count_ = 0;
 };
 
 }  // namespace odyssey

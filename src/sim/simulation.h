@@ -54,6 +54,23 @@ class Simulation {
     return queue_.ScheduleAt(when, std::move(cb));
   }
 
+  // Fire-and-forget variants: same ordering as Schedule/ScheduleAt but no
+  // cancellation handle, so the queue skips the handle bookkeeping.  Use
+  // for events that always run (dispatch ticks, samplers).
+  void Post(Duration delay, EventQueue::Callback cb) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    queue_.PostAt(now_ + delay, std::move(cb));
+  }
+
+  void PostAt(Time when, EventQueue::Callback cb) {
+    if (when < now_) {
+      when = now_;
+    }
+    queue_.PostAt(when, std::move(cb));
+  }
+
   // Runs events until the queue is empty.
   void Run() { RunUntil(std::numeric_limits<Time>::max()); }
 
@@ -67,6 +84,7 @@ class Simulation {
       }
       now_ = when;  // the clock reads the event's time inside its callback
       queue_.RunNext(&when);
+      ++events_processed_;
     }
     if (deadline != std::numeric_limits<Time>::max() && now_ < deadline) {
       now_ = deadline;
@@ -83,10 +101,17 @@ class Simulation {
       step_observer_(when);
     }
     now_ = when;
-    return queue_.RunNext(&when);
+    if (!queue_.RunNext(&when)) {
+      return false;
+    }
+    ++events_processed_;
+    return true;
   }
 
   size_t pending_events() { return queue_.size(); }
+
+  // Events fired so far — the numerator of the campaign's events/sec rate.
+  uint64_t events_processed() const { return events_processed_; }
 
   // Allocates the next connection id for an Endpoint built on this
   // simulation.  Ids are per-simulation (not process-global) so that trials
@@ -118,6 +143,7 @@ class Simulation {
   TraceRecorder* trace_ = nullptr;
   std::function<void(Time)> step_observer_;
   uint64_t next_connection_id_ = 1;
+  uint64_t events_processed_ = 0;
 };
 
 }  // namespace odyssey

@@ -1,5 +1,8 @@
 #include "src/strategies/centralized.h"
 
+#include <algorithm>
+
+#include "src/core/contract.h"
 #include "src/trace/trace_macros.h"
 
 namespace odyssey {
@@ -8,7 +11,8 @@ namespace {
 // Estimator state is sampled after each observation folds in, so the trace
 // shows the EWMA inputs (the observation) next to its outputs (the
 // smoothed series) at the same sim time.
-void TraceEstimatorState(Simulation* sim, const SupplyModel& model, ConnectionId connection) {
+void TraceEstimatorState(Simulation* sim, const SupplyModelInterface& model,
+                         ConnectionId connection) {
   const ConnectionEstimator* estimator = model.EstimatorFor(connection);
   if (estimator == nullptr) {
     return;
@@ -22,8 +26,13 @@ void TraceEstimatorState(Simulation* sim, const SupplyModel& model, ConnectionId
 
 }  // namespace
 
-CentralizedStrategy::CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config)
-    : sim_(sim), model_(config) {}
+CentralizedStrategy::CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config,
+                                         SupplyModelKind kind)
+    : sim_(sim), model_(MakeSupplyModel(kind, config)) {
+  if (kind == SupplyModelKind::kIncremental) {
+    fast_model_ = static_cast<SupplyModel*>(model_.get());
+  }
+}
 
 CentralizedStrategy::~CentralizedStrategy() {
   for (auto& [connection, endpoint] : endpoints_) {
@@ -31,52 +40,139 @@ CentralizedStrategy::~CentralizedStrategy() {
   }
 }
 
+void CentralizedStrategy::BumpCount(int from, int to) {
+  if (from > 0) {
+    const auto it = apps_by_count_.find(from);
+    if (--it->second == 0) {
+      apps_by_count_.erase(it);
+    }
+  }
+  if (to > 0) {
+    ++apps_by_count_[to];
+  }
+}
+
 void CentralizedStrategy::AttachConnection(AppId app, Endpoint* endpoint) {
-  model_.AddConnection(endpoint->id());
+  model_->AddConnection(endpoint->id());
   owner_[endpoint->id()] = app;
   endpoints_[endpoint->id()] = endpoint;
+  std::vector<ConnectionId>& conns = app_connections_[app];
+  const int before = static_cast<int>(conns.size());
+  conns.insert(std::lower_bound(conns.begin(), conns.end(), endpoint->id()), endpoint->id());
+  BumpCount(before, before + 1);
+  rtt_dirty_.insert(app);
   endpoint->log().AddListener(this);
 }
 
 void CentralizedStrategy::DetachConnection(Endpoint* endpoint) {
   endpoint->log().RemoveListener(this);
-  model_.RemoveConnection(endpoint->id());
-  owner_.erase(endpoint->id());
+  model_->RemoveConnection(endpoint->id());
+  const auto owner_it = owner_.find(endpoint->id());
+  if (owner_it != owner_.end()) {
+    const AppId app = owner_it->second;
+    const auto app_it = app_connections_.find(app);
+    std::vector<ConnectionId>& conns = app_it->second;
+    conns.erase(std::find(conns.begin(), conns.end(), endpoint->id()));
+    BumpCount(static_cast<int>(conns.size()) + 1, static_cast<int>(conns.size()));
+    if (conns.empty()) {
+      app_connections_.erase(app_it);
+    }
+    rtt_dirty_.insert(app);
+    owner_.erase(owner_it);
+  }
   endpoints_.erase(endpoint->id());
 }
 
 double CentralizedStrategy::AvailabilityFor(AppId app, Time now) const {
   double total = 0.0;
-  for (const auto& [connection, owner] : owner_) {
-    if (owner == app) {
-      total += model_.AvailabilityFor(connection, now);
-    }
+  const auto it = app_connections_.find(app);
+  if (it == app_connections_.end()) {
+    return total;
+  }
+  for (const ConnectionId connection : it->second) {
+    total += model_->AvailabilityFor(connection, now);
   }
   return total;
 }
 
 double CentralizedStrategy::TotalSupply(Time now) const {
   (void)now;
-  return model_.TotalSupply();
+  return model_->TotalSupply();
 }
 
 Duration CentralizedStrategy::SmoothedRttFor(AppId app) const {
-  for (const auto& [connection, owner] : owner_) {
-    if (owner == app) {
-      const ConnectionEstimator* estimator = model_.EstimatorFor(connection);
-      if (estimator != nullptr) {
-        return estimator->smoothed_rtt();
-      }
+  const auto it = app_connections_.find(app);
+  if (it == app_connections_.end()) {
+    return 0;
+  }
+  for (const ConnectionId connection : it->second) {
+    const ConnectionEstimator* estimator = model_->EstimatorFor(connection);
+    if (estimator != nullptr) {
+      return estimator->smoothed_rtt();
     }
   }
   return 0;
 }
 
+int CentralizedStrategy::ConnectionCountFor(AppId app) const {
+  const auto it = app_connections_.find(app);
+  return it == app_connections_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+AppId CentralizedStrategy::OwnerOf(ConnectionId connection) const {
+  const auto it = owner_.find(connection);
+  return it == owner_.end() ? 0 : it->second;
+}
+
+ReevalHint CentralizedStrategy::TakeReevalHint(Time now) {
+  ReevalHint hint;
+  hint.exact = fast_model_ != nullptr;
+
+  // Dirty: owners of connections with (possibly) unexpired usage, plus
+  // every app whose rtt or connection set changed since the last hint.
+  std::vector<ConnectionId> live;
+  model_->CollectLiveConnections(now, &live);
+  for (const ConnectionId connection : live) {
+    const auto it = owner_.find(connection);
+    if (it != owner_.end()) {
+      hint.dirty.push_back(it->second);
+    }
+  }
+  hint.dirty.insert(hint.dirty.end(), rtt_dirty_.begin(), rtt_dirty_.end());
+  rtt_dirty_.clear();
+  std::sort(hint.dirty.begin(), hint.dirty.end());
+  hint.dirty.erase(std::unique(hint.dirty.begin(), hint.dirty.end()), hint.dirty.end());
+  if (!hint.exact) {
+    return hint;
+  }
+
+  // Every connection of a non-dirty app is idle, so each contributes the
+  // fair share of a not-currently-active connection — the same value the
+  // model reports for an unknown connection (connection ids start at 1, so
+  // 0 never names a real one).  Folding it in k times reproduces, addition
+  // for addition, the sum AvailabilityFor(app) computes for such an app.
+  const double unit = model_->AvailabilityFor(0, now);
+  double level = 0.0;
+  int folded = 0;
+  for (const auto& [count, napps] : apps_by_count_) {
+    (void)napps;
+    for (; folded < count; ++folded) {
+      level += unit;
+    }
+    hint.idle_levels.emplace_back(count, level);
+  }
+  return hint;
+}
+
 void CentralizedStrategy::OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) {
   ODY_TRACE_INSTANT1(sim_->trace(), kEstimator, "rtt_obs", sim_->now(), connection, "rtt_us",
                      static_cast<double>(obs.rtt));
-  model_.OnRoundTrip(connection, obs);
-  TraceEstimatorState(sim_, model_, connection);
+  model_->OnRoundTrip(connection, obs);
+  const auto it = owner_.find(connection);
+  if (it != owner_.end()) {
+    rtt_dirty_.insert(it->second);
+  }
+  TraceEstimatorState(sim_, *model_, connection);
   NotifyChanged();
 }
 
@@ -84,21 +180,21 @@ void CentralizedStrategy::OnThroughput(ConnectionId connection, const Throughput
   ODY_TRACE_INSTANT2(sim_->trace(), kEstimator, "throughput_obs", sim_->now(), connection,
                      "window_bytes", static_cast<double>(obs.window_bytes), "elapsed_us",
                      static_cast<double>(obs.elapsed));
-  model_.OnThroughput(connection, obs);
-  TraceEstimatorState(sim_, model_, connection);
+  model_->OnThroughput(connection, obs);
+  TraceEstimatorState(sim_, *model_, connection);
   NotifyChanged();
 }
 
 void CentralizedStrategy::OnFailure(ConnectionId connection, const FailureObservation& obs) {
   ODY_TRACE_INSTANT1(sim_->trace(), kEstimator, "failure_obs", sim_->now(), connection,
                      "attempts", static_cast<double>(obs.attempts));
-  model_.OnFailure(connection, obs);
-  TraceEstimatorState(sim_, model_, connection);
+  model_->OnFailure(connection, obs);
+  TraceEstimatorState(sim_, *model_, connection);
   NotifyChanged();
 }
 
 double CentralizedStrategy::ConnectionAvailability(ConnectionId connection, Time now) const {
-  return model_.AvailabilityFor(connection, now);
+  return model_->AvailabilityFor(connection, now);
 }
 
 std::vector<ConnectionId> CentralizedStrategy::AttachedConnections() const {

@@ -4,11 +4,22 @@
 // SupplyModel, and reports per-application availability as the sum of the
 // application's per-connection shares (fair-share floor plus competed-for
 // part proportional to recent use).
+//
+// The strategy also keeps the incremental bookkeeping behind the viceroy's
+// indexed re-evaluation (TakeReevalHint): per-app connection lists, a
+// histogram of apps by connection count, and a set of apps whose rtt may
+// have moved since the last hint.  An app none of whose connections has
+// recent usage or a fresh rtt sample sees availability of exactly
+// (connection count) x (idle fair share) — the hint reports those idle
+// levels so the viceroy can probe the request table's interval index
+// instead of re-deriving every app's availability.
 
 #ifndef SRC_STRATEGIES_CENTRALIZED_H_
 #define SRC_STRATEGIES_CENTRALIZED_H_
 
 #include <map>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "src/core/bandwidth_strategy.h"
@@ -20,7 +31,11 @@ namespace odyssey {
 
 class CentralizedStrategy : public BandwidthStrategy, public LogListener {
  public:
-  explicit CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config = {});
+  // |kind| selects the supply-model implementation; kNaive exists for the
+  // differential tests' reference stack and yields inexact re-evaluation
+  // hints (forcing the viceroy's full scan).
+  explicit CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config = {},
+                               SupplyModelKind kind = SupplyModelKind::kIncremental);
   ~CentralizedStrategy() override;
 
   // BandwidthStrategy:
@@ -28,9 +43,12 @@ class CentralizedStrategy : public BandwidthStrategy, public LogListener {
   void AttachConnection(AppId app, Endpoint* endpoint) override;
   void DetachConnection(Endpoint* endpoint) override;
   double AvailabilityFor(AppId app, Time now) const override;
-  bool HasEstimate() const override { return model_.has_supply(); }
+  bool HasEstimate() const override { return model_->has_supply(); }
   double TotalSupply(Time now) const override;
   Duration SmoothedRttFor(AppId app) const override;
+  int ConnectionCountFor(AppId app) const override;
+  AppId OwnerOf(ConnectionId connection) const override;
+  ReevalHint TakeReevalHint(Time now) override;
 
   // LogListener:
   void OnRoundTrip(ConnectionId connection, const RoundTripObservation& obs) override;
@@ -44,13 +62,28 @@ class CentralizedStrategy : public BandwidthStrategy, public LogListener {
   // iterate these to audit the fair-share lower bound per connection.
   std::vector<ConnectionId> AttachedConnections() const;
 
-  const SupplyModel& supply_model() const { return model_; }
+  const SupplyModelInterface& supply_model() const { return *model_; }
 
  private:
+  // Moves one app between connection-count buckets of the histogram.
+  void BumpCount(int from, int to);
+
   Simulation* sim_;
-  SupplyModel model_;
+  std::unique_ptr<SupplyModelInterface> model_;
+  // Non-null when |model_| is the incremental implementation; its live-set
+  // bookkeeping is what makes TakeReevalHint's result exact.
+  SupplyModel* fast_model_ = nullptr;
   std::map<ConnectionId, AppId> owner_;          // connection -> app
   std::map<ConnectionId, Endpoint*> endpoints_;  // for detach
+  // connection ids per app, ascending — the same visit order the original
+  // filter over the connection->app map produced, so per-app availability
+  // sums are bit-identical.
+  std::map<AppId, std::vector<ConnectionId>> app_connections_;
+  // connection count -> number of apps with that count (zero-count apps
+  // and empty buckets omitted).  The support of the hint's idle_levels.
+  std::map<int, int> apps_by_count_;
+  // Apps whose rtt or connection set changed since the last hint.
+  std::set<AppId> rtt_dirty_;
 };
 
 }  // namespace odyssey

@@ -1,6 +1,7 @@
 // Unit tests for the Odyssey core: status, resources, tsop codec, upcall
 // dispatch, the request table, and the viceroy.
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -235,6 +236,96 @@ TEST(RequestTableTest, EntriesForFilters) {
   table.Register(1, ResourceDescriptor{ResourceId::kMoney, 0, 1, nullptr});
   EXPECT_EQ(table.EntriesFor(1, ResourceId::kMoney).size(), 1u);
   EXPECT_TRUE(table.EntriesFor(2, ResourceId::kMoney).empty());
+}
+
+TEST(RequestTableTest, SlotReuseAfterCancelDropsStaleWindow) {
+  RequestTable table;
+  const RequestId first =
+      table.Register(1, ResourceDescriptor{ResourceId::kNetworkBandwidth, 50.0, 60.0, nullptr});
+  ASSERT_TRUE(table.Cancel(first).ok());
+  // Re-registering reuses the freed slot; only the new window may be visible
+  // anywhere — the interval index must not retain the cancelled bounds.
+  const RequestId second =
+      table.Register(1, ResourceDescriptor{ResourceId::kNetworkBandwidth, 200.0, 300.0, nullptr});
+  EXPECT_NE(second, first);
+  EXPECT_EQ(table.Cancel(first).code(), StatusCode::kNotFound);
+  std::vector<AppId> apps;
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 250.0, &apps);
+  EXPECT_TRUE(apps.empty());  // inside the new window
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 55.0, &apps);
+  ASSERT_EQ(apps.size(), 1u);  // inside the *old* window, outside the new one
+  EXPECT_EQ(apps[0], 1);
+  const auto entries = table.EntriesFor(1, ResourceId::kNetworkBandwidth);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].id, second);
+  EXPECT_EQ(entries[0].descriptor.lower, 200.0);
+  const auto violated = table.TakeViolated(ResourceId::kNetworkBandwidth, 1, 55.0);
+  ASSERT_EQ(violated.size(), 1u);
+  EXPECT_EQ(violated[0].id, second);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RequestTableTest, ClassScopedProbesDoNotCrossClasses) {
+  RequestTable table;
+  // App 1's windows live in class 1, app 2's in class 2.  A class-2 probe at
+  // a level far above app 1's window must not sweep app 1 in — that
+  // cross-class bleed is exactly what made whole-table idle-level probes
+  // quadratic.
+  table.Register(1, ResourceDescriptor{ResourceId::kNetworkBandwidth, 50.0, 100.0, nullptr}, 1);
+  table.Register(2, ResourceDescriptor{ResourceId::kNetworkBandwidth, 150.0, 200.0, nullptr}, 2);
+  std::vector<AppId> apps;
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 2, 300.0, &apps);
+  ASSERT_EQ(apps.size(), 1u);  // only app 2, even though 300 > app 1's upper
+  EXPECT_EQ(apps[0], 2);
+  apps.clear();
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 1, 10.0, &apps);
+  ASSERT_EQ(apps.size(), 1u);  // only app 1, even though 10 < app 2's lower
+  EXPECT_EQ(apps[0], 1);
+  apps.clear();
+  // The class-less overload unions every class.
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 125.0, &apps);
+  std::sort(apps.begin(), apps.end());
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0], 1);
+  EXPECT_EQ(apps[1], 2);
+}
+
+TEST(RequestTableTest, ReclassifyMovesWindowsBetweenClasses) {
+  RequestTable table;
+  table.Register(1, ResourceDescriptor{ResourceId::kNetworkBandwidth, 50.0, 100.0, nullptr}, 1);
+  table.Register(1, ResourceDescriptor{ResourceId::kNetworkBandwidth, 60.0, 90.0, nullptr}, 1);
+  table.Reclassify(1, 2);
+  std::vector<AppId> apps;
+  // The old class is empty now; the new one answers for both windows.
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 1, 300.0, &apps);
+  EXPECT_TRUE(apps.empty());
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 2, 300.0, &apps);
+  EXPECT_EQ(apps.size(), 2u);
+  apps.clear();
+  // Probes stay exact after the move: a level inside both windows finds
+  // nothing, one between them finds only the narrower window's owner.
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 2, 75.0, &apps);
+  EXPECT_TRUE(apps.empty());
+  table.CollectViolatedApps(ResourceId::kNetworkBandwidth, 2, 55.0, &apps);
+  EXPECT_EQ(apps.size(), 1u);
+}
+
+TEST(RequestTableTest, IdsStayUniqueAcrossSlotChurn) {
+  RequestTable table;
+  std::vector<RequestId> retired;
+  for (int round = 0; round < 5; ++round) {
+    const RequestId id =
+        table.Register(7, ResourceDescriptor{ResourceId::kNetworkBandwidth, 0.0, 1.0, nullptr});
+    for (const RequestId old : retired) {
+      EXPECT_NE(id, old);
+      // A stale handle from an earlier round never cancels the new occupant.
+      EXPECT_EQ(table.Cancel(old).code(), StatusCode::kNotFound);
+    }
+    EXPECT_EQ(table.size(), 1u);
+    ASSERT_TRUE(table.Cancel(id).ok());
+    retired.push_back(id);
+  }
+  EXPECT_EQ(table.size(), 0u);
 }
 
 // --- Viceroy ---

@@ -101,6 +101,52 @@ TEST(UsageMeterTest, BackToBackTransfersReadSteadyRate) {
   }
 }
 
+TEST(UsageMeterTest, ActiveThresholdIsStrictlyGreater) {
+  UsageMeter meter(2 * kSecond);
+  meter.Record(0, 32.0);  // 32 bytes over a 2 s window: exactly 16.0 B/s
+  EXPECT_EQ(meter.RateAt(0), 16.0);
+  EXPECT_FALSE(meter.ActiveAt(0));  // the fair-share threshold is strict
+  meter.Record(0, 1.0);  // 16.5 B/s
+  EXPECT_TRUE(meter.ActiveAt(0));
+}
+
+TEST(UsageMeterTest, EventExpiresExactlyOneTauAfterItsEnd) {
+  UsageMeter meter(kSecond);
+  meter.Record(0, 10.0);
+  EXPECT_EQ(meter.RateAt(kSecond - 1), 10.0);
+  EXPECT_FALSE(meter.empty());
+  // At end + tau the event is fully left of the window and gets pruned.
+  EXPECT_EQ(meter.RateAt(kSecond), 0.0);
+  EXPECT_TRUE(meter.empty());
+}
+
+TEST(UsageMeterTest, RingGrowthPreservesWindowContents) {
+  UsageMeter meter(2 * kSecond);
+  double expected_bytes = 0.0;
+  for (int i = 0; i < 21; ++i) {  // crosses the initial 8-slot capacity twice
+    meter.Record(i * 10 * kMillisecond, static_cast<double>(i + 1));
+    expected_bytes += static_cast<double>(i + 1);
+  }
+  EXPECT_EQ(meter.RateAt(20 * 10 * kMillisecond), expected_bytes / 2.0);
+  EXPECT_EQ(meter.last_event(), 20 * 10 * kMillisecond);
+}
+
+TEST(UsageMeterTest, SlotReuseAfterPruneKeepsExactAccounting) {
+  UsageMeter meter(kSecond);
+  for (int i = 0; i < 8; ++i) {  // fill the initial ring exactly
+    meter.Record(i * 100 * kMillisecond, 10.0);
+  }
+  // Reading far in the future prunes everything; the head has wrapped.
+  EXPECT_EQ(meter.RateAt(10 * kSecond), 0.0);
+  EXPECT_TRUE(meter.empty());
+  // New events land in recycled slots; the window must account exactly.
+  meter.Record(10 * kSecond, 11 * kSecond, 40.0);
+  meter.Record(11 * kSecond, 5.0);
+  EXPECT_EQ(meter.RateAt(11 * kSecond), 45.0);
+  // Half the interval delivery has slid out of the window half a tau later.
+  EXPECT_EQ(meter.RateAt(11 * kSecond + 500 * kMillisecond), 25.0);
+}
+
 TEST(SlidingMaxTest, TracksMaximumInWindow) {
   SlidingMax sliding(2 * kSecond);
   EXPECT_FALSE(sliding.has_value());

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -369,6 +370,132 @@ TEST_P(StackDeterminism, IdenticalSeedsIdenticalEstimates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StackDeterminism, ::testing::Values(1, 99, 12345));
+
+// --- Availability decomposes into fair share plus competed-for headroom ---
+//
+// After *any* interleaving of attach/detach/observe, every availability
+// figure equals min(fair share + competed-for headroom share, supply),
+// reconstructed here from public accessors alone and compared with exact
+// floating-point equality — the incremental model's contract is bit
+// identity, not tolerance.
+
+class AvailabilityDecomposition : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvailabilityDecomposition, ExactlyFairSharePlusCompetedFor) {
+  Rng rng(GetParam());
+  SupplyModel model;
+  std::vector<ConnectionId> ids;
+  ConnectionId next = 1;
+  Time now = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double draw = rng.NextDouble();
+    if (draw < 0.1 || ids.empty()) {
+      ids.push_back(next);
+      model.AddConnection(next++);
+    } else if (draw < 0.18) {
+      const size_t victim = rng.UniformInt(ids.size());
+      model.RemoveConnection(ids[victim]);
+      ids.erase(ids.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      now += static_cast<Duration>(rng.Uniform(10, 300)) * kMillisecond;
+      const ConnectionId c = ids[rng.UniformInt(ids.size())];
+      model.OnThroughput(c, {now, rng.Uniform(1.0, 64.0) * kKb,
+                             static_cast<Duration>(rng.Uniform(30, 800)) * kMillisecond});
+    }
+    const double supply = model.TotalSupply();
+    const int active = model.ActiveConnectionCount(now);
+    // Ascending id order, matching the model's own aggregation; idle
+    // connections contribute exactly 0.0, so the sums are bit-identical.
+    double total_usage = 0.0;
+    for (const ConnectionId c : ids) {
+      total_usage += model.UsageRateFor(c, now);
+    }
+    for (const ConnectionId c : ids) {
+      const double availability = model.AvailabilityFor(c, now);
+      if (supply <= 0.0) {
+        EXPECT_EQ(availability, 0.0);
+        continue;
+      }
+      const double rate = model.UsageRateFor(c, now);
+      const int share_ways = active + (rate > 16.0 ? 0 : 1);
+      const double fair = supply / static_cast<double>(share_ways < 1 ? 1 : share_ways);
+      double expected = fair;
+      if (total_usage > 0.0) {
+        const double slack = supply > total_usage ? supply - total_usage : 0.0;
+        const double sum = fair + slack * (rate / total_usage);
+        expected = sum < supply ? sum : supply;
+      }
+      ASSERT_EQ(availability, expected) << "connection " << c << " at " << now;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityDecomposition,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- Unregister is the exact inverse of register ---
+//
+// Pushing a probe connection through AddConnection/RemoveConnection leaves
+// every observable bit-identical to its value before the pair, at any point
+// in a long random history; and across ten thousand random operations the
+// incremental model never drifts from the naive reference.
+
+TEST(RegisterInverseProperty, NoDriftAfterTenThousandRandomOps) {
+  Rng rng(4242);
+  SupplyModel model;
+  NaiveSupplyModel reference;
+  std::vector<ConnectionId> ids;
+  ConnectionId next = 1;
+  Time now = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double draw = rng.NextDouble();
+    if (draw < 0.1 || ids.empty()) {
+      ids.push_back(next);
+      model.AddConnection(next);
+      reference.AddConnection(next);
+      ++next;
+    } else if (draw < 0.18) {
+      const size_t victim = rng.UniformInt(ids.size());
+      model.RemoveConnection(ids[victim]);
+      reference.RemoveConnection(ids[victim]);
+      ids.erase(ids.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      now += static_cast<Duration>(rng.Uniform(10, 300)) * kMillisecond;
+      const ConnectionId c = ids[rng.UniformInt(ids.size())];
+      const ThroughputObservation obs{now, rng.Uniform(1.0, 64.0) * kKb,
+                                      static_cast<Duration>(rng.Uniform(30, 800)) *
+                                          kMillisecond};
+      model.OnThroughput(c, obs);
+      reference.OnThroughput(c, obs);
+    }
+    if (i % 250 == 0) {
+      const double supply_before = model.TotalSupply();
+      const int active_before = model.ActiveConnectionCount(now);
+      std::vector<double> avail_before;
+      avail_before.reserve(ids.size());
+      for (const ConnectionId c : ids) {
+        avail_before.push_back(model.AvailabilityFor(c, now));
+      }
+      const ConnectionId probe = next++;
+      model.AddConnection(probe);
+      reference.AddConnection(probe);
+      model.RemoveConnection(probe);
+      reference.RemoveConnection(probe);
+      ASSERT_EQ(model.TotalSupply(), supply_before);
+      ASSERT_EQ(model.ActiveConnectionCount(now), active_before);
+      for (size_t k = 0; k < ids.size(); ++k) {
+        ASSERT_EQ(model.AvailabilityFor(ids[k], now), avail_before[k])
+            << "connection " << ids[k] << " drifted across a register/unregister pair";
+      }
+    }
+    ASSERT_EQ(model.TotalSupply(), reference.TotalSupply());
+    ASSERT_EQ(model.ActiveConnectionCount(now), reference.ActiveConnectionCount(now));
+    if (!ids.empty()) {
+      const ConnectionId c = ids[rng.UniformInt(ids.size())];
+      ASSERT_EQ(model.AvailabilityFor(c, now), reference.AvailabilityFor(c, now));
+    }
+  }
+}
 
 }  // namespace
 }  // namespace odyssey

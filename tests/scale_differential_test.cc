@@ -1,0 +1,232 @@
+// Differential tests for the scaled viceroy hot core.
+//
+// The scale work (incremental supply model, indexed re-evaluation, slab
+// request table, batched upcall dispatch) is behavior-preserving by
+// construction; these tests prove it empirically by running the production
+// stack and the pre-scale reference stack (NaiveSupplyModel + full-scan
+// re-evaluation) over the same inputs and requiring *bit-identical* results
+// — every availability figure and every delivered upcall, compared with
+// exact floating-point equality, over hundreds of fuzzer scenarios
+// including large-N populations.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/check/fuzz_runner.h"
+#include "src/check/fuzz_scenario.h"
+#include "src/check/scale_scenario.h"
+#include "src/estimator/supply_model.h"
+#include "src/harness/builtin_scenarios.h"
+#include "src/harness/campaign.h"
+#include "src/harness/scenario_registry.h"
+#include "src/harness/worker_pool.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+namespace {
+
+// --- Model-level differential -------------------------------------------
+//
+// Drives the incremental and naive supply models through the same random
+// operation sequence and compares every observable after every operation.
+// EXPECT_EQ on doubles is deliberate: the incremental model's contract is
+// exact equality, not tolerance.
+
+struct ModelPair {
+  std::unique_ptr<SupplyModelInterface> fast =
+      MakeSupplyModel(SupplyModelKind::kIncremental, SupplyModelConfig{});
+  std::unique_ptr<SupplyModelInterface> naive =
+      MakeSupplyModel(SupplyModelKind::kNaive, SupplyModelConfig{});
+
+  void CheckIdentical(const std::vector<ConnectionId>& connections, Time now) {
+    ASSERT_EQ(fast->has_supply(), naive->has_supply());
+    ASSERT_EQ(fast->TotalSupply(), naive->TotalSupply());
+    ASSERT_EQ(fast->ActiveConnectionCount(now), naive->ActiveConnectionCount(now));
+    for (const ConnectionId connection : connections) {
+      ASSERT_EQ(fast->UsageRateFor(connection, now), naive->UsageRateFor(connection, now))
+          << "connection " << connection << " at " << now;
+      ASSERT_EQ(fast->AvailabilityFor(connection, now), naive->AvailabilityFor(connection, now))
+          << "connection " << connection << " at " << now;
+    }
+    // An unknown connection takes the idle fair-share branch in both.
+    ASSERT_EQ(fast->AvailabilityFor(0, now), naive->AvailabilityFor(0, now));
+  }
+};
+
+TEST(ScaleDifferentialTest, ModelsBitIdenticalOverRandomOperations) {
+  constexpr int kSeeds = 200;
+  constexpr int kOpsPerSeed = 150;
+  for (int trial = 0; trial < kSeeds; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(DeriveTrialSeed(0x5ca1eULL, static_cast<uint64_t>(trial)));
+    ModelPair pair;
+    std::vector<ConnectionId> connections;
+    ConnectionId next_id = 1;
+    Time now = 0;
+    for (int op = 0; op < kOpsPerSeed; ++op) {
+      const double draw = rng.NextDouble();
+      if (draw < 0.15 || connections.empty()) {
+        const ConnectionId id = next_id++;
+        connections.push_back(id);
+        pair.fast->AddConnection(id);
+        pair.naive->AddConnection(id);
+      } else if (draw < 0.25) {
+        const size_t victim = rng.UniformInt(connections.size());
+        const ConnectionId id = connections[victim];
+        connections.erase(connections.begin() + static_cast<ptrdiff_t>(victim));
+        pair.fast->RemoveConnection(id);
+        pair.naive->RemoveConnection(id);
+      } else if (draw < 0.7) {
+        const ConnectionId id = connections[rng.UniformInt(connections.size())];
+        ThroughputObservation obs;
+        obs.elapsed = 1 * kMillisecond +
+                      static_cast<Duration>(rng.UniformInt(1 * kSecond));
+        now += static_cast<Duration>(rng.UniformInt(200 * kMillisecond));
+        obs.at = now;
+        obs.window_bytes = rng.Uniform(0.0, 200.0 * 1024.0);
+        pair.fast->OnThroughput(id, obs);
+        pair.naive->OnThroughput(id, obs);
+      } else if (draw < 0.85) {
+        const ConnectionId id = connections[rng.UniformInt(connections.size())];
+        RoundTripObservation obs;
+        now += static_cast<Duration>(rng.UniformInt(200 * kMillisecond));
+        obs.at = now;
+        obs.rtt = 1 * kMillisecond + static_cast<Duration>(rng.UniformInt(100 * kMillisecond));
+        pair.fast->OnRoundTrip(id, obs);
+        pair.naive->OnRoundTrip(id, obs);
+      } else if (draw < 0.9) {
+        const ConnectionId id = connections[rng.UniformInt(connections.size())];
+        FailureObservation obs;
+        obs.at = now;
+        obs.attempts = 1 + static_cast<int>(rng.UniformInt(4));
+        pair.fast->OnFailure(id, obs);
+        pair.naive->OnFailure(id, obs);
+      } else {
+        // Let the activity and supply windows slide with no new evidence.
+        now += static_cast<Duration>(rng.UniformInt(3 * kSecond));
+      }
+      pair.CheckIdentical(connections, now);
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+// --- Full-stack differential --------------------------------------------
+//
+// Every fuzzer scenario runs twice: once on the production stack and once
+// on the reference stack.  The pass criterion is equality of the complete
+// DifferentialLog — the full upcall sequence (app, seq, request, resource,
+// level, post and delivery times) and every periodic availability sample —
+// plus a clean oracle verdict on both sides.
+
+struct DifferentialOutcome {
+  DifferentialLog production;
+  DifferentialLog reference;
+  uint64_t production_violations = 0;
+  uint64_t reference_violations = 0;
+};
+
+DifferentialOutcome RunBothStacks(const FuzzScenario& scenario) {
+  DifferentialOutcome outcome;
+  FuzzRunOptions options;
+  options.differential = &outcome.production;
+  outcome.production_violations = RunFuzzScenario(scenario, options).violation_count;
+  options.reference_stack = true;
+  options.differential = &outcome.reference;
+  outcome.reference_violations = RunFuzzScenario(scenario, options).violation_count;
+  return outcome;
+}
+
+void ExpectLogsIdentical(const DifferentialOutcome& outcome, const std::string& label) {
+  EXPECT_EQ(outcome.production_violations, 0u) << label;
+  EXPECT_EQ(outcome.reference_violations, 0u) << label;
+  ASSERT_EQ(outcome.production.upcalls.size(), outcome.reference.upcalls.size()) << label;
+  for (size_t i = 0; i < outcome.production.upcalls.size(); ++i) {
+    const UpcallRecord& a = outcome.production.upcalls[i];
+    const UpcallRecord& b = outcome.reference.upcalls[i];
+    ASSERT_TRUE(a == b) << label << " upcall " << i << ": app " << a.app << "/" << b.app
+                        << " seq " << a.seq << "/" << b.seq << " level " << a.level << "/"
+                        << b.level << " delivered " << a.delivered_at << "/" << b.delivered_at;
+  }
+  ASSERT_EQ(outcome.production.samples.size(), outcome.reference.samples.size()) << label;
+  for (size_t i = 0; i < outcome.production.samples.size(); ++i) {
+    ASSERT_EQ(outcome.production.samples[i], outcome.reference.samples[i])
+        << label << " sample stream diverges at element " << i;
+  }
+}
+
+TEST(ScaleDifferentialTest, FullStackIdenticalOverFuzzScenarios) {
+  // 184 scenarios from the historical generator plus 16 large-N ones (up to
+  // 64 apps): 200 total, each executed on both stacks.
+  constexpr size_t kDefaultScenarios = 184;
+  constexpr size_t kLargeScenarios = 16;
+  constexpr size_t kTotal = kDefaultScenarios + kLargeScenarios;
+  constexpr uint64_t kSweepSeed = 1997;
+
+  std::vector<DifferentialOutcome> outcomes(kTotal);
+  RunIndexedTasks(DefaultJobCount(), kTotal, [&](size_t i) {
+    ScenarioOptions options;
+    if (i >= kDefaultScenarios) {
+      options.max_apps = 64;
+    }
+    outcomes[i] = RunBothStacks(GenerateScenario(DeriveTrialSeed(kSweepSeed, i), options));
+  });
+
+  for (size_t i = 0; i < kTotal; ++i) {
+    ExpectLogsIdentical(outcomes[i],
+                        "scenario " + std::to_string(i) +
+                            (i >= kDefaultScenarios ? " (large-N)" : ""));
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// --- The tier_scale campaign --------------------------------------------
+
+TEST(ScaleCampaignTest, ExpandsAgainstScaleAwareRegistry) {
+  ScenarioRegistry registry;
+  RegisterBuiltinScenarios(&registry);
+  RegisterScaleScenarios(&registry);
+  std::vector<PlannedTrial> plan;
+  const Status status = ExpandCampaign(ScaleCampaign(), registry, &plan);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(plan.size(), 5u);  // one sweep per variant, n100 runs three trials
+}
+
+TEST(ScaleCampaignTest, SmallVariantRunsCleanUnderOracles) {
+  ScenarioRegistry registry;
+  RegisterScaleScenarios(&registry);
+  const Scenario* scenario = registry.Find("scale_core");
+  ASSERT_NE(scenario, nullptr);
+  const ScenarioVariant* variant = scenario->FindVariant("n100");
+  ASSERT_NE(variant, nullptr);
+  const TrialMetrics metrics = variant->run(1997, nullptr);
+  double upcalls = -1.0;
+  double violations = -1.0;
+  double registered = -1.0;
+  for (const MetricValue& metric : metrics) {
+    if (metric.name == "upcalls") {
+      upcalls = metric.value;
+    } else if (metric.name == "oracle_violations") {
+      violations = metric.value;
+    } else if (metric.name == "windows_registered") {
+      registered = metric.value;
+    }
+  }
+  EXPECT_EQ(violations, 0.0);
+  // The supply steps must actually have driven adaptation rounds.
+  EXPECT_GE(upcalls, 100.0);
+  EXPECT_GE(registered, 200.0);
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/scale_scenario.h"
 #include "src/harness/bench_artifact.h"
 #include "src/harness/builtin_scenarios.h"
 #include "src/harness/campaign.h"
@@ -92,13 +93,26 @@ bool WriteFile(const std::string& path, const std::string& text) {
   return true;
 }
 
+// Everything ody_bench can run: the built-in campaigns plus tier_scale,
+// whose scenario lives in odyssey_check (see scale_scenario.h).
+std::vector<CampaignSpec> AllCampaigns() {
+  std::vector<CampaignSpec> campaigns = odyssey::BuiltinCampaigns();
+  campaigns.push_back(odyssey::ScaleCampaign());
+  return campaigns;
+}
+
+void RegisterAllScenarios(ScenarioRegistry* registry) {
+  odyssey::RegisterBuiltinScenarios(registry);
+  odyssey::RegisterScaleScenarios(registry);
+}
+
 int ListCommand() {
   std::cout << "campaigns:\n";
-  for (const CampaignSpec& campaign : odyssey::BuiltinCampaigns()) {
+  for (const CampaignSpec& campaign : AllCampaigns()) {
     std::cout << "  " << campaign.name << " - " << campaign.description << "\n";
   }
   ScenarioRegistry registry;
-  odyssey::RegisterBuiltinScenarios(&registry);
+  RegisterAllScenarios(&registry);
   std::cout << "scenarios:\n";
   for (const std::string& name : registry.scenario_names()) {
     const Scenario* scenario = registry.Find(name);
@@ -112,9 +126,22 @@ int ListCommand() {
   return 0;
 }
 
+// Writes a copy of |artifact| with every machine-dependent wall_* metric
+// removed.  The tier_scale trials report wall-clock rates, which are real
+// measurements but not jobs-invariant; CI byte-compares the stripped
+// artifacts to keep holding the runner to determinism.
+bool WriteStrippedArtifact(const BenchArtifact& artifact, const std::string& path) {
+  BenchArtifact stripped = artifact;
+  std::erase_if(stripped.metrics, [](const odyssey::MetricSummary& summary) {
+    return summary.metric.rfind("wall_", 0) == 0;
+  });
+  return WriteFile(path, ArtifactToJson(stripped));
+}
+
 int RunCommand(const std::vector<std::string>& args) {
   std::string campaign_name;
   std::string out_path;
+  std::string strip_path;
   int jobs = odyssey::DefaultJobCount();
   uint64_t seed = 0;
   bool seed_set = false;
@@ -122,6 +149,8 @@ int RunCommand(const std::vector<std::string>& args) {
     std::string value;
     if (FlagValue(arg, "campaign", &value)) {
       campaign_name = value;
+    } else if (FlagValue(arg, "strip-wall-out", &value)) {
+      strip_path = value;
     } else if (FlagValue(arg, "jobs", &value)) {
       uint64_t parsed = 0;
       if (!ParseU64(value, &parsed) || parsed == 0 || parsed > 1024) {
@@ -147,7 +176,7 @@ int RunCommand(const std::vector<std::string>& args) {
     return 2;
   }
 
-  const std::vector<CampaignSpec> campaigns = odyssey::BuiltinCampaigns();
+  const std::vector<CampaignSpec> campaigns = AllCampaigns();
   const CampaignSpec* found = odyssey::FindCampaign(campaigns, campaign_name);
   if (found == nullptr) {
     std::cerr << "ody_bench: unknown campaign " << campaign_name << "\n";
@@ -162,7 +191,7 @@ int RunCommand(const std::vector<std::string>& args) {
   }
 
   ScenarioRegistry registry;
-  odyssey::RegisterBuiltinScenarios(&registry);
+  RegisterAllScenarios(&registry);
 
   CampaignRunOptions options;
   options.jobs = jobs;
@@ -180,6 +209,9 @@ int RunCommand(const std::vector<std::string>& args) {
     return 2;
   }
   if (!WriteFile(out_path, ArtifactToJson(artifact))) {
+    return 2;
+  }
+  if (!strip_path.empty() && !WriteStrippedArtifact(artifact, strip_path)) {
     return 2;
   }
   // Wall-clock time goes to the console (CI logs the speedup from it), not
@@ -260,6 +292,7 @@ int Usage() {
   std::cerr << "usage:\n"
             << "  ody_bench list\n"
             << "  ody_bench run --campaign=<name> [--jobs=N] [--seed=U64] [--out=PATH]\n"
+            << "                [--strip-wall-out=PATH]\n"
             << "  ody_bench compare --baseline=<json> --current=<json> [--tolerance=PCT]\n";
   return 2;
 }

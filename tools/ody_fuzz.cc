@@ -1,13 +1,16 @@
 // ody_fuzz: the deterministic simulation fuzzer's fleet driver.
 //
 // Usage:
-//   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--selftest-mutation]
-//            [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] [--verbose]
+//   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N]
+//            [--selftest-mutation] [--no-shrink] [--repro-out=PATH]
+//            [--trace-out=PATH] [--verbose]
 //
 // Synthesizes N scenarios from a single campaign seed (trial seeds derived
 // with the same O(1) stream jump the bench campaigns use), executes each
 // against a fresh Odyssey stack under the invariant oracles, and reports
-// every violation.  Output is a pure function of (--runs, --seed,
+// every violation.  --max-apps raises the scenario generator's population
+// bound (log-uniform above the default 8; see ScenarioOptions).  Output is
+// a pure function of (--runs, --seed, --max-apps,
 // --selftest-mutation): --jobs only changes wall-clock time, never a byte
 // of stdout or the artifacts — results land in per-run slots and are
 // printed in plan order after the pool drains.
@@ -51,6 +54,9 @@ struct Options {
   int runs = 50;
   int jobs = odyssey::DefaultJobCount();
   uint64_t seed = 1;
+  // ScenarioOptions::max_apps: at the default 8 scenarios are byte-identical
+  // to the historical generator; larger values sweep large-N populations.
+  int max_apps = 8;
   bool selftest_mutation = false;
   bool shrink = true;
   bool verbose = false;
@@ -91,9 +97,9 @@ bool ParseInt(const std::string& text, int* out) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--selftest-mutation]\n"
-               "                [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] "
-               "[--verbose]\n");
+               "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N]\n"
+               "                [--selftest-mutation] [--no-shrink] [--repro-out=PATH]\n"
+               "                [--trace-out=PATH] [--verbose]\n");
   return 2;
 }
 
@@ -111,6 +117,10 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       }
     } else if (FlagValue(arg, "seed", &value)) {
       if (!ParseU64(value, &options->seed)) {
+        return false;
+      }
+    } else if (FlagValue(arg, "max-apps", &value)) {
+      if (!ParseInt(value, &options->max_apps) || options->max_apps <= 0) {
         return false;
       }
     } else if (FlagValue(arg, "repro-out", &value)) {
@@ -154,6 +164,8 @@ int main(int argc, char** argv) {
 
   FuzzRunOptions run_options;
   run_options.selftest_mutation = options.selftest_mutation;
+  odyssey::ScenarioOptions scenario_options;
+  scenario_options.max_apps = options.max_apps;
 
   // Fleet execution: every run writes only its own slot, so the report
   // below is independent of worker count and completion order.
@@ -164,11 +176,11 @@ int main(int argc, char** argv) {
     seeds[i] = DeriveTrialSeed(options.seed, static_cast<uint64_t>(i));
   }
   odyssey::RunIndexedTasks(options.jobs, count, [&](size_t i) {
-    results[i] = RunFuzzScenario(GenerateScenario(seeds[i]), run_options);
+    results[i] = RunFuzzScenario(GenerateScenario(seeds[i], scenario_options), run_options);
   });
 
-  std::printf("ody_fuzz: %d runs, seed %llu%s\n", options.runs,
-              static_cast<unsigned long long>(options.seed),
+  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s\n", options.runs,
+              static_cast<unsigned long long>(options.seed), options.max_apps,
               options.selftest_mutation ? ", selftest mutation armed" : "");
 
   uint64_t total_violations = 0;
@@ -212,7 +224,7 @@ int main(int argc, char** argv) {
   }
 
   if (options.shrink) {
-    const FuzzScenario failing = GenerateScenario(seeds[first_failure]);
+    const FuzzScenario failing = GenerateScenario(seeds[first_failure], scenario_options);
     const std::string oracle = results[first_failure].violations.empty()
                                    ? std::string()
                                    : results[first_failure].violations.front().oracle;
