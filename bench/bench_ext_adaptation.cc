@@ -99,6 +99,7 @@ void RunPageSection() {
         const Time start = rig.sim().now();
         Time end = start;
         WebPageFetchReply reply;
+        // ody_lint: owned-capture
         rig.client().Tsop(app, path, kWebFetchPage, "", [&](Status status, std::string out) {
           if (!status.ok() || !UnpackStruct(out, &reply)) {
             reply = WebPageFetchReply{};
@@ -141,14 +142,14 @@ void RunVocabularySection() {
       bool warm = false;
       rig.client().Tsop(app, path, kSpeechRecognize,
                         PackStruct(SpeechUtterance{kSpeechRawBytes, 0.0}),
-                        [&](Status, std::string) { warm = true; });
+                        [&](Status, std::string) { warm = true; });  // ody_lint: owned-capture
       rig.sim().RunUntil(rig.sim().now() + 10 * kSecond);
       const Time start = rig.sim().now();
       Time end = start;
       SpeechResult result;
       rig.client().Tsop(app, path, kSpeechRecognize,
                         PackStruct(SpeechUtterance{kSpeechRawBytes, goal}),
-                        [&](Status status, std::string out) {
+                        [&](Status status, std::string out) {  // ody_lint: owned-capture
                           if (!status.ok() || !UnpackStruct(out, &result)) {
                             result = SpeechResult{};
                           }
@@ -197,10 +198,12 @@ void RunResourceSection() {
     ResourceDescriptor battery_window;
     battery_window.resource = ResourceId::kBatteryPower;
     battery_window.lower = 45.0;
+    // ody_lint: owned-capture
     battery_window.handler = [&](RequestId, ResourceId, double) { battery_warned = true; };
     ResourceDescriptor money_window;
     money_window.resource = ResourceId::kMoney;
     money_window.lower = 30.0;
+    // ody_lint: owned-capture
     money_window.handler = [&](RequestId, ResourceId, double) { money_warned = true; };
 
     const Time measure = rig.Replay(MakeUrbanScenario());
@@ -248,7 +251,7 @@ void RunTelemetrySection() {
       FilterApp filter(&rig.client(), warden, FilterAppOptions{"stocks/ACME", 5.0, level});
       rig.Replay(MakeConstant(kHighBandwidth, 10 * kMinute), /*prime=*/false);
       filter.Start();
-      rig.sim().ScheduleAt(kMinute, [&telemetry] {
+      rig.sim().ScheduleAt(kMinute, [&telemetry] {  // ody_lint: owned-capture
         const Status injected = telemetry.InjectEvent("stocks/ACME", 25.0);
         ODY_ASSERT(injected.ok(), "event injected into an unknown feed");
       });

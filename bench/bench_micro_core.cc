@@ -27,7 +27,7 @@ void BM_EventScheduleAndRun(benchmark::State& state) {
   Simulation sim;
   int sink = 0;
   for (auto _ : state) {
-    sim.Schedule(1, [&] { ++sink; });
+    sim.Schedule(1, [&] { ++sink; });  // ody_lint: owned-capture
     sim.Step();
   }
   benchmark::DoNotOptimize(sink);
@@ -141,7 +141,7 @@ void BM_EventQueuePushPopAtDepth(benchmark::State& state) {
   }
   int sink = 0;
   for (auto _ : state) {
-    sim.Schedule(1, [&] { ++sink; });
+    sim.Schedule(1, [&] { ++sink; });  // ody_lint: owned-capture
     sim.Step();
   }
   benchmark::DoNotOptimize(sink);

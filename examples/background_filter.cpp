@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   // Market/field events land in both phases.
   const Time events[] = {60 * kSecond, 180 * kSecond, 260 * kSecond};
   for (const Time at : events) {
-    rig.sim().ScheduleAt(at, [&telemetry] {
+    rig.sim().ScheduleAt(at, [&telemetry] {  // ody_lint: owned-capture
       const Status stock_event = telemetry.InjectEvent("stocks/ACME", 25.0);
       ODY_ASSERT(stock_event.ok(), "event injected into an unknown feed");
       const Status scout_event = telemetry.InjectEvent("scout/sector-7", 10.0);

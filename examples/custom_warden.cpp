@@ -179,7 +179,7 @@ int main(int argc, char** argv) {
 
   MapInfo info;
   client.Tsop(app, "/odyssey/maps/pittsburgh", kMapOpen, "pittsburgh",
-              [&](Status status, std::string out) {
+              [&](Status status, std::string out) {  // ody_lint: owned-capture
                 ODY_ASSERT(status.ok() && UnpackStruct(out, &info), "map open failed");
               });
 
@@ -212,6 +212,7 @@ int main(int argc, char** argv) {
                   PackStruct(MapSetLevel{level}), [](Status, std::string) {});
     }
     client.Tsop(app, "/odyssey/maps/pittsburgh", kMapFetchTile,
+                // ody_lint: owned-capture
                 PackStruct(MapFetchTile{step, 0}), [&](Status status, std::string out) {
                   MapTileResult tile;
                   if (status.ok() && UnpackStruct(out, &tile)) {
@@ -219,7 +220,7 @@ int main(int argc, char** argv) {
                     fidelity_sum += tile.fidelity;
                   }
                 });
-    sim.Schedule(500 * kMillisecond, [&pan, step] { pan(step + 1); });
+    sim.Schedule(500 * kMillisecond, [&pan, step] { pan(step + 1); });  // ody_lint: owned-capture
   };
   pan(0);
 

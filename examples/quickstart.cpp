@@ -40,10 +40,11 @@ int main(int argc, char** argv) {
 
   // After a few seconds of observation, express our expectation: we are
   // happy as long as at least 80 KB/s is available.
-  rig.sim().Schedule(5 * kSecond, [&] {
+  rig.sim().Schedule(5 * kSecond, [&] {  // ody_lint: owned-capture
     ResourceDescriptor descriptor;
     descriptor.resource = ResourceId::kNetworkBandwidth;
     descriptor.lower = 80.0 * 1024.0;
+    // ody_lint: owned-capture
     descriptor.handler = [&](RequestId request, ResourceId, double level) {
       std::printf("[app] t=%.1fs upcall on request %llu: bandwidth now %.1f KB/s"
                   " -- dropping fidelity\n",
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
 
   // Periodically show what the viceroy believes.
   for (int t = 5; t <= 55; t += 10) {
-    rig.sim().Schedule(t * kSecond, [&] {
+    rig.sim().Schedule(t * kSecond, [&] {  // ody_lint: owned-capture
       std::printf("[viceroy] t=%.0fs availability for app: %.1f KB/s\n",
                   DurationToSeconds(rig.sim().now()),
                   client.CurrentLevel(app, ResourceId::kNetworkBandwidth) / 1024.0);

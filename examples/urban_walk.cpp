@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   WebBrowser web(&rig.client(), WebBrowserOptions{});
   SpeechFrontEnd speech(&rig.client(), SpeechFrontEndOptions{});
 
+  // ody_lint: owned-capture
   rig.modulator().AddTransitionListener([&](const TraceSegment& segment) {
     std::printf("%6.1fs  [network] %s (%.0f KB/s)\n", DurationToSeconds(rig.sim().now()),
                 segment.bandwidth_bps > 64.0 * 1024.0 ? "good connectivity" : "radio shadow edge",
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
   // Narrate once a minute: what fidelity is everyone running at?
   const char* track_names[] = {"JPEG(99)", "JPEG(50)", "B/W"};
   for (int minute = 1; minute <= 15; ++minute) {
-    rig.sim().Schedule(minute * kMinute, [&, minute] {
+    rig.sim().Schedule(minute * kMinute, [&, minute] {  // ody_lint: owned-capture
       const Time begin = start + (minute - 1) * kMinute;
       const Time end = start + minute * kMinute;
       std::printf(

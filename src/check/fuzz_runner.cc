@@ -89,7 +89,9 @@ class FuzzDriver {
     client_->sim()->ScheduleAt(app_.start, [this] {
       app_id_ = client_->RegisterApplication("fuzz-app-" + std::to_string(index_));
       for (const FuzzOp& op : app_.ops) {
-        client_->sim()->ScheduleAt(op.at, [this, &op] { Execute(op); });
+        // &op binds the scenario-owned vector element (not the loop slot),
+        // and the scenario outlives the run.
+        client_->sim()->ScheduleAt(op.at, [this, &op] { Execute(op); });  // ody_lint: owned-capture
       }
     });
   }
@@ -386,11 +388,27 @@ FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions
         (void)options;
 #endif
       });
-  sim.set_step_observer([&oracle](Time when) { oracle.OnStep(when); });
+  // The oracle outlives every event (both observers are detached below,
+  // before the stack unwinds).
+  sim.set_step_observer([&oracle](Time when) { oracle.OnStep(when); });  // ody_lint: owned-capture
+  // ody_lint: owned-capture
+  sim.set_tie_observer([&oracle](Time when, uint64_t prev_seq, uint64_t seq) {
+    oracle.OnTieBreak(when, prev_seq, seq);
+  });
+#ifdef ODYSSEY_FUZZ_SELFTEST
+  if (options.selftest_tiebreak) {
+    // Intentionally seeded defect: the queue pops same-timestamp ties
+    // newest-first instead of in scheduling order.  The same-time-order
+    // oracle must catch it (CI's fuzz-selftest job).
+    sim.set_selftest_lifo_ties(true);
+  }
+#endif
 
   const Time end = scenario.horizon + options.drain_grace;
   Sampler sampler{&sim, &oracle, strategy_ptr, options.differential, end, options.oracle_period};
-  sim.Schedule(options.oracle_period, [&sampler] { sampler.Tick(); });
+  // The sampler stops rescheduling at |end| and the sim drains before it
+  // leaves scope.
+  sim.Schedule(options.oracle_period, [&sampler] { sampler.Tick(); });  // ody_lint: owned-capture
 
   std::vector<std::unique_ptr<FuzzDriver>> drivers;
   drivers.reserve(scenario.apps.size());
@@ -412,9 +430,11 @@ FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions
   // viceroy and link, and no event may fire past this point anyway.
   client.viceroy().upcalls().set_delivery_observer({});
   sim.set_step_observer({});
+  sim.set_tie_observer({});
 
   result.violations = oracle.violations();
   result.violation_count = oracle.violation_count();
+  result.tie_pairs_audited = oracle.tie_pairs_audited();
   result.bytes_delivered = link.bytes_delivered();
   return result;
 }

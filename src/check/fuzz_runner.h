@@ -62,6 +62,11 @@ struct FuzzRunOptions {
   // that the oracles detect it and the shrinker minimizes it.  Only honored
   // when kFuzzSelftestCompiled; silently inert otherwise.
   bool selftest_mutation = false;
+  // Second seeded mutation: removes the event queue's deterministic FIFO
+  // tie-break (same-timestamp events pop newest-first), which the
+  // same-time-order oracle must catch.  Only honored when
+  // kFuzzSelftestCompiled; silently inert otherwise.
+  bool selftest_tiebreak = false;
   // Cadence of the periodic estimator/fair-share/conservation audit.
   Duration oracle_period = 100 * kMillisecond;
   // Extra virtual time after the horizon for queued upcalls and in-flight
@@ -89,6 +94,7 @@ struct FuzzRunResult {
   uint64_t requests_denied = 0;
   uint64_t cancels_ok = 0;
   uint64_t tsops_issued = 0;
+  uint64_t tie_pairs_audited = 0;  // same-timestamp pairs the auditor saw
   double bytes_delivered = 0.0;
 
   bool ok() const { return violation_count == 0; }

@@ -124,6 +124,20 @@ void OracleSet::OnStep(Time when) {
   }
 }
 
+void OracleSet::OnTieBreak(Time when, uint64_t prev_seq, uint64_t seq) {
+  ++tie_pairs_audited_;
+  // The tie-break key (when, seq) is a total order, so among events sharing
+  // a timestamp the queue must pop in scheduling order: strictly increasing
+  // seq.  Equal seqs are impossible (the queue allocates them densely), so
+  // <= catches both inversion and duplication.
+  if (seq <= prev_seq) {
+    std::ostringstream detail;
+    detail << "at " << when << "us event seq " << seq << " fired after seq " << prev_seq
+           << " (same-timestamp ties must pop in scheduling order)";
+    Report("same-time-order", 0, detail.str());
+  }
+}
+
 void OracleSet::OnWindowRegistered(AppId app, RequestId id, double lower, double upper) {
   registered_[id] = Window{app, lower, upper};
 }

@@ -23,6 +23,11 @@
 //   byte-conservation       the link never delivers more bytes than the
 //       integral of the nominal waveform;
 //   clock-monotonicity      event firing times never run backwards;
+//   same-time-order         every pair of events fired at an identical
+//       virtual timestamp pops in scheduling order — the deterministic
+//       (when, seq) tie-break key is a total order and the queue honors
+//       it, which is what makes same-instant bursts (batched upcalls,
+//       reaction storms to one supply step) replay identically;
 //   upcall-stranded         no upcall remains queued after the run drains
 //       (no receiver is ever blocked by the fuzzer's drivers).
 
@@ -81,6 +86,11 @@ class OracleSet {
   // From Simulation's step observer: |when| is the next event's firing time.
   void OnStep(Time when);
 
+  // From the event queue's tie observer: two events fired consecutively at
+  // the identical virtual time |when|, scheduled as |prev_seq| then |seq|.
+  // The tie-break contract requires prev_seq < seq (FIFO among ties).
+  void OnTieBreak(Time when, uint64_t prev_seq, uint64_t seq);
+
   // Driver bookkeeping: a successful request() / cancel() call.
   void OnWindowRegistered(AppId app, RequestId id, double lower, double upper);
   void OnWindowCancelled(RequestId id);
@@ -100,6 +110,9 @@ class OracleSet {
   const std::vector<FuzzViolation>& violations() const { return violations_; }
   // Total violations detected, including ones beyond the recording cap.
   uint64_t violation_count() const { return total_violations_; }
+  // Same-timestamp pairs the tie-break auditor examined (violating or not)
+  // — the audit's coverage figure, reported by ody_fuzz's totals line.
+  uint64_t tie_pairs_audited() const { return tie_pairs_audited_; }
 
  private:
   struct Window {
@@ -120,6 +133,7 @@ class OracleSet {
   std::map<RequestId, Window> registered_;
   std::set<RequestId> cancelled_;
   Time last_event_time_ = 0;
+  uint64_t tie_pairs_audited_ = 0;
   double last_bytes_delivered_ = 0.0;
   size_t max_audited_connections_ = 0;
   size_t audit_cursor_ = 0;

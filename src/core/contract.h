@@ -15,6 +15,13 @@
 // stderr before aborting, so a violated invariant dies loudly at the point
 // of violation instead of corrupting a trial silently.  The message, when
 // given, must be a string literal.
+//
+// The second half of the header is the odysan thread-safety vocabulary
+// (DESIGN.md §13): ODY_CAPABILITY / ODY_GUARDED_BY / ODY_REQUIRES /
+// ODY_EXCLUDES and friends map onto Clang's thread-safety-analysis
+// attributes, so a CI build with clang++ and -Wthread-safety -Werror proves
+// every annotated mutex acquisition statically.  Under other compilers the
+// macros expand to nothing; they are documentation there, never semantics.
 
 #ifndef SRC_CORE_CONTRACT_H_
 #define SRC_CORE_CONTRACT_H_
@@ -69,5 +76,44 @@ namespace internal {
 #define ODY_UNREACHABLE(...)                                                            \
   ::odyssey::internal::ContractFailure("ODY_UNREACHABLE", "reached unreachable code",   \
                                        __FILE__, __LINE__, "" __VA_ARGS__)
+
+// --- Thread-safety annotations (Clang thread-safety analysis) ---------------
+//
+// Apply to the shared mutable state of the harness (the only threaded layer;
+// see src/harness/worker_pool.h).  The capability model:
+//
+//   class ODY_CAPABILITY("mutex") Mutex { ... };      a lockable capability
+//   int count_ ODY_GUARDED_BY(mu_);                   reads/writes need mu_
+//   void Drain() ODY_REQUIRES(mu_);                   caller must hold mu_
+//   void Join() ODY_EXCLUDES(mu_);                    caller must NOT hold mu_
+//
+// src/core/sync.h provides the annotated Mutex/MutexLock/CondVar wrappers
+// these attach to.  Only Clang implements the analysis; elsewhere every
+// macro vanishes, so annotated code builds identically under GCC/MSVC.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ODY_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ODY_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// Declares a type to be a capability (a lockable resource).
+#define ODY_CAPABILITY(x) ODY_THREAD_ANNOTATION_(capability(x))
+// Declares an RAII type that acquires a capability for its lifetime.
+#define ODY_SCOPED_CAPABILITY ODY_THREAD_ANNOTATION_(scoped_lockable)
+// Data members: reads and writes require the capability to be held.
+#define ODY_GUARDED_BY(x) ODY_THREAD_ANNOTATION_(guarded_by(x))
+// Pointer members: the pointed-to data requires the capability.
+#define ODY_PT_GUARDED_BY(x) ODY_THREAD_ANNOTATION_(pt_guarded_by(x))
+// Functions: the caller must hold (or must not hold) the capabilities.
+#define ODY_REQUIRES(...) ODY_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ODY_EXCLUDES(...) ODY_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Functions that acquire / release capabilities themselves.
+#define ODY_ACQUIRE(...) ODY_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ODY_RELEASE(...) ODY_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ODY_TRY_ACQUIRE(...) ODY_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+// Escape hatch for code the analysis cannot model; every use must carry a
+// comment explaining why the access is safe.
+#define ODY_NO_THREAD_SAFETY_ANALYSIS ODY_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
 #endif  // SRC_CORE_CONTRACT_H_

@@ -1,0 +1,88 @@
+// Annotated synchronization primitives for the threaded harness layer.
+//
+// The simulation itself is single-threaded by design; the only concurrency
+// in the tree is the harness worker pool fanning shared-nothing trials over
+// threads.  That layer's shared state is tiny — a claim counter, a stop
+// flag, a first-exception slot — but history shows tiny shared state is
+// exactly where the lifetime bugs lived, so every piece of it is guarded by
+// these wrappers instead of raw std primitives:
+//
+//   Mutex      a std::mutex declared as an ODY_CAPABILITY, so Clang's
+//              -Wthread-safety can prove every ODY_GUARDED_BY member is
+//              only touched under it (see src/core/contract.h);
+//   MutexLock  the RAII guard (an ODY_SCOPED_CAPABILITY);
+//   CondVar    a condition variable that waits on a Mutex, keeping the
+//              capability annotations intact across the wait.
+//
+// The wrappers add no state and no behavior over the std types; they exist
+// so the annotations have something to attach to (std::mutex itself carries
+// no capability attributes in libstdc++/libc++).
+
+#ifndef SRC_CORE_SYNC_H_
+#define SRC_CORE_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/core/contract.h"
+
+namespace odyssey {
+
+class ODY_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ODY_ACQUIRE() { mu_.lock(); }
+  void Unlock() ODY_RELEASE() { mu_.unlock(); }
+
+  // BasicLockable spelling, so CondVar (std::condition_variable_any) can
+  // wait directly on the annotated type.
+  void lock() ODY_ACQUIRE() { mu_.lock(); }
+  void unlock() ODY_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard: holds the mutex for the enclosing scope.
+class ODY_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ODY_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() ODY_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable over the annotated Mutex.  Wait() atomically releases
+// and reacquires the mutex, so from the caller's perspective the capability
+// is held across the call — which is exactly what ODY_REQUIRES asserts.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) ODY_REQUIRES(*mu) { cv_.wait(*mu); }
+
+  // Waits until |predicate| holds; the predicate runs with the mutex held.
+  template <typename Predicate>
+  void Wait(Mutex* mu, Predicate predicate) ODY_REQUIRES(*mu) {
+    cv_.wait(*mu, std::move(predicate));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_SYNC_H_

@@ -1,15 +1,90 @@
 #include "src/harness/worker_pool.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
-#include <vector>
+#include <utility>
 
 namespace odyssey {
 
 int DefaultJobCount() {
   const unsigned int hardware = std::thread::hardware_concurrency();
   return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+WorkerPool::WorkerPool(int jobs, size_t count, std::function<void(size_t)> task)
+    : count_(count), task_(std::move(task)) {
+  ODY_ASSERT(jobs >= 1, "worker pool needs at least one worker");
+  const size_t workers = std::min(static_cast<size_t>(jobs), count);
+  workers_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  Abandon();
+  // A stored exception nobody Join()ed for dies here, silently: the
+  // destructor's contract is cleanup, and throwing would terminate().
+  JoinThreads();
+}
+
+void WorkerPool::Abandon() { abandoned_.store(true, std::memory_order_relaxed); }
+
+void WorkerPool::WorkerMain() {
+  for (;;) {
+    if (abandoned_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= count_) {
+      return;
+    }
+    try {
+      task_(index);
+    } catch (...) {
+      {
+        MutexLock lock(&mu_);
+        if (first_error_ == nullptr) {
+          first_error_ = std::current_exception();
+        }
+      }
+      // One failure abandons the run: sibling workers finish their current
+      // task and stop claiming, so Join() reports promptly instead of
+      // grinding through a plan whose result will be thrown away.
+      Abandon();
+      return;
+    }
+    MutexLock lock(&mu_);
+    ++completed_;
+  }
+}
+
+void WorkerPool::JoinThreads() {
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void WorkerPool::Join() {
+  JoinThreads();
+  std::exception_ptr error;
+  {
+    MutexLock lock(&mu_);
+    if (joined_) {
+      return;  // double-join: the first call already reported
+    }
+    joined_ = true;
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+size_t WorkerPool::completed() {
+  MutexLock lock(&mu_);
+  return completed_;
 }
 
 void RunIndexedTasks(int jobs, size_t count, const std::function<void(size_t)>& task) {
@@ -22,21 +97,8 @@ void RunIndexedTasks(int jobs, size_t count, const std::function<void(size_t)>& 
     }
     return;
   }
-  const size_t workers = std::min(static_cast<size_t>(jobs), count);
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&next, count, &task] {
-      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        task(i);
-      }
-    });
-  }
-  for (std::thread& worker : pool) {
-    worker.join();
-  }
+  WorkerPool pool(jobs, count, task);
+  pool.Join();
 }
 
 }  // namespace odyssey

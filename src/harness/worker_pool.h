@@ -6,12 +6,26 @@
 // are written to distinct slots, and the pool joins every worker before
 // returning, so no thread ever outlives the call that spawned it and no
 // other subsystem needs to know threads exist.
+//
+// WorkerPool is the annotated core (DESIGN.md §13): its shared mutable
+// state is split between lock-free claim/stop atomics (each with its
+// memory ordering justified inline) and ODY_GUARDED_BY members under an
+// annotated Mutex, so the thread-safety CI job proves the locking
+// discipline and the TSan job proves the claims at runtime.
+// RunIndexedTasks remains the one entry point the rest of the tree uses.
 
 #ifndef SRC_HARNESS_WORKER_POOL_H_
 #define SRC_HARNESS_WORKER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/core/contract.h"
+#include "src/core/sync.h"
 
 namespace odyssey {
 
@@ -19,14 +33,75 @@ namespace odyssey {
 // (hardware_concurrency() may report 0 on exotic platforms).
 int DefaultJobCount();
 
-// Runs task(0) .. task(count - 1) on min(jobs, count) workers.  Tasks are
-// claimed from a shared atomic counter, so workers stay busy regardless of
-// per-task cost; every worker is joined before the call returns.  |task|
-// must be safe to call concurrently for distinct indices and must not
-// throw.  jobs <= 1 runs every task inline on the calling thread — the
-// degenerate case threads never touch, which the jobs-invariance tests use
-// as the reference ordering.
+// Runs task(0) .. task(count - 1) on min(jobs, count) workers, claimed from
+// a shared atomic counter so workers stay busy regardless of per-task cost;
+// every worker is joined before the call returns.  |task| must be safe to
+// call concurrently for distinct indices.  If a task throws, the first
+// exception is rethrown on the calling thread after every worker has been
+// joined, and indices not yet claimed are abandoned (never run).  jobs <= 1
+// runs every task inline on the calling thread — the degenerate case
+// threads never touch, which the jobs-invariance tests use as the
+// reference ordering.
 void RunIndexedTasks(int jobs, size_t count, const std::function<void(size_t)>& task);
+
+// The pool behind RunIndexedTasks, exposed so the harness tests can drive
+// the shutdown and failure paths directly.  Construction spawns the
+// workers; they immediately begin claiming indices.  Exactly one thread
+// may call Join()/Abandon()/the destructor (the constructing thread, in
+// every real use).
+class WorkerPool {
+ public:
+  // Spawns min(jobs, count) workers executing task(0) .. task(count - 1).
+  // Requires jobs >= 1; the task is copied into the pool so it outlives
+  // the caller's frame.
+  WorkerPool(int jobs, size_t count, std::function<void(size_t)> task);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Abandons unclaimed indices, joins every worker, and swallows any stored
+  // task exception (destructors must not throw; call Join() to observe it).
+  ~WorkerPool();
+
+  // Stops further claims: workers finish the task they are executing and
+  // exit.  Indices not yet claimed never run.  Safe to call repeatedly.
+  void Abandon();
+
+  // Joins every worker, then rethrows the first task exception, if any.
+  // Idempotent: a second Join() is a no-op (the exception, once thrown,
+  // is consumed).  Returns normally when all claimed tasks succeeded.
+  void Join();
+
+  // Tasks that ran to completion (no exception).  Stable only once the
+  // workers are joined; call after Join().
+  size_t completed() ODY_EXCLUDES(mu_);
+
+ private:
+  void WorkerMain();
+  void JoinThreads();
+
+  const size_t count_;
+  const std::function<void(size_t)> task_;
+
+  // Lock-free claim counter.  Relaxed suffices: fetch_add's atomicity alone
+  // guarantees each index is claimed exactly once, and the counter never
+  // publishes data — task results are written to caller-owned slots whose
+  // visibility is established by thread::join's synchronizes-with edge.
+  std::atomic<size_t> next_{0};
+
+  // Lock-free stop flag, checked between claims.  Relaxed suffices: the
+  // flag only narrows how many indices get claimed (a worker observing it
+  // late merely runs one more task); all data it gates (first_error_) is
+  // published under mu_, not by the flag.
+  std::atomic<bool> abandoned_{false};
+
+  Mutex mu_;
+  std::exception_ptr first_error_ ODY_GUARDED_BY(mu_);  // first task throw
+  size_t completed_ ODY_GUARDED_BY(mu_) = 0;
+  bool joined_ ODY_GUARDED_BY(mu_) = false;
+
+  std::vector<std::thread> workers_;
+};
 
 }  // namespace odyssey
 

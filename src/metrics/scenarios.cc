@@ -75,9 +75,10 @@ AgilityTrialResult RunSupplyAgilityTrial(Waveform waveform, uint64_t seed,
   app.Start();
   StartAdaptingWhenEstimated(&rig.client(), app.app());
 
-  Sampler sampler(&rig.sim(), kAgilitySamplePeriod, measure, [&rig] {
+  Sampler sampler(&rig.sim(), kAgilitySamplePeriod, measure, [&rig] {  // ody_lint: owned-capture
     return rig.centralized()->TotalSupply(rig.sim().now());
   });
+  // ody_lint: owned-capture
   rig.sim().ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
   rig.sim().RunUntil(measure + kWaveformLength);
 
@@ -105,19 +106,21 @@ DemandTrialResult RunDemandAgilityTrial(double utilization, uint64_t seed,
   // higher modulated bandwidth, §6.2.1).
   const Time measure = rig.Replay(MakeConstant(kHighBandwidth, 2 * kObservation));
   first.Start(target);
+  // ody_lint: owned-capture
   rig.sim().ScheduleAt(measure + 30 * kSecond, [&] { second.Start(target); });
 
   DemandTrialResult out;
-  Sampler total_sampler(&rig.sim(), kSamplePeriod, measure, [&rig] {
+  Sampler total_sampler(&rig.sim(), kSamplePeriod, measure, [&rig] {  // ody_lint: owned-capture
     return rig.centralized()->TotalSupply(rig.sim().now());
   });
+  // ody_lint: owned-capture
   Sampler share_sampler(&rig.sim(), kSamplePeriod, measure, [&rig, &second] {
     if (second.connection() == 0) {
       return 0.0;
     }
     return rig.centralized()->ConnectionAvailability(second.connection(), rig.sim().now());
   });
-  rig.sim().ScheduleAt(measure, [&] {
+  rig.sim().ScheduleAt(measure, [&] {  // ody_lint: owned-capture
     total_sampler.Run(measure + kObservation);
     share_sampler.Run(measure + kObservation);
   });
@@ -227,7 +230,8 @@ EstimatorAblationTrialResult RunEstimatorAblationTrial(const SupplyModelConfig& 
   const Time measure = kPrimingPeriod;
   app.Start(0.0, window_bytes);
   Sampler sampler(&sim, 100 * kMillisecond, measure,
-                  [&] { return centralized->TotalSupply(sim.now()); });
+                  [&] { return centralized->TotalSupply(sim.now()); });  // ody_lint: owned-capture
+  // ody_lint: owned-capture
   sim.ScheduleAt(measure, [&] { sampler.Run(measure + kWaveformLength); });
   sim.RunUntil(measure + kWaveformLength);
 
@@ -344,6 +348,7 @@ FileConsistencyTrialResult RunFileConsistencyTrial(FileConsistency level, uint64
   std::function<void(int)> read_loop = [&](int index) {
     const Time start = rig.sim().now();
     rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/doc/" + std::to_string(index % 8),
+                      // ody_lint: owned-capture
                       kFileRead, "", [&, start, index](Status status, std::string out) {
                         FileReadReply reply;
                         if (status.ok() && UnpackStruct(out, &reply)) {
@@ -352,6 +357,7 @@ FileConsistencyTrialResult RunFileConsistencyTrial(FileConsistency level, uint64
                           ++reads;
                         }
                         rig.sim().Schedule(200 * kMillisecond,
+                                           // ody_lint: owned-capture
                                            [&read_loop, index] { read_loop(index + 1); });
                       });
   };
@@ -360,7 +366,7 @@ FileConsistencyTrialResult RunFileConsistencyTrial(FileConsistency level, uint64
 
   FileWardenStats stats;
   rig.client().Tsop(app, std::string(kOdysseyRoot) + "files/", kFileStats, "",
-                    [&](Status status, std::string out) {
+                    [&](Status status, std::string out) {  // ody_lint: owned-capture
                       ODY_ASSERT(status.ok() && UnpackStruct(out, &stats),
                                  "file stats tsop failed");
                     });

@@ -95,6 +95,29 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 
+  // Same-timestamp determinism audit (DESIGN.md §13).  Everything the
+  // simulation does at one virtual instant — batched upcall dispatch, a
+  // waveform transition and the re-evaluation it triggers, N apps reacting
+  // to one supply step — is a set of events at an identical timestamp, and
+  // the whole determinism story rests on the tie-break key (when, seq)
+  // ordering that set totally and reproducibly.  When an observer is
+  // installed, RunNext reports every consecutively fired same-timestamp
+  // pair as (when, previous seq, fired seq); the auditor (the fuzzer's
+  // same-time-order oracle) verifies previous < fired, i.e. that ties pop
+  // in scheduling order.  Unset, the audit costs one branch per pop.
+  using TieObserver = std::function<void(Time when, uint64_t prev_seq, uint64_t seq)>;
+  void set_tie_observer(TieObserver observer) { tie_observer_ = std::move(observer); }
+
+#ifdef ODYSSEY_FUZZ_SELFTEST
+  // Seeded mutation for the oracle pipeline's self-test: drops the
+  // deterministic tie-break by popping same-timestamp events newest-first
+  // (LIFO) instead of in scheduling order.  Still a total order — the run
+  // stays reproducible — but the same-time-order oracle must catch it and
+  // the shrinker must minimize the scenario around it.  Compiled only
+  // under -DODYSSEY_FUZZ_SELFTEST; release builds carry no mutation code.
+  void set_selftest_lifo_ties(bool enabled) { selftest_lifo_ties_ = enabled; }
+#endif
+
   // Time of the earliest event; false if the queue is empty.
   bool PeekTime(Time* when) {
     if (heap_.empty()) {
@@ -118,7 +141,12 @@ class EventQueue {
     // Virtual time is monotone: the heap must never yield an event earlier
     // than one it already fired (determinism depends on this ordering).
     ODY_ASSERT(entry.when >= last_fired_, "event queue time went backwards");
+    if (tie_observer_ && have_fired_ && entry.when == last_fired_) {
+      tie_observer_(entry.when, last_fired_seq_, entry.seq);
+    }
     last_fired_ = entry.when;
+    last_fired_seq_ = entry.seq;
+    have_fired_ = true;
     *when = entry.when;
     entry.cb();
     return true;
@@ -133,13 +161,21 @@ class EventQueue {
     std::shared_ptr<EventHandle::Slot> slot;
     Callback cb;
 
-    bool Before(const Entry& other) const {
+    bool Before(const Entry& other, bool lifo_ties) const {
       if (when != other.when) {
         return when < other.when;
       }
-      return seq < other.seq;
+      return lifo_ties ? seq > other.seq : seq < other.seq;
     }
   };
+
+  bool Before(const Entry& a, const Entry& b) const {
+#ifdef ODYSSEY_FUZZ_SELFTEST
+    return a.Before(b, selftest_lifo_ties_);
+#else
+    return a.Before(b, false);
+#endif
+  }
 
   void Push(Entry entry) {
     heap_.push_back(std::move(entry));
@@ -164,7 +200,7 @@ class EventQueue {
   void SiftUp(size_t index) {
     while (index > 0) {
       const size_t parent = (index - 1) / 2;
-      if (!heap_[index].Before(heap_[parent])) {
+      if (!Before(heap_[index], heap_[parent])) {
         break;
       }
       SwapEntries(index, parent);
@@ -182,10 +218,10 @@ class EventQueue {
       }
       size_t best = left;
       const size_t right = left + 1;
-      if (right < n && heap_[right].Before(heap_[left])) {
+      if (right < n && Before(heap_[right], heap_[left])) {
         best = right;
       }
-      if (!heap_[best].Before(heap_[index])) {
+      if (!Before(heap_[best], heap_[index])) {
         break;
       }
       SwapEntries(index, best);
@@ -218,6 +254,12 @@ class EventQueue {
   std::vector<Entry> heap_;
   uint64_t next_seq_ = 0;
   Time last_fired_ = 0;
+  uint64_t last_fired_seq_ = 0;
+  bool have_fired_ = false;
+  TieObserver tie_observer_;
+#ifdef ODYSSEY_FUZZ_SELFTEST
+  bool selftest_lifo_ties_ = false;
+#endif
 };
 
 inline bool EventHandle::pending() const { return slot_ && slot_->queue != nullptr; }

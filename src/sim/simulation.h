@@ -136,6 +136,21 @@ class Simulation {
     step_observer_ = std::move(observer);
   }
 
+  // Opt-in same-timestamp audit (see EventQueue::set_tie_observer): reports
+  // every consecutively fired pair of events that share a virtual
+  // timestamp, so the fuzzing oracles can verify the deterministic
+  // tie-break key orders them.  Unset (the default) costs one branch per
+  // event.
+  void set_tie_observer(EventQueue::TieObserver observer) {
+    queue_.set_tie_observer(std::move(observer));
+  }
+
+#ifdef ODYSSEY_FUZZ_SELFTEST
+  // Forwards the tie-break-removal self-test mutation to the event queue
+  // (see EventQueue::set_selftest_lifo_ties).  Selftest builds only.
+  void set_selftest_lifo_ties(bool enabled) { queue_.set_selftest_lifo_ties(enabled); }
+#endif
+
  private:
   Time now_ = 0;
   EventQueue queue_;

@@ -66,6 +66,13 @@ class TraceSession {
   // claim once on its behalf, so the exported timeline does not depend on
   // which worker got there first.)
   TraceRecorder* ClaimRecorderOnce() {
+    // acq_rel: the winning exchange must publish (release) whatever the
+    // claimer wrote before claiming, and a loser must observe (acquire) the
+    // winner's prior writes before deciding not to record.  In the current
+    // single-designated-claimer campaign flow relaxed would suffice, but
+    // the method's contract allows racing worker threads, so it keeps the
+    // ordering its contract promises rather than the weakest one today's
+    // callers need.
     if (recorder_ == nullptr || claimed_.exchange(true, std::memory_order_acq_rel)) {
       return nullptr;
     }

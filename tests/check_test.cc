@@ -134,6 +134,24 @@ TEST(FuzzRunnerTest, SelftestMutationMatchesCompileFlag) {
   }
 }
 
+TEST(FuzzRunnerTest, SelftestTiebreakMatchesCompileFlag) {
+  FuzzRunOptions options;
+  options.selftest_tiebreak = true;
+  uint64_t violations = 0;
+  uint64_t tie_pairs = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const FuzzRunResult result = RunFuzzScenario(GenerateScenario(seed), options);
+    violations += result.violation_count;
+    tie_pairs += result.tie_pairs_audited;
+  }
+  EXPECT_GT(tie_pairs, 0u) << "scenarios stopped producing same-timestamp events";
+  if (kFuzzSelftestCompiled) {
+    EXPECT_GT(violations, 0u) << "LIFO tie mutation compiled in but never detected";
+  } else {
+    EXPECT_EQ(violations, 0u) << "mutation must be inert without ODYSSEY_FUZZ_SELFTEST";
+  }
+}
+
 // --- Oracle unit tests against a minimal hand-driven rig ---
 
 class OracleSetTest : public testing::Test {
@@ -212,6 +230,31 @@ TEST_F(OracleSetTest, DetectsUnknownRequest) {
   oracles_->OnUpcallDelivered(1, 1, 999, ResourceId::kNetworkBandwidth, 25.0, 0);
   const std::vector<std::string> names = OracleNames();
   EXPECT_NE(std::find(names.begin(), names.end(), "upcall-unknown-request"), names.end())
+      << FormatViolations(oracles_->violations());
+}
+
+TEST_F(OracleSetTest, TieBreaksInSchedulingOrderAreCleanAndCounted) {
+  oracles_->OnTieBreak(100 * kMillisecond, 0, 1);
+  oracles_->OnTieBreak(100 * kMillisecond, 1, 2);
+  oracles_->OnTieBreak(200 * kMillisecond, 7, 12);  // gaps are fine; order is what matters
+  EXPECT_EQ(oracles_->violation_count(), 0u) << FormatViolations(oracles_->violations());
+  EXPECT_EQ(oracles_->tie_pairs_audited(), 3u);
+}
+
+TEST_F(OracleSetTest, DetectsSameTimeOrderInversion) {
+  oracles_->OnTieBreak(100 * kMillisecond, 5, 3);  // popped out of scheduling order
+  const std::vector<std::string> names = OracleNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "same-time-order"), names.end())
+      << FormatViolations(oracles_->violations());
+  EXPECT_EQ(oracles_->tie_pairs_audited(), 1u);
+}
+
+TEST_F(OracleSetTest, DetectsSameTimeSeqDuplication) {
+  // seq == prev_seq means one scheduling slot fired twice — just as fatal
+  // to determinism as an inversion, and the <= check catches both.
+  oracles_->OnTieBreak(100 * kMillisecond, 4, 4);
+  const std::vector<std::string> names = OracleNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "same-time-order"), names.end())
       << FormatViolations(oracles_->violations());
 }
 

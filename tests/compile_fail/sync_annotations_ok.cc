@@ -1,0 +1,46 @@
+// Compile-pass fixture for the odysan thread-safety annotations: the full
+// vocabulary — ODY_CAPABILITY mutex, MutexLock RAII scope, ODY_GUARDED_BY
+// members, ODY_REQUIRES / ODY_EXCLUDES contracts, CondVar waits — used
+// correctly must stay clean under clang++ -Wthread-safety -Werror.  Paired
+// with thread_safety_violation.cc, which proves the analysis is actually
+// armed (a misuse fails to compile).
+#include "src/core/contract.h"
+#include "src/core/sync.h"
+
+namespace odyssey {
+
+class Mailbox {
+ public:
+  void Deposit(int value) ODY_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    value_ = value;
+    full_ = true;
+    cv_.NotifyOne();
+  }
+
+  int Take() ODY_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!full_) {
+      cv_.Wait(&mu_);  // ODY_REQUIRES(*mu): the lock above satisfies it
+    }
+    full_ = false;
+    return DrainLocked();
+  }
+
+ private:
+  // The caller (Take) holds mu_, which ODY_REQUIRES makes explicit.
+  int DrainLocked() ODY_REQUIRES(mu_) { return value_; }
+
+  Mutex mu_;
+  CondVar cv_;
+  int value_ ODY_GUARDED_BY(mu_) = 0;
+  bool full_ ODY_GUARDED_BY(mu_) = false;
+};
+
+void Use() {
+  Mailbox box;
+  box.Deposit(7);
+  static_cast<void>(box.Take());
+}
+
+}  // namespace odyssey

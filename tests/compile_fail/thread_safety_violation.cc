@@ -1,0 +1,27 @@
+// Compile-fail fixture for the odysan thread-safety annotations: touching
+// an ODY_GUARDED_BY member without holding its mutex must not compile when
+// Clang's -Wthread-safety analysis runs with -Werror.  The CMake harness
+// registers this with WILL_FAIL (Clang builds only — other compilers expand
+// the annotations to nothing and the analysis does not exist).
+#include "src/core/contract.h"
+#include "src/core/sync.h"
+
+namespace odyssey {
+
+class Counter {
+ public:
+  // VIOLATION: writes count_ without acquiring mu_.  The analysis reports
+  // "writing variable 'count_' requires holding mutex 'mu_'".
+  void Bump() { ++count_; }
+
+ private:
+  Mutex mu_;
+  int count_ ODY_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Counter counter;
+  counter.Bump();
+}
+
+}  // namespace odyssey

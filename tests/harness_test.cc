@@ -7,9 +7,11 @@
 #include <atomic>
 #include <cstdint>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "src/core/sync.h"
 #include "src/harness/bench_artifact.h"
 #include "src/harness/builtin_scenarios.h"
 #include "src/harness/campaign.h"
@@ -213,6 +215,80 @@ TEST(WorkerPoolTest, HandlesEdgeCounts) {
   RunIndexedTasks(4, 1, [&calls](size_t) { ++calls; });  // runs inline
   EXPECT_EQ(calls, 1);
   EXPECT_GE(DefaultJobCount(), 1);
+}
+
+TEST(WorkerPoolTest, DestructionAbandonsUnclaimedIndices) {
+  constexpr int kJobs = 4;
+  constexpr size_t kCount = 1000;
+  Mutex mu;
+  CondVar entered_cv;
+  CondVar gate_cv;
+  int entered = 0;
+  bool gate_open = false;
+  std::atomic<size_t> ran{0};
+  {
+    WorkerPool pool(kJobs, kCount, [&](size_t) {
+      {
+        MutexLock lock(&mu);
+        ++entered;
+        entered_cv.NotifyAll();
+        gate_cv.Wait(&mu, [&] { return gate_open; });
+      }
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    // Park every worker inside its first claimed task, so 996 indices are
+    // queued but unclaimed when the pool is torn down.
+    {
+      MutexLock lock(&mu);
+      entered_cv.Wait(&mu, [&] { return entered >= kJobs; });
+    }
+    pool.Abandon();
+    pool.Abandon();  // repeated Abandon is a documented no-op
+    {
+      MutexLock lock(&mu);
+      gate_open = true;
+      gate_cv.NotifyAll();
+    }
+  }  // ~WorkerPool joins the workers; unclaimed indices never run
+  EXPECT_EQ(ran.load(), static_cast<size_t>(kJobs));
+  EXPECT_LT(ran.load(), kCount);
+}
+
+TEST(WorkerPoolTest, JoinRethrowsFirstExceptionAndAbandonsSiblings) {
+  constexpr size_t kCount = 64;
+  std::atomic<size_t> ran{0};
+  WorkerPool pool(4, kCount, [&ran](size_t i) {
+    if (i == 3) {
+      throw std::runtime_error("task failed mid-claim");
+    }
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_THROW(pool.Join(), std::runtime_error);
+  // The throw abandons the run: siblings finish their in-flight task and
+  // stop claiming, so the failing index plus the unclaimed tail never
+  // count as completed.
+  EXPECT_LT(pool.completed(), kCount);
+  EXPECT_EQ(pool.completed(), ran.load());
+}
+
+TEST(WorkerPoolTest, DoubleJoinIsSafe) {
+  // Failure path: the first Join() rethrows, the second is a no-op (the
+  // exception is consumed, not re-armed).
+  WorkerPool failing(2, 8, [](size_t i) {
+    if (i == 0) {
+      throw std::runtime_error("boom");
+    }
+  });
+  EXPECT_THROW(failing.Join(), std::runtime_error);
+  EXPECT_NO_THROW(failing.Join());
+
+  // Success path: repeated Join() stays a no-op and completed() is stable.
+  std::atomic<size_t> ran{0};
+  WorkerPool clean(2, 16, [&ran](size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_NO_THROW(clean.Join());
+  EXPECT_NO_THROW(clean.Join());
+  EXPECT_EQ(clean.completed(), static_cast<size_t>(16));
+  EXPECT_EQ(ran.load(), static_cast<size_t>(16));
 }
 
 // --- Campaign runner and jobs invariance ---

@@ -1,5 +1,6 @@
 // Unit tests for the discrete-event simulation kernel.
 
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -90,6 +91,89 @@ TEST(EventQueueTest, PeekSkipsTombstones) {
   ASSERT_TRUE(queue.PeekTime(&when));
   EXPECT_EQ(when, 20);
 }
+
+// One audit record per consecutively fired same-timestamp pair, carrying
+// the tie-break key (when, prev_seq, seq) the determinism oracle checks.
+TEST(EventQueueTest, TieObserverReportsSameTimePairs) {
+  EventQueue queue;
+  struct Pair {
+    Time when;
+    uint64_t prev_seq;
+    uint64_t seq;
+  };
+  std::vector<Pair> pairs;
+  queue.set_tie_observer([&pairs](Time when, uint64_t prev_seq, uint64_t seq) {
+    pairs.push_back({when, prev_seq, seq});
+  });
+  queue.PostAt(5, [] {});   // seq 0
+  queue.PostAt(5, [] {});   // seq 1
+  queue.PostAt(5, [] {});   // seq 2
+  queue.PostAt(10, [] {});  // seq 3
+  queue.PostAt(10, [] {});  // seq 4
+  queue.PostAt(20, [] {});  // seq 5: lone timestamp, never reported
+  Time when = 0;
+  while (queue.RunNext(&when)) {
+  }
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].when, 5);
+  EXPECT_EQ(pairs[0].prev_seq, 0u);
+  EXPECT_EQ(pairs[0].seq, 1u);
+  EXPECT_EQ(pairs[1].when, 5);
+  EXPECT_EQ(pairs[1].prev_seq, 1u);
+  EXPECT_EQ(pairs[1].seq, 2u);
+  EXPECT_EQ(pairs[2].when, 10);
+  EXPECT_EQ(pairs[2].prev_seq, 3u);
+  EXPECT_EQ(pairs[2].seq, 4u);
+}
+
+// Distinct timestamps never produce audit records, even back-to-back, and
+// clearing the observer stops the audit without disturbing pop order.
+TEST(EventQueueTest, TieObserverSilentAcrossDistinctTimes) {
+  EventQueue queue;
+  int reports = 0;
+  queue.set_tie_observer([&reports](Time, uint64_t, uint64_t) { ++reports; });
+  std::vector<int> order;
+  queue.PostAt(1, [&order] { order.push_back(1); });
+  queue.PostAt(2, [&order] { order.push_back(2); });
+  queue.PostAt(3, [&order] { order.push_back(3); });
+  Time when = 0;
+  while (queue.RunNext(&when)) {
+  }
+  EXPECT_EQ(reports, 0);
+  queue.set_tie_observer({});  // detach: same-time events below go unaudited
+  queue.PostAt(4, [&order] { order.push_back(4); });
+  queue.PostAt(4, [&order] { order.push_back(5); });
+  while (queue.RunNext(&when)) {
+  }
+  EXPECT_EQ(reports, 0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+#ifdef ODYSSEY_FUZZ_SELFTEST
+// The seeded tie-break-removal mutation: same-timestamp events pop
+// newest-first, which the tie observer surfaces as inverted seq pairs.
+// This is the signal the same-time-order oracle must convert into a
+// violation (check_test.cc covers that half).
+TEST(EventQueueTest, SelftestLifoTiesInvertsSameTimePops) {
+  EventQueue queue;
+  queue.set_selftest_lifo_ties(true);
+  std::vector<int> order;
+  bool inverted = false;
+  queue.set_tie_observer([&inverted](Time, uint64_t prev_seq, uint64_t seq) {
+    if (seq <= prev_seq) {
+      inverted = true;
+    }
+  });
+  for (int i = 0; i < 4; ++i) {
+    queue.PostAt(7, [&order, i] { order.push_back(i); });
+  }
+  Time when = 0;
+  while (queue.RunNext(&when)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+  EXPECT_TRUE(inverted);
+}
+#endif  // ODYSSEY_FUZZ_SELFTEST
 
 TEST(SimulationTest, ClockAdvancesWithEvents) {
   Simulation sim;

@@ -4,7 +4,10 @@
 //   ody_bench list
 //       show every built-in campaign and registered scenario
 //   ody_bench run --campaign=<name> [--jobs=N] [--seed=U64] [--out=PATH]
-//       execute the campaign and write BENCH_<name>.json (or PATH)
+//                 [--trials-cap=N]
+//       execute the campaign and write BENCH_<name>.json (or PATH);
+//       --trials-cap caps every sweep's trial count (the TSan CI job runs a
+//       reduced tier1 this way — capped artifacts are never baselines)
 //   ody_bench compare --baseline=A.json --current=B.json [--tolerance=PCT]
 //       exit 0 iff no gated metric mean regressed beyond the tolerance
 //
@@ -13,6 +16,7 @@
 // --jobs=4 to hold the runner to that.  Wall-clock time is printed here but
 // deliberately never written into the artifact.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -145,12 +149,20 @@ int RunCommand(const std::vector<std::string>& args) {
   int jobs = odyssey::DefaultJobCount();
   uint64_t seed = 0;
   bool seed_set = false;
+  int trials_cap = 0;  // 0 = unset (run the campaign's full trial counts)
   for (const std::string& arg : args) {
     std::string value;
     if (FlagValue(arg, "campaign", &value)) {
       campaign_name = value;
     } else if (FlagValue(arg, "strip-wall-out", &value)) {
       strip_path = value;
+    } else if (FlagValue(arg, "trials-cap", &value)) {
+      uint64_t parsed = 0;
+      if (!ParseU64(value, &parsed) || parsed == 0 || parsed > 100000) {
+        std::cerr << "ody_bench: --trials-cap must be an integer in [1, 100000]\n";
+        return 2;
+      }
+      trials_cap = static_cast<int>(parsed);
     } else if (FlagValue(arg, "jobs", &value)) {
       uint64_t parsed = 0;
       if (!ParseU64(value, &parsed) || parsed == 0 || parsed > 1024) {
@@ -185,6 +197,15 @@ int RunCommand(const std::vector<std::string>& args) {
   CampaignSpec spec = *found;
   if (seed_set) {
     spec.seed = seed;
+  }
+  if (trials_cap > 0) {
+    // Reduced campaign for the slow instrumented gates (the TSan CI job):
+    // same sweeps, same seed derivation, just fewer trials per variant.
+    // Capped artifacts are for exercising the runner, not for baselines —
+    // never feed one to `ody_bench compare`.
+    for (odyssey::SweepSpec& sweep : spec.sweeps) {
+      sweep.trials = std::min(sweep.trials, trials_cap);
+    }
   }
   if (out_path.empty()) {
     out_path = "BENCH_" + spec.name + ".json";
@@ -292,7 +313,7 @@ int Usage() {
   std::cerr << "usage:\n"
             << "  ody_bench list\n"
             << "  ody_bench run --campaign=<name> [--jobs=N] [--seed=U64] [--out=PATH]\n"
-            << "                [--strip-wall-out=PATH]\n"
+            << "                [--strip-wall-out=PATH] [--trials-cap=N]\n"
             << "  ody_bench compare --baseline=<json> --current=<json> [--tolerance=PCT]\n";
   return 2;
 }

@@ -2,16 +2,16 @@
 //
 // Usage:
 //   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N]
-//            [--selftest-mutation] [--no-shrink] [--repro-out=PATH]
-//            [--trace-out=PATH] [--verbose]
+//            [--selftest-mutation] [--selftest-tiebreak] [--no-shrink]
+//            [--repro-out=PATH] [--trace-out=PATH] [--verbose]
 //
 // Synthesizes N scenarios from a single campaign seed (trial seeds derived
 // with the same O(1) stream jump the bench campaigns use), executes each
 // against a fresh Odyssey stack under the invariant oracles, and reports
 // every violation.  --max-apps raises the scenario generator's population
 // bound (log-uniform above the default 8; see ScenarioOptions).  Output is
-// a pure function of (--runs, --seed, --max-apps,
-// --selftest-mutation): --jobs only changes wall-clock time, never a byte
+// a pure function of (--runs, --seed, --max-apps, --selftest-mutation,
+// --selftest-tiebreak): --jobs only changes wall-clock time, never a byte
 // of stdout or the artifacts — results land in per-run slots and are
 // printed in plan order after the pool drains.
 //
@@ -23,6 +23,9 @@
 // --selftest-mutation requires a build with -DODYSSEY_FUZZ_SELFTEST=ON; it
 // makes the runner observe the second upcall of every app twice, so CI can
 // prove the upcall-duplicate oracle and the shrinker work end to end.
+// --selftest-tiebreak (same build requirement) instead removes the event
+// queue's deterministic FIFO tie-break, which the same-time-order oracle
+// must catch.
 
 #include <cstdint>
 #include <cstdio>
@@ -58,6 +61,7 @@ struct Options {
   // to the historical generator; larger values sweep large-N populations.
   int max_apps = 8;
   bool selftest_mutation = false;
+  bool selftest_tiebreak = false;
   bool shrink = true;
   bool verbose = false;
   std::string repro_out = "fuzz_repro.cc";
@@ -98,8 +102,8 @@ bool ParseInt(const std::string& text, int* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N]\n"
-               "                [--selftest-mutation] [--no-shrink] [--repro-out=PATH]\n"
-               "                [--trace-out=PATH] [--verbose]\n");
+               "                [--selftest-mutation] [--selftest-tiebreak] [--no-shrink]\n"
+               "                [--repro-out=PATH] [--trace-out=PATH] [--verbose]\n");
   return 2;
 }
 
@@ -129,6 +133,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->trace_out = value;
     } else if (arg == "--selftest-mutation") {
       options->selftest_mutation = true;
+    } else if (arg == "--selftest-tiebreak") {
+      options->selftest_tiebreak = true;
     } else if (arg == "--no-shrink") {
       options->shrink = false;
     } else if (arg == "--verbose") {
@@ -156,14 +162,17 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) {
     return Usage();
   }
-  if (options.selftest_mutation && !odyssey::kFuzzSelftestCompiled) {
+  if ((options.selftest_mutation || options.selftest_tiebreak) &&
+      !odyssey::kFuzzSelftestCompiled) {
     std::fprintf(stderr,
-                 "ody_fuzz: --selftest-mutation needs a -DODYSSEY_FUZZ_SELFTEST=ON build\n");
+                 "ody_fuzz: --selftest-mutation/--selftest-tiebreak need a "
+                 "-DODYSSEY_FUZZ_SELFTEST=ON build\n");
     return 2;
   }
 
   FuzzRunOptions run_options;
   run_options.selftest_mutation = options.selftest_mutation;
+  run_options.selftest_tiebreak = options.selftest_tiebreak;
   odyssey::ScenarioOptions scenario_options;
   scenario_options.max_apps = options.max_apps;
 
@@ -179,14 +188,16 @@ int main(int argc, char** argv) {
     results[i] = RunFuzzScenario(GenerateScenario(seeds[i], scenario_options), run_options);
   });
 
-  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s\n", options.runs,
+  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s%s\n", options.runs,
               static_cast<unsigned long long>(options.seed), options.max_apps,
-              options.selftest_mutation ? ", selftest mutation armed" : "");
+              options.selftest_mutation ? ", selftest mutation armed" : "",
+              options.selftest_tiebreak ? ", selftest tiebreak armed" : "");
 
   uint64_t total_violations = 0;
   uint64_t total_upcalls = 0;
   uint64_t total_requests = 0;
   uint64_t total_tsops = 0;
+  uint64_t total_tie_pairs = 0;
   size_t failing_runs = 0;
   size_t first_failure = count;
   for (size_t i = 0; i < count; ++i) {
@@ -195,6 +206,7 @@ int main(int argc, char** argv) {
     total_upcalls += result.upcalls_delivered;
     total_requests += result.requests_granted;
     total_tsops += result.tsops_issued;
+    total_tie_pairs += result.tie_pairs_audited;
     if (!result.ok()) {
       ++failing_runs;
       if (first_failure == count) {
@@ -213,11 +225,13 @@ int main(int argc, char** argv) {
     }
   }
   std::printf(
-      "totals: %llu violations in %zu/%zu runs (%llu upcalls, %llu requests, %llu tsops)\n",
+      "totals: %llu violations in %zu/%zu runs (%llu upcalls, %llu requests, %llu tsops, "
+      "%llu tie pairs audited)\n",
       static_cast<unsigned long long>(total_violations), failing_runs, count,
       static_cast<unsigned long long>(total_upcalls),
       static_cast<unsigned long long>(total_requests),
-      static_cast<unsigned long long>(total_tsops));
+      static_cast<unsigned long long>(total_tsops),
+      static_cast<unsigned long long>(total_tie_pairs));
 
   if (failing_runs == 0) {
     return 0;

@@ -15,7 +15,14 @@ line), and
 
     // ody-lint: allow-file(rule-name)
 
-suppresses a rule for the whole file.  Run from the repository root:
+suppresses a rule for the whole file.  The escape-capture rule additionally
+honors a purpose-built annotation,
+
+    sink([&x] { ... });  // ody_lint: owned-capture
+
+(same line or the line before, either spelling of the tool name), which
+asserts the by-reference captures outlive every invocation of the callable.
+Run from the repository root:
 
     python3 tools/ody_lint/ody_lint.py            # lint the tree
     python3 tools/ody_lint/ody_lint.py --list-rules
@@ -69,6 +76,12 @@ RULES = {
     "test-no-wallclock": (
         "wall-clock reads or real sleeping in tests/; tests advance virtual "
         "time with Simulation::RunUntil, never by waiting"
+    ),
+    "escape-capture": (
+        "by-reference lambda capture handed to a callback sink (a call that "
+        "stores the callable beyond the call); capture by value/move, or "
+        "annotate '// ody_lint: owned-capture' after proving the referents "
+        "outlive every invocation"
     ),
 }
 
@@ -401,6 +414,261 @@ def check_test_no_wallclock(sf: SourceFile) -> list[Violation]:
     return out
 
 
+# --- escape-capture (cross-file, two passes) --------------------------------
+#
+# The two lifetime bugs this repo has actually shipped (the OdysseyClient
+# teardown use-after-free and a bench Schedule() capturing a dead stack
+# frame) had the same shape: a lambda capturing by reference handed to a
+# call that STORES the callable and invokes it later, after the captured
+# frame is gone.  Pass one scans the whole tree for such "callback sinks" —
+# functions that take a std::function-ish parameter and keep it (event
+# scheduling, observer setters, constructors that stash the callable in a
+# member) — plus std::function-typed members assignable at use sites.  Pass
+# two flags every by-reference capture that flows into one, unless the site
+# carries an '// ody_lint: owned-capture' annotation asserting the referents
+# outlive every invocation ([this]-only captures are clean: an object
+# handing out callbacks into itself manages that lifetime by construction).
+
+# Callable-typed parameters these sinks always store (event queues hold the
+# callback until the event fires; Tsop completion handlers ride the RPC).
+_SEED_SINKS = frozenset({"Post", "PostAt", "Schedule", "ScheduleAt", "Tsop"})
+
+# Observer/handler installers: name alone marks the parameter as outliving
+# the call, whether or not the definition is visible to the scan.
+_SETTER_SINK_RE = re.compile(r"^(?:set_\w+|Set[A-Z]\w*)$")
+
+_FUNCTION_ALIAS_RE = re.compile(r"\busing\s+(\w+)\s*=\s*std::function\s*<")
+
+# A named function (or constructor) followed by its parameter list.
+_DECL_OR_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+# Lambda introducer at the start of an argument; group 1 is the capture list.
+_LAMBDA_ARG_RE = re.compile(r"^\s*\[([^\]]*)\]")
+
+_OWNED_CAPTURE_RE = re.compile(r"//\s*ody[-_]lint:\s*owned-capture\b")
+
+# escape-capture scope: library, bench and example code.  tests/ is exempt —
+# the whole test suite runs under ASan on every push, so a dangling capture
+# there is caught dynamically; bench and examples run rarely and unsanitized
+# (the shipped bench bug survived precisely because of that), and library
+# code should never rely on the sanitizer in the first place.
+_ESCAPE_DIRS = ("src", "bench", "examples")
+
+
+@dataclasses.dataclass
+class AnalysisContext:
+    """Cross-file facts pass one harvests for pass two."""
+
+    sink_names: set[str]
+    function_members: set[str]  # std::function-typed member/field names
+    aliases: set[str]  # names aliased to std::function<...>
+
+
+def _callback_param_names(args_text: list[str], aliases: set[str]) -> list[str]:
+    """Returns the names of parameters whose type is std::function or one of
+    the collected aliases; empty when the parameter list has none."""
+    names = []
+    for arg in args_text:
+        arg = arg.strip()
+        if not arg:
+            continue
+        is_callback = "std::function" in arg
+        if not is_callback:
+            head = arg.rsplit(None, 1)[0] if len(arg.split()) > 1 else ""
+            for alias in aliases:
+                if re.search(rf"\b{re.escape(alias)}\b", head):
+                    is_callback = True
+                    break
+        if not is_callback:
+            continue
+        m = re.search(r"(\w+)\s*$", arg)
+        if m:
+            names.append(m.group(1))
+    return names
+
+
+def _body_region(text: str, close_paren: int) -> str:
+    """Returns the ctor-init list and brace-matched body following a
+    parameter list that ends at |close_paren|, or '' for a bare declaration."""
+    i = close_paren + 1
+    n = len(text)
+    # Skip qualifiers (const, noexcept, override, trailing return) and the
+    # ctor-init list up to the opening brace; a ';' first means no body.
+    depth = 0
+    body_start = -1
+    for j in range(i, min(n, i + 4000)):
+        c = text[j]
+        if c == ";" and depth == 0:
+            return text[i:j]  # ctor-init-only storage is impossible here
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif c == "{" and depth == 0:
+            body_start = j
+            break
+    if body_start < 0:
+        return text[i:min(n, i + 4000)]
+    depth = 0
+    for j in range(body_start, n):
+        c = text[j]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return text[i:j + 1]
+    return text[i:]
+
+
+def _stores_param(region: str, param: str) -> bool:
+    p = re.escape(param)
+    patterns = (
+        rf"std::move\s*\(\s*{p}\s*\)",          # moved = transferred somewhere
+        rf"(?<![=!<>])=\s*{p}\b",               # member = param
+        rf"\w+_\s*\(\s*{p}\b",                  # ctor-init member_(param)
+        rf"\b(?:push_back|emplace_back|emplace|insert)\s*\(\s*{p}\b",
+    )
+    return any(re.search(pattern, region) for pattern in patterns)
+
+
+def build_context(root: str, relpaths: list[str]) -> AnalysisContext:
+    """Pass one: collects callback sinks, function-typed members, and
+    std::function aliases across |relpaths|."""
+    ctx = AnalysisContext(set(_SEED_SINKS), set(), set())
+    texts: list[str] = []
+    for relpath in relpaths:
+        if not relpath.endswith(SOURCE_EXTENSIONS):
+            continue
+        try:
+            sf = parse_file(root, relpath)
+        except (OSError, UnicodeDecodeError):
+            continue
+        texts.append("\n".join(sf.code_lines))
+        for line in sf.lines:
+            m = _FUNCTION_ALIAS_RE.search(line)
+            if m:
+                ctx.aliases.add(m.group(1))
+
+    member_re = None  # built after every alias is known
+    for text in texts:
+        if member_re is None:
+            alias_alt = "|".join(re.escape(a) for a in sorted(ctx.aliases))
+            type_alt = r"std::function\s*<[^;\n]*>" + (rf"|(?:{alias_alt})" if alias_alt else "")
+            member_re = re.compile(rf"^\s*(?:const\s+)?(?:{type_alt})\s+(\w+)\s*(?:=[^;=]*)?;",
+                                   re.MULTILINE)
+        for m in member_re.finditer(text):
+            ctx.function_members.add(m.group(1))
+        for m in _DECL_OR_CALL_RE.finditer(text):
+            name = m.group(1)
+            if name in ctx.sink_names:
+                continue
+            args = _split_top_level_args(text, m.end() - 1)
+            if not args:
+                continue
+            params = _callback_param_names([text[b:e] for b, e in args], ctx.aliases)
+            if not params:
+                continue
+            if _SETTER_SINK_RE.match(name):
+                ctx.sink_names.add(name)
+                continue
+            region = _body_region(text, args[-1][1])
+            if any(_stores_param(region, p) for p in params):
+                ctx.sink_names.add(name)
+    return ctx
+
+
+def _single_file_context(sf: SourceFile) -> AnalysisContext:
+    ctx = AnalysisContext(set(_SEED_SINKS), set(), set())
+    text = "\n".join(sf.code_lines)
+    for line in sf.lines:
+        m = _FUNCTION_ALIAS_RE.search(line)
+        if m:
+            ctx.aliases.add(m.group(1))
+    alias_alt = "|".join(re.escape(a) for a in sorted(ctx.aliases))
+    type_alt = r"std::function\s*<[^;\n]*>" + (rf"|(?:{alias_alt})" if alias_alt else "")
+    member_re = re.compile(rf"^\s*(?:const\s+)?(?:{type_alt})\s+(\w+)\s*(?:=[^;=]*)?;",
+                           re.MULTILINE)
+    for m in member_re.finditer(text):
+        ctx.function_members.add(m.group(1))
+    for m in _DECL_OR_CALL_RE.finditer(text):
+        name = m.group(1)
+        if name in ctx.sink_names:
+            continue
+        args = _split_top_level_args(text, m.end() - 1)
+        if not args:
+            continue
+        params = _callback_param_names([text[b:e] for b, e in args], ctx.aliases)
+        if not params:
+            continue
+        if _SETTER_SINK_RE.match(name):
+            ctx.sink_names.add(name)
+        elif any(_stores_param(_body_region(text, args[-1][1]), p) for p in params):
+            ctx.sink_names.add(name)
+    return ctx
+
+
+def _owned_capture_lines(sf: SourceFile) -> set[int]:
+    return {idx for idx, line in enumerate(sf.lines, start=1)
+            if _OWNED_CAPTURE_RE.search(line)}
+
+
+def check_escape_capture(sf: SourceFile, ctx: AnalysisContext) -> list[Violation]:
+    if not _in_dirs(sf.relpath, _ESCAPE_DIRS):
+        return []
+    text = "\n".join(sf.code_lines)
+    owned = _owned_capture_lines(sf)
+    out = []
+
+    def line_of(offset: int) -> int:
+        return text.count("\n", 0, offset) + 1
+
+    def annotated(*line_numbers: int) -> bool:
+        return any(line in owned or line - 1 in owned for line in line_numbers)
+
+    def flag_lambda(arg_begin: int, call_line: int, sink: str) -> None:
+        m = _LAMBDA_ARG_RE.match(text[arg_begin:arg_begin + 400])
+        if not m or "&" not in m.group(1):
+            return
+        lambda_line = line_of(arg_begin + m.group(0).find("["))
+        if annotated(lambda_line, call_line):
+            return
+        captures = " ".join(m.group(1).split())
+        out.append(Violation(
+            sf.relpath, lambda_line, "escape-capture",
+            f"lambda captures by reference ('[{captures}]') at callback sink "
+            f"'{sink}', which stores the callable beyond the call; a captured "
+            "stack frame may be gone when it runs — capture by value, or "
+            "annotate '// ody_lint: owned-capture' if the referents provably "
+            "outlive every invocation"))
+
+    # Sink call sites: foo(... [&...] ...), obj.foo(...), and constructor
+    # declarations Type name(... [&...] ...).
+    sink_alt = "|".join(re.escape(s) for s in sorted(ctx.sink_names))
+    if sink_alt:
+        call_re = re.compile(rf"\b({sink_alt})(?:\s+\w+)?\s*([({{])")
+        for m in call_re.finditer(text):
+            name = m.group(1)
+            open_pos = m.end() - 1
+            # `Type name(` is a declaration form only for capitalized sinks
+            # (constructors); `sink ident(` for a lowercase sink is not a call.
+            if m.group(0).split(name, 1)[1].lstrip()[0] not in "({" and not name[0].isupper():
+                continue
+            for arg_begin, _ in _split_top_level_args(text, open_pos):
+                flag_lambda(arg_begin, line_of(m.start()), name)
+
+    # Assignments into std::function-typed fields of another object:
+    # d.handler = [&] {...}.  Dotted access only — initializing a LOCAL
+    # std::function with a by-ref lambda is fine until something stores it,
+    # and the store site is where the sink rules above fire.
+    if ctx.function_members:
+        member_alt = "|".join(re.escape(f) for f in sorted(ctx.function_members))
+        assign_re = re.compile(rf"(?:\.|->)\s*({member_alt})\s*=\s*(?=\[)")
+        for m in assign_re.finditer(text):
+            flag_lambda(m.end(), line_of(m.start()), m.group(1) + " =")
+    return out
+
+
 # --- Structural rules -------------------------------------------------------
 
 def expected_guard(relpath: str) -> str:
@@ -528,13 +796,21 @@ def collect_files(root: str, paths: list[str]) -> list[str]:
     return sorted(out)
 
 
-def lint_file(root: str, relpath: str) -> list[Violation]:
+def lint_file(root: str, relpath: str,
+              context: AnalysisContext | None = None) -> list[Violation]:
+    """Lints one file.  |context| carries the cross-file sink facts from
+    build_context; when None (single-file invocations, the self-tests) the
+    escape-capture pass sees only this file's own declarations."""
     sf = parse_file(root, relpath)
     violations = []
     for check in CHECKS:
         for v in check(sf):
             if not sf.suppressed(v.rule, v.line):
                 violations.append(v)
+    ctx = context if context is not None else _single_file_context(sf)
+    for v in check_escape_capture(sf, ctx):
+        if not sf.suppressed(v.rule, v.line):
+            violations.append(v)
     return violations
 
 
@@ -555,10 +831,14 @@ def main(argv: list[str]) -> int:
         print(f"ody_lint: no such directory: {root}", file=sys.stderr)
         return 2
 
+    relpaths = collect_files(root, args.paths)
+    # Pass one always sees the whole tree, even when linting a file subset:
+    # sink signatures live wherever they live.
+    context = build_context(root, collect_files(root, []))
     violations: list[Violation] = []
-    for relpath in collect_files(root, args.paths):
+    for relpath in relpaths:
         try:
-            violations.extend(lint_file(root, relpath))
+            violations.extend(lint_file(root, relpath, context))
         except OSError as err:
             print(f"ody_lint: {err}", file=sys.stderr)
             return 2

@@ -232,6 +232,46 @@ class OdyLintTest(unittest.TestCase):
                       if v.rule == "include-order"]
         self.assertTrue(any("own header" in v.message for v in violations))
 
+    # --- escape-capture ---
+
+    def test_escape_capture_flags_both_historical_bug_shapes(self):
+        rel = self.place("escape_capture_bad.cc", "src/core/escape_capture_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "escape-capture"]
+        # Lines 28/29: the bench dangling-stack-capture shape (Schedule/Post
+        # over a dead frame).  Line 36: the client teardown use-after-free
+        # shape (observer wired to stack state).  Line 44: the member-
+        # assignment form.  [this] and by-value captures stay clean.
+        self.assertEqual([v.line for v in violations], [28, 29, 36, 44])
+
+    def test_escape_capture_owned_capture_annotations(self):
+        rel = self.place("escape_capture_suppressed.cc",
+                         "src/core/escape_capture_suppressed.cc")
+        self.assertNotIn("escape-capture", self.rules_found(rel))
+
+    def test_escape_capture_scoped_out_of_tests(self):
+        rel = self.place("escape_capture_bad.cc", "tests/escape_capture_bad.cc")
+        self.assertNotIn("escape-capture", self.rules_found(rel))
+
+    def test_escape_capture_cross_file_context(self):
+        self.place("escape_capture_sinks.h", "src/core/escape_capture_sinks.h")
+        rel = self.place("escape_capture_cross.cc", "src/core/escape_capture_cross.cc")
+        # Without the cross-file context the sinks are invisible and the
+        # file lints clean; with it, both storing sinks fire and the
+        # inline-invoking function stays clean.
+        self.assertNotIn("escape-capture", self.rules_found(rel))
+        context = ody_lint.build_context(self.root, ody_lint.collect_files(self.root, []))
+        self.assertIn("WatchLevel", context.sink_names)
+        self.assertIn("Debouncer", context.sink_names)
+        self.assertNotIn("ApplyNow", context.sink_names)
+        violations = [v for v in ody_lint.lint_file(self.root, rel, context)
+                      if v.rule == "escape-capture"]
+        self.assertEqual([v.line for v in violations], [10, 15])
+
+    def test_escape_capture_cli_uses_cross_file_context(self):
+        self.place("escape_capture_sinks.h", "src/core/escape_capture_sinks.h")
+        self.place("escape_capture_cross.cc", "src/core/escape_capture_cross.cc")
+        self.assertEqual(ody_lint.main(["--root", self.root]), 1)
+
     # --- CLI driver ---
 
     def test_cli_exit_codes_and_scan(self):
@@ -244,7 +284,7 @@ class OdyLintTest(unittest.TestCase):
 
     def test_list_rules_covers_all_checks(self):
         self.assertEqual(ody_lint.main(["--list-rules"]), 0)
-        self.assertEqual(len(ody_lint.RULES), 10)
+        self.assertEqual(len(ody_lint.RULES), 11)
 
 
 if __name__ == "__main__":

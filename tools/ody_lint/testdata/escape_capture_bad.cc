@@ -1,0 +1,61 @@
+// escape-capture positive fixture: both historical bug shapes.
+#include <functional>
+#include <string>
+
+namespace odyssey {
+
+struct Simulation {
+  void Schedule(long delay, std::function<void()> cb);
+  void Post(long delay, std::function<void()> cb);
+};
+
+using UpcallHandler = std::function<void(int, int, double)>;
+
+struct ResourceDescriptor {
+  double lower = 0.0;
+  double upper = 0.0;
+  UpcallHandler handler;
+};
+
+struct Dispatcher {
+  void set_delivery_observer(std::function<void(int)> observer);
+};
+
+// Shape 1 (the bench dangling-stack-capture bug): a stack local captured by
+// reference into a scheduled event that fires after the frame returns.
+void ScheduleOverDeadFrame(Simulation* sim) {
+  int completed = 0;
+  sim->Schedule(1000, [&completed] { ++completed; });  // line 28: flagged
+  sim->Post(1000, [&] { ++completed; });               // line 29: flagged
+}
+
+// Shape 2 (the client teardown use-after-free): an observer wired to a
+// shorter-lived object through a by-reference capture.
+void ObserveWithStackState(Dispatcher* dispatcher) {
+  std::string log;
+  dispatcher->set_delivery_observer([&log](int) { log += 'x'; });  // line 36
+}
+
+// Member-assignment form of shape 2: a handler stored in a descriptor that
+// outlives the registering frame.
+ResourceDescriptor DescribeWithStackHandler() {
+  double last_level = 0.0;
+  ResourceDescriptor descriptor;
+  descriptor.handler = [&](int, int, double level) {  // line 44: flagged
+    last_level = level;
+  };
+  return descriptor;
+}
+
+// Value and this captures at the same sinks are clean.
+struct Component {
+  Simulation* sim = nullptr;
+  int ticks = 0;
+  void Arm() {
+    sim->Schedule(1000, [this] { ++ticks; });     // clean: object-managed
+    int snapshot = ticks;
+    sim->Post(1000, [snapshot] { (void)snapshot; });  // clean: by value
+  }
+};
+
+}  // namespace odyssey

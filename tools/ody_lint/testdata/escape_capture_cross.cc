@@ -1,0 +1,24 @@
+// escape-capture cross-file fixture, pass-two side: the sink signatures
+// live in escape_capture_sinks.h; nothing in this file alone says the
+// callables escape.
+#include "src/core/escape_capture_sinks.h"
+
+namespace odyssey {
+
+void Wire(LevelWatcher* watcher) {
+  double last = 0.0;
+  watcher->WatchLevel([&last](double level) { last = level; });  // line 10
+}
+
+Debouncer MakeDebouncer() {
+  double acc = 0.0;
+  Debouncer bouncer([&acc](double level) { acc += level; });  // line 15
+  return bouncer;
+}
+
+void Inline(const LevelWatcher&) {
+  double last = 0.0;
+  ApplyNow([&last](double level) { last = level; }, 1.0);  // clean: not a sink
+}
+
+}  // namespace odyssey

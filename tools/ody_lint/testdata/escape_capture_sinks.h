@@ -1,0 +1,38 @@
+// escape-capture cross-file fixture, pass-one side: sinks whose signatures
+// only this header knows.  The companion escape_capture_cross.cc calls them
+// without any local std::function evidence.
+#ifndef SRC_CORE_ESCAPE_CAPTURE_SINKS_H_
+#define SRC_CORE_ESCAPE_CAPTURE_SINKS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace odyssey {
+
+using ChangeCallback = std::function<void(double)>;
+
+// Sink by storage: the definition moves the parameter into a member.
+class LevelWatcher {
+ public:
+  void WatchLevel(ChangeCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+ private:
+  std::vector<ChangeCallback> callbacks_;
+};
+
+// Sink by constructor storage (ctor-init list).
+class Debouncer {
+ public:
+  explicit Debouncer(ChangeCallback cb) : cb_(std::move(cb)) {}
+
+ private:
+  ChangeCallback cb_;
+};
+
+// NOT a sink: runs the callback inline and never keeps it.
+inline void ApplyNow(const ChangeCallback& cb, double level) { cb(level); }
+
+}  // namespace odyssey
+
+#endif  // SRC_CORE_ESCAPE_CAPTURE_SINKS_H_

@@ -1,0 +1,22 @@
+// escape-capture suppressed fixture: every site carries an annotation.
+#include <functional>
+
+namespace odyssey {
+
+struct Simulation {
+  void Schedule(long delay, std::function<void()> cb);
+};
+
+// The run loop drains the queue before this frame returns, so the captured
+// counter outlives every invocation.
+void ScheduleAndDrain(Simulation* sim) {
+  int completed = 0;
+  sim->Schedule(1000, [&completed] { ++completed; });  // ody_lint: owned-capture
+  // ody_lint: owned-capture
+  sim->Schedule(2000, [&completed] { ++completed; });
+  // The legacy spelling works too.
+  sim->Schedule(3000, [&completed] { ++completed; });  // ody-lint: owned-capture
+  sim->Schedule(4000, [&completed] { ++completed; });  // ody-lint: allow(escape-capture)
+}
+
+}  // namespace odyssey
