@@ -4,7 +4,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/mobility/radio_environment.h"
+#include "src/mobility/waveform_source.h"
 #include "src/sim/random.h"
+#include "src/tracemod/replay_trace.h"
 
 namespace odyssey {
 namespace {
@@ -58,6 +61,30 @@ FuzzFault GenerateFault(Rng& rng, Duration horizon) {
       break;
   }
   return fault;
+}
+
+// The mobility dimension's waveform draw: a model, a coverage layout and a
+// sampling of the pipeline, all parameterized from the generator stream.
+// ensure_live_tail keeps the documented drain guarantee (the final segment
+// has positive bandwidth); everything else — shadow length, flap rate — is
+// whatever the motion produces, which is exactly the point.
+void GenerateMobilitySegments(Rng& rng, Duration horizon,
+                              std::vector<FuzzSegment>* segments) {
+  MobilityScenarioSpec spec;
+  spec.model = static_cast<MobilityModelKind>(rng.UniformInt(kMobilityModelKinds));
+  spec.layout = static_cast<BaseStationLayout>(rng.UniformInt(kBaseStationLayouts));
+  spec.arena.width_m = rng.Uniform(400.0, 1500.0);
+  spec.arena.height_m = rng.Uniform(400.0, 1500.0);
+  spec.speed_scale = rng.Uniform(0.5, 4.0);
+  spec.memory = rng.Uniform(0.2, 0.95);
+  spec.duration = horizon;
+  spec.sample_period = UniformDuration(rng, 250 * kMillisecond, kSecond);
+  spec.ensure_live_tail = true;
+  const uint64_t waveform_seed = rng.NextU64();
+  const ReplayTrace waveform = MakeMobilityWaveform(spec, waveform_seed);
+  for (const TraceSegment& segment : waveform.segments()) {
+    segments->push_back(FuzzSegment{segment.duration, segment.bandwidth_bps, segment.latency});
+  }
 }
 
 }  // namespace
@@ -156,24 +183,33 @@ FuzzScenario GenerateScenario(uint64_t seed, const ScenarioOptions& options) {
   scenario.seed = seed;
   scenario.horizon = UniformDuration(rng, kMinHorizon, kMaxHorizon);
 
-  const int segment_count =
-      kMinSegments + static_cast<int>(rng.UniformInt(kMaxSegments - kMinSegments + 1));
-  for (int i = 0; i < segment_count; ++i) {
-    FuzzSegment segment;
-    const bool last = i + 1 == segment_count;
-    // Radio shadows: an occasional zero-bandwidth segment, never last (the
-    // final segment persists forever, and a dead tail would strand every
-    // in-flight transfer until the horizon).
-    const bool shadow = !last && rng.NextDouble() < 0.2;
-    if (shadow) {
-      segment.duration = UniformDuration(rng, 200 * kMillisecond, kMaxZeroSegment);
-      segment.bandwidth_bps = 0.0;
-    } else {
-      segment.duration = UniformDuration(rng, 2 * kSecond, 15 * kSecond);
-      segment.bandwidth_bps = rng.Uniform(kMinBandwidth, kMaxBandwidth);
+  // Mobility dimension: gated behind its own flag draw so that with the
+  // option off, the stream below is bit-identical to the historical
+  // generator.  With it on, about half the scenarios take a
+  // motion-generated waveform instead of the hand-rolled segment draw.
+  const bool mobility_waveform = options.mobility && rng.NextDouble() < 0.5;
+  if (mobility_waveform) {
+    GenerateMobilitySegments(rng, scenario.horizon, &scenario.segments);
+  } else {
+    const int segment_count =
+        kMinSegments + static_cast<int>(rng.UniformInt(kMaxSegments - kMinSegments + 1));
+    for (int i = 0; i < segment_count; ++i) {
+      FuzzSegment segment;
+      const bool last = i + 1 == segment_count;
+      // Radio shadows: an occasional zero-bandwidth segment, never last (the
+      // final segment persists forever, and a dead tail would strand every
+      // in-flight transfer until the horizon).
+      const bool shadow = !last && rng.NextDouble() < 0.2;
+      if (shadow) {
+        segment.duration = UniformDuration(rng, 200 * kMillisecond, kMaxZeroSegment);
+        segment.bandwidth_bps = 0.0;
+      } else {
+        segment.duration = UniformDuration(rng, 2 * kSecond, 15 * kSecond);
+        segment.bandwidth_bps = rng.Uniform(kMinBandwidth, kMaxBandwidth);
+      }
+      segment.latency = UniformDuration(rng, 1 * kMillisecond, 50 * kMillisecond);
+      scenario.segments.push_back(segment);
     }
-    segment.latency = UniformDuration(rng, 1 * kMillisecond, 50 * kMillisecond);
-    scenario.segments.push_back(segment);
   }
 
   // Large-N mode (max_apps above the default): log-uniform in [1, max_apps]
@@ -227,20 +263,14 @@ FuzzScenario GenerateScenario(uint64_t seed, const ScenarioOptions& options) {
 }
 
 double IntegrateCapacityBytes(const FuzzScenario& scenario, Time until) {
-  double bytes = 0.0;
-  Time t = 0;
+  // One audited integration path: the FuzzSegments mirror TraceSegments, so
+  // the bound is exactly ReplayTrace::IntegralBytes over the same waveform
+  // (identical arithmetic, byte-identical results).
+  ReplayTrace waveform;
   for (const FuzzSegment& segment : scenario.segments) {
-    if (t >= until) {
-      return bytes;
-    }
-    const Duration span = std::min(segment.duration, until - t);
-    bytes += segment.bandwidth_bps * DurationToSeconds(span);
-    t += span;
+    waveform.Append(segment.duration, segment.bandwidth_bps, segment.latency);
   }
-  if (t < until && !scenario.segments.empty()) {
-    bytes += scenario.segments.back().bandwidth_bps * DurationToSeconds(until - t);
-  }
-  return bytes;
+  return waveform.IntegralBytes(until);
 }
 
 }  // namespace odyssey

@@ -116,6 +116,18 @@ struct ScenarioOptions {
   // [1, max_apps], so large-N sweeps still spend most runs at moderate
   // sizes while regularly reaching the configured scale.
   int max_apps = 8;
+
+  // Mobility dimension: when true, roughly half the scenarios derive their
+  // link waveform from the motion -> signal -> bandwidth pipeline
+  // (src/mobility) instead of the hand-rolled 2-6-segment draw, covering
+  // shapes that draw never produces — long zero-bandwidth shadows and
+  // rapid cell-edge tier flapping.  The generated waveform is materialized
+  // into |segments|, so the oracles (including byte conservation via
+  // IntegrateCapacityBytes) and the shrinker operate on it unchanged, and
+  // the drain guarantee below still holds (the pipeline forces a live
+  // final segment).  At the default false the generator stream is
+  // untouched: historical seeds keep producing byte-identical scenarios.
+  bool mobility = false;
 };
 
 // Synthesizes a schedulable scenario from |seed| alone.  Guarantees: at

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/contract.h"
+#include "src/harness/mobility_scenarios.h"
 #include "src/metrics/scenarios.h"
 #include "src/rpc/endpoint.h"
 
@@ -365,6 +366,7 @@ void RegisterBuiltinScenarios(ScenarioRegistry* registry) {
   RegisterEstimatorAblation(registry);
   RegisterFairshareAblation(registry);
   RegisterFileConsistency(registry);
+  RegisterMobilityScenarios(registry);
 }
 
 }  // namespace odyssey

@@ -68,6 +68,18 @@ std::vector<CampaignSpec> BuiltinCampaigns() {
   };
   campaigns.push_back(ablations);
 
+  // The mobility gate: every motion -> signal -> bandwidth cell at three
+  // trials (per-trial cost is a 2-minute simulated drive, so this stays in
+  // CI budget while covering all four models and all three layouts).
+  CampaignSpec mobility;
+  mobility.name = "tier_mobility";
+  mobility.description = "mobility tracking and Web grids (the mobility CI gate)";
+  mobility.sweeps = {
+      {"mobility_track", {}, 3},
+      {"mobility_web", {}, 3},
+  };
+  campaigns.push_back(mobility);
+
   CampaignSpec full;
   full.name = "full";
   full.description = "every scenario and variant at the paper's five trials";
@@ -81,6 +93,8 @@ std::vector<CampaignSpec> BuiltinCampaigns() {
       {"ablation_estimator", {}, kPaperTrials},
       {"ablation_fairshare", {}, kPaperTrials},
       {"ext_file_consistency", {}, kPaperTrials},
+      {"mobility_track", {}, kPaperTrials},
+      {"mobility_web", {}, kPaperTrials},
   };
   campaigns.push_back(full);
 

@@ -1,0 +1,129 @@
+#include "src/harness/mobility_scenarios.h"
+
+#include <utility>
+
+#include "src/core/contract.h"
+#include "src/metrics/scenarios.h"
+#include "src/mobility/radio_environment.h"
+#include "src/mobility/waveform_source.h"
+
+namespace odyssey {
+namespace {
+
+void Add(ScenarioRegistry* registry, Scenario scenario) {
+  const Status status = registry->Register(std::move(scenario));
+  ODY_ASSERT(status.ok(), "mobility scenario registration failed");
+}
+
+// One named cell of the mobility grid.  Everything not listed here keeps
+// the MobilityScenarioSpec defaults (1000x1000m arena, 120s at 500ms
+// sampling, WaveLAN radio, live tail).
+MobilityScenarioSpec Cell(MobilityModelKind model, BaseStationLayout layout, double speed_scale,
+                          double memory) {
+  MobilityScenarioSpec spec;
+  spec.model = model;
+  spec.layout = layout;
+  spec.speed_scale = speed_scale;
+  spec.memory = memory;
+  return spec;
+}
+
+TrialMetrics TrackMetrics(const MobilityScenarioSpec& spec, uint64_t seed, TraceRecorder* trace) {
+  const ReplayTrace waveform = MakeMobilityWaveform(spec, seed);
+  const MobilityTrialResult result = RunMobilityTrackingTrial(waveform, seed, trace);
+  return {
+      {"tracking_error_pct", result.tracking_error_pct, MetricDirection::kLowerIsBetter},
+      {"in_band_pct", result.in_band_pct, MetricDirection::kHigherIsBetter},
+      {"shadow_seconds", result.shadow_seconds, MetricDirection::kEither},
+      {"upcalls", static_cast<double>(result.upcalls), MetricDirection::kEither},
+      {"upcall_latency_mean_ms", result.upcall_latency_mean_ms, MetricDirection::kLowerIsBetter},
+      {"upcall_latency_max_ms", result.upcall_latency_max_ms, MetricDirection::kLowerIsBetter},
+  };
+}
+
+void RegisterMobilityTracking(ScenarioRegistry* registry) {
+  Scenario scenario;
+  scenario.name = "mobility_track";
+  scenario.description =
+      "Mobility: adaptive tracking of motion-generated waveforms per model, layout and gait";
+  struct NamedCell {
+    const char* name;
+    MobilityScenarioSpec spec;
+  };
+  const NamedCell cells[] = {
+      // Pedestrian random waypoint: the classic evaluation gait, against a
+      // lone cell (long fringe shadows) and a cell grid (edge flapping).
+      {"rwp_walk_single",
+       Cell(MobilityModelKind::kRandomWaypoint, BaseStationLayout::kSingleCell, 1.0, 0.75)},
+      {"rwp_walk_grid",
+       Cell(MobilityModelKind::kRandomWaypoint, BaseStationLayout::kCellGrid, 1.0, 0.75)},
+      // A runner down a covered corridor: fast crossings between stations.
+      {"rwp_sprint_corridor",
+       Cell(MobilityModelKind::kRandomWaypoint, BaseStationLayout::kCorridor, 3.0, 0.75)},
+      // Street-grid driving at 12 m/s; the crawl variant idles through
+      // intersections slowly enough for the estimator to settle per block.
+      {"manhattan_drive_grid",
+       Cell(MobilityModelKind::kManhattanGrid, BaseStationLayout::kCellGrid, 1.0, 0.75)},
+      {"manhattan_drive_corridor",
+       Cell(MobilityModelKind::kManhattanGrid, BaseStationLayout::kCorridor, 1.0, 0.75)},
+      {"manhattan_crawl_single",
+       Cell(MobilityModelKind::kManhattanGrid, BaseStationLayout::kSingleCell, 0.25, 0.75)},
+      // Gauss-Markov at the two ends of the memory knob: smooth arcs vs
+      // near-Brownian jitter.
+      {"gauss_markov_smooth_grid",
+       Cell(MobilityModelKind::kGaussMarkov, BaseStationLayout::kCellGrid, 1.0, 0.9)},
+      {"gauss_markov_jittery_single",
+       Cell(MobilityModelKind::kGaussMarkov, BaseStationLayout::kSingleCell, 1.0, 0.3)},
+      // The embedded vehicular trace: fixed motion, so only the radio seed
+      // varies across trials.
+      {"trace_drive_corridor",
+       Cell(MobilityModelKind::kWaypointTrace, BaseStationLayout::kCorridor, 1.0, 0.75)},
+      {"trace_drive_grid",
+       Cell(MobilityModelKind::kWaypointTrace, BaseStationLayout::kCellGrid, 1.0, 0.75)},
+  };
+  for (const NamedCell& cell : cells) {
+    scenario.variants.push_back(
+        {cell.name, [spec = cell.spec](uint64_t seed, TraceRecorder* trace) {
+           return TrackMetrics(spec, seed, trace);
+         }});
+  }
+  Add(registry, std::move(scenario));
+}
+
+void RegisterMobilityWeb(ScenarioRegistry* registry) {
+  Scenario scenario;
+  scenario.name = "mobility_web";
+  scenario.description = "Mobility: adaptive Web fetches over motion-generated waveforms";
+  struct NamedCell {
+    const char* name;
+    MobilityScenarioSpec spec;
+  };
+  const NamedCell cells[] = {
+      {"adaptive_manhattan_grid",
+       Cell(MobilityModelKind::kManhattanGrid, BaseStationLayout::kCellGrid, 1.0, 0.75)},
+      {"adaptive_rwp_single",
+       Cell(MobilityModelKind::kRandomWaypoint, BaseStationLayout::kSingleCell, 1.0, 0.75)},
+  };
+  for (const NamedCell& cell : cells) {
+    scenario.variants.push_back(
+        {cell.name, [spec = cell.spec](uint64_t seed, TraceRecorder* trace) {
+           const ReplayTrace waveform = MakeMobilityWaveform(spec, seed);
+           const WebTrialResult result =
+               RunWebTrial(waveform, /*fixed_level=*/-1, /*prime=*/true, seed, trace);
+           return TrialMetrics{
+               {"seconds", result.seconds, MetricDirection::kLowerIsBetter},
+               {"fidelity", result.fidelity, MetricDirection::kHigherIsBetter},
+           };
+         }});
+  }
+  Add(registry, std::move(scenario));
+}
+
+}  // namespace
+
+void RegisterMobilityScenarios(ScenarioRegistry* registry) {
+  RegisterMobilityTracking(registry);
+  RegisterMobilityWeb(registry);
+}
+
+}  // namespace odyssey

@@ -1,0 +1,23 @@
+// Mobility scenarios: named cells of the motion -> signal -> bandwidth
+// pipeline (src/mobility, DESIGN.md §14), registered alongside the figure
+// scenarios so campaigns can sweep them and BENCH_*.json artifacts can gate
+// them.  Each variant fixes a (model, base-station layout, gait) cell; the
+// trial seed picks the concrete track and shadowing, so trials of one cell
+// drive different — but seed-reproducible — paths through the same world.
+
+#ifndef SRC_HARNESS_MOBILITY_SCENARIOS_H_
+#define SRC_HARNESS_MOBILITY_SCENARIOS_H_
+
+#include "src/harness/scenario_registry.h"
+
+namespace odyssey {
+
+// Registers "mobility_track" (an adaptive bitstream consumer tracking a
+// motion-generated waveform, ten model x layout x gait cells) and
+// "mobility_web" (the Figure-11 browser over mobility waveforms).  Asserts
+// (via ODY_ASSERT) that registration succeeds, like the builtin tables.
+void RegisterMobilityScenarios(ScenarioRegistry* registry);
+
+}  // namespace odyssey
+
+#endif  // SRC_HARNESS_MOBILITY_SCENARIOS_H_

@@ -91,6 +91,52 @@ AgilityTrialResult RunSupplyAgilityTrial(Waveform waveform, uint64_t seed,
   return result;
 }
 
+MobilityTrialResult RunMobilityTrackingTrial(const ReplayTrace& replay, uint64_t seed,
+                                             TraceRecorder* trace) {
+  ExperimentRig rig(seed, StrategyKind::kOdyssey);
+  rig.sim().set_trace(trace);
+  BitstreamApp app(&rig.client(), "bitstream");
+  const Time measure = rig.Replay(replay);
+  const Time end = measure + replay.TotalDuration();
+  app.Start();
+  StartAdaptingWhenEstimated(&rig.client(), app.app());
+
+  Sampler sampler(&rig.sim(), kAgilitySamplePeriod, measure, [&rig] {  // ody_lint: owned-capture
+    return rig.centralized()->TotalSupply(rig.sim().now());
+  });
+  // ody_lint: owned-capture
+  rig.sim().ScheduleAt(measure, [&] { sampler.Run(end); });
+  rig.sim().RunUntil(end);
+
+  MobilityTrialResult result;
+  uint64_t live = 0;
+  uint64_t in_band = 0;
+  double error_pct_sum = 0.0;
+  for (const SeriesPoint& point : sampler.series()) {
+    // Sample timestamps are relative to |measure|, which is also the start
+    // of the unprimed replay, so they index the nominal waveform directly.
+    const double nominal = replay.BandwidthAt(SecondsToDuration(point.t_seconds));
+    if (nominal <= 0.0) {
+      result.shadow_seconds += DurationToSeconds(kAgilitySamplePeriod);
+      continue;
+    }
+    ++live;
+    error_pct_sum += 100.0 * std::abs(point.value - nominal) / nominal;
+    if (point.value >= 0.85 * nominal && point.value <= 1.15 * nominal) {
+      ++in_band;
+    }
+  }
+  if (live > 0) {
+    result.tracking_error_pct = error_pct_sum / static_cast<double>(live);
+    result.in_band_pct = 100.0 * static_cast<double>(in_band) / static_cast<double>(live);
+  }
+  const UpcallDispatcher& upcalls = rig.client().viceroy().upcalls();
+  result.upcalls = upcalls.delivered_count();
+  result.upcall_latency_mean_ms = upcalls.latency_mean_us() / 1000.0;
+  result.upcall_latency_max_ms = static_cast<double>(upcalls.latency_max()) / 1000.0;
+  return result;
+}
+
 DemandTrialResult RunDemandAgilityTrial(double utilization, uint64_t seed,
                                         TraceRecorder* trace) {
   constexpr Duration kSamplePeriod = 100 * kMillisecond;

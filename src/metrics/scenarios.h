@@ -152,6 +152,32 @@ struct FileConsistencyTrialResult {
 FileConsistencyTrialResult RunFileConsistencyTrial(FileConsistency level, uint64_t seed,
                                                    TraceRecorder* trace = nullptr);
 
+// --- Mobility: motion-generated waveform tracking ---
+
+// One mobility-tracking trial: an adaptive bitstream consumer runs over a
+// motion-generated waveform (src/mobility) end to end.  Tracking quality
+// is measured against the nominal waveform on the 100ms grid, over the
+// *live* samples only (nonzero nominal bandwidth): mean absolute estimate
+// error as a percentage of nominal, and the fraction of live samples
+// inside the Figure-8 ±15% acceptance band.  Time at zero nominal
+// bandwidth is reported separately as radio-shadow seconds.
+struct MobilityTrialResult {
+  double tracking_error_pct = 0.0;
+  double in_band_pct = 0.0;
+  double shadow_seconds = 0.0;
+
+  uint64_t upcalls = 0;
+  double upcall_latency_mean_ms = 0.0;
+  double upcall_latency_max_ms = 0.0;
+};
+
+// Runs one trial over |replay| with the paper's 30-second priming.  The
+// caller builds the waveform (the metrics layer stays mobility-free); the
+// harness passes MakeMobilityWaveform(spec, seed) so each trial of a cell
+// drives a different — but seed-reproducible — track through it.
+MobilityTrialResult RunMobilityTrackingTrial(const ReplayTrace& replay, uint64_t seed,
+                                             TraceRecorder* trace = nullptr);
+
 }  // namespace odyssey
 
 #endif  // SRC_METRICS_SCENARIOS_H_

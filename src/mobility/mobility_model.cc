@@ -1,0 +1,254 @@
+#include "src/mobility/mobility_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+
+#include "src/sim/random.h"
+
+namespace odyssey {
+namespace {
+
+// Per-model stream tags: two models built from the same trial seed must not
+// share a random stream.
+constexpr uint64_t kRandomWaypointTag = 0x6f64796d2d727770ULL;
+constexpr uint64_t kManhattanTag = 0x6f64796d2d6d6768ULL;
+constexpr uint64_t kGaussMarkovTag = 0x6f64796d2d676d6bULL;
+
+constexpr double kPi = 3.14159265358979323846;
+
+Duration UniformPause(Rng& rng, Duration max_pause) {
+  if (max_pause <= 0) {
+    return 0;
+  }
+  return static_cast<Duration>(rng.UniformInt(static_cast<uint64_t>(max_pause) + 1));
+}
+
+// At least one microsecond, so every leg has positive width and leg speed
+// stays finite.
+Duration TravelTime(double meters, double speed_mps) {
+  const Duration travel = SecondsToDuration(meters / speed_mps);
+  return travel < 1 ? 1 : travel;
+}
+
+// Wraps an angle to [-pi, pi].
+double WrapAngle(double radians) {
+  while (radians > kPi) {
+    radians -= 2.0 * kPi;
+  }
+  while (radians < -kPi) {
+    radians += 2.0 * kPi;
+  }
+  return radians;
+}
+
+// The embedded vehicular trace: a ~10-minute synthetic city drive over a
+// 1200 x 800 m downtown grid — depart, cruise the avenue with stops at
+// lights, a drop-off, a 60-second loiter at a hotspot, and the return leg.
+// Cruise legs run at 12 m/s; pauses are rows that repeat a position.
+struct TraceRow {
+  double seconds;
+  double x;
+  double y;
+};
+
+constexpr TraceRow kVehicularTrace[] = {
+    {0.0, 40.0, 40.0},     {15.0, 40.0, 40.0},    {45.0, 400.0, 40.0},
+    {55.0, 400.0, 40.0},   {85.0, 760.0, 40.0},   {90.0, 760.0, 40.0},
+    {120.0, 760.0, 400.0}, {150.0, 1160.0, 400.0}, {165.0, 1160.0, 400.0},
+    {195.0, 1160.0, 760.0}, {225.0, 800.0, 760.0}, {255.0, 800.0, 400.0},
+    {270.0, 800.0, 400.0}, {300.0, 440.0, 400.0},  {330.0, 440.0, 760.0},
+    {390.0, 440.0, 760.0}, {420.0, 80.0, 760.0},   {450.0, 80.0, 400.0},
+    {480.0, 80.0, 40.0},   {495.0, 80.0, 40.0},    {510.0, 40.0, 40.0},
+    {600.0, 40.0, 40.0},
+};
+
+}  // namespace
+
+double Distance(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Vec2 LegTrackModel::PositionAt(Time t) const {
+  if (legs_.empty()) {
+    return Vec2{};
+  }
+  if (t <= legs_.front().begin) {
+    return legs_.front().from;
+  }
+  if (t >= legs_.back().end) {
+    return legs_.back().to;
+  }
+  // First leg whose end lies past |t|; legs tile [begin, back().end).
+  const auto it = std::upper_bound(
+      legs_.begin(), legs_.end(), t,
+      [](Time value, const TrackLeg& leg) { return value < leg.end; });
+  const TrackLeg& leg = *it;
+  const Duration span = leg.end - leg.begin;
+  if (span <= 0) {
+    return leg.to;
+  }
+  const double f = static_cast<double>(t - leg.begin) / static_cast<double>(span);
+  return Vec2{leg.from.x + (leg.to.x - leg.from.x) * f,
+              leg.from.y + (leg.to.y - leg.from.y) * f};
+}
+
+RandomWaypoint::RandomWaypoint(const RandomWaypointParams& params, uint64_t seed)
+    : params_(params) {
+  Rng rng(SplitMix64(seed ^ kRandomWaypointTag).Next());
+  Vec2 position{rng.Uniform(0.0, params_.arena.width_m),
+                rng.Uniform(0.0, params_.arena.height_m)};
+  Time t = 0;
+  while (t < params_.duration) {
+    const Vec2 target{rng.Uniform(0.0, params_.arena.width_m),
+                      rng.Uniform(0.0, params_.arena.height_m)};
+    const double speed = rng.Uniform(params_.min_speed_mps, params_.max_speed_mps);
+    const Duration travel = TravelTime(Distance(position, target), speed);
+    legs_.push_back(TrackLeg{t, t + travel, position, target});
+    t += travel;
+    position = target;
+    const Duration pause = UniformPause(rng, params_.max_pause);
+    if (pause > 0) {
+      legs_.push_back(TrackLeg{t, t + pause, position, position});
+      t += pause;
+    }
+  }
+}
+
+ManhattanGrid::ManhattanGrid(const ManhattanGridParams& params, uint64_t seed)
+    : params_(params) {
+  Rng rng(SplitMix64(seed ^ kManhattanTag).Next());
+  // Streets tile the arena exactly: blocks stretch up from block_m so the
+  // outermost streets coincide with the arena boundary.
+  const int cells_x =
+      std::max(1, static_cast<int>(params_.arena.width_m / params_.block_m));
+  const int cells_y =
+      std::max(1, static_cast<int>(params_.arena.height_m / params_.block_m));
+  const double spacing_x = params_.arena.width_m / cells_x;
+  const double spacing_y = params_.arena.height_m / cells_y;
+
+  int i = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(cells_x) + 1));
+  int j = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(cells_y) + 1));
+  // Headings counter-clockwise: +x, +y, -x, -y.
+  constexpr int kDx[] = {1, 0, -1, 0};
+  constexpr int kDy[] = {0, 1, 0, -1};
+  int heading = static_cast<int>(rng.UniformInt(4));
+
+  const auto legal = [&](int h) {
+    const int ni = i + kDx[h];
+    const int nj = j + kDy[h];
+    return ni >= 0 && ni <= cells_x && nj >= 0 && nj <= cells_y;
+  };
+  const auto pick_legal = [&] {
+    int options[4];
+    int count = 0;
+    for (int h = 0; h < 4; ++h) {
+      if (legal(h)) {
+        options[count++] = h;
+      }
+    }
+    return options[rng.UniformInt(static_cast<uint64_t>(count))];
+  };
+
+  Time t = 0;
+  while (t < params_.duration) {
+    if (legal(heading)) {
+      const double u = rng.NextDouble();
+      int chosen = heading;
+      if (u < params_.turn_probability) {
+        chosen = (heading + 1) % 4;  // left
+      } else if (u < 2.0 * params_.turn_probability) {
+        chosen = (heading + 3) % 4;  // right
+      }
+      heading = legal(chosen) ? chosen : pick_legal();
+    } else {
+      heading = pick_legal();
+    }
+    const Vec2 from{i * spacing_x, j * spacing_y};
+    i += kDx[heading];
+    j += kDy[heading];
+    const Vec2 to{i * spacing_x, j * spacing_y};
+    const Duration travel = TravelTime(Distance(from, to), params_.speed_mps);
+    legs_.push_back(TrackLeg{t, t + travel, from, to});
+    t += travel;
+    if (rng.NextDouble() < params_.stop_probability) {
+      const Duration stop = UniformPause(rng, params_.max_stop);
+      if (stop > 0) {
+        legs_.push_back(TrackLeg{t, t + stop, to, to});
+        t += stop;
+      }
+    }
+  }
+}
+
+GaussMarkov::GaussMarkov(const GaussMarkovParams& params, uint64_t seed) : params_(params) {
+  Rng rng(SplitMix64(seed ^ kGaussMarkovTag).Next());
+  const double width = params_.arena.width_m;
+  const double height = params_.arena.height_m;
+  // Start away from the edges so the first steps are unconstrained.
+  Vec2 position{rng.Uniform(0.25 * width, 0.75 * width),
+                rng.Uniform(0.25 * height, 0.75 * height)};
+  double speed = std::clamp(params_.mean_speed_mps, 0.0, params_.max_speed_mps);
+  double heading = rng.Uniform(-kPi, kPi);
+  const double alpha = std::clamp(params_.alpha, 0.0, 1.0);
+  const double carry = std::sqrt(std::max(0.0, 1.0 - alpha * alpha));
+  const Duration step = params_.step < 1 ? 1 : params_.step;
+  const double dt = DurationToSeconds(step);
+
+  Time t = 0;
+  while (t < params_.duration) {
+    // Near an edge the mean heading steers back toward the center; the
+    // update blends the shortest angular difference so headings never
+    // accumulate unbounded turns.
+    double mean_heading = heading;
+    const double margin_x = 0.15 * width;
+    const double margin_y = 0.15 * height;
+    if (position.x < margin_x || position.x > width - margin_x || position.y < margin_y ||
+        position.y > height - margin_y) {
+      mean_heading = std::atan2(height / 2.0 - position.y, width / 2.0 - position.x);
+    }
+    speed = std::clamp(alpha * speed + (1.0 - alpha) * params_.mean_speed_mps +
+                           carry * params_.speed_sigma * rng.Normal(0.0, 1.0),
+                       0.0, params_.max_speed_mps);
+    heading = WrapAngle(heading + (1.0 - alpha) * WrapAngle(mean_heading - heading) +
+                        carry * params_.heading_sigma_rad * rng.Normal(0.0, 1.0));
+    Vec2 next{position.x + speed * dt * std::cos(heading),
+              position.y + speed * dt * std::sin(heading)};
+    // Clamping projects onto the arena; projection is non-expansive, so the
+    // step never exceeds speed * dt and the continuity bound holds.
+    next.x = std::clamp(next.x, 0.0, width);
+    next.y = std::clamp(next.y, 0.0, height);
+    legs_.push_back(TrackLeg{t, t + step, position, next});
+    position = next;
+    t += step;
+  }
+}
+
+WaypointTrace::WaypointTrace(const WaypointTraceParams& params) {
+  const double time_scale = params.time_scale > 0.0 ? params.time_scale : 1.0;
+  const double space_scale = params.space_scale > 0.0 ? params.space_scale : 1.0;
+  arena_ = Arena{0.0, 0.0};  // grown to the trace's tight bounding box below
+  constexpr size_t kRows = std::size(kVehicularTrace);
+  for (size_t row = 0; row + 1 < kRows; ++row) {
+    const TraceRow& a = kVehicularTrace[row];
+    const TraceRow& b = kVehicularTrace[row + 1];
+    const Time begin = SecondsToDuration(a.seconds * time_scale);
+    Time end = SecondsToDuration(b.seconds * time_scale);
+    if (end <= begin) {
+      end = begin + 1;
+    }
+    const Vec2 from{a.x * space_scale, a.y * space_scale};
+    const Vec2 to{b.x * space_scale, b.y * space_scale};
+    legs_.push_back(TrackLeg{begin, end, from, to});
+    arena_.width_m = std::max({arena_.width_m, from.x, to.x});
+    arena_.height_m = std::max({arena_.height_m, from.y, to.y});
+    const double leg_speed =
+        Distance(from, to) / DurationToSeconds(end - begin);
+    max_speed_mps_ = std::max(max_speed_mps_, leg_speed);
+  }
+}
+
+}  // namespace odyssey

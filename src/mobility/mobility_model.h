@@ -1,0 +1,195 @@
+// Mobility models: deterministic 2-D motion tracks for waveform generation.
+//
+// The paper evaluates agility against fixed reference waveforms, but a real
+// mobile client's bandwidth is a function of *motion* — walking out of a
+// cell, driving a street grid, loitering at a hotspot.  Each model here is a
+// pure function of (seed, params, virtual time): construction precomputes
+// the whole track from a SplitMix64-derived stream, and PositionAt(t) only
+// interpolates, so identical inputs give bit-identical tracks on every
+// platform and at any worker count.  The model taxonomy (random waypoint,
+// Gauss-Markov, urban grid, trace replay) follows the INET catalogue the
+// ROADMAP points at.
+//
+// Determinism rules (enforced by ody_lint's unseeded-random rule, which is
+// stricter under src/mobility): models draw entropy only from the explicit
+// seed parameter via src/sim/random.h — never from <random> engines,
+// <random> distributions, or literal-seeded generators.
+
+#ifndef SRC_MOBILITY_MOBILITY_MODEL_H_
+#define SRC_MOBILITY_MOBILITY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+// A point in the arena, meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Distance(const Vec2& a, const Vec2& b);
+
+// The rectangular region a model is confined to, meters.  Positions always
+// lie in [0, width] x [0, height].
+struct Arena {
+  double width_m = 1000.0;
+  double height_m = 1000.0;
+};
+
+// A 2-D position track over virtual time.  PositionAt is total: times
+// before the track starts hold the initial position, times past the end
+// hold the final one (mirroring ReplayTrace::At's final-segment rule).
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  virtual Vec2 PositionAt(Time t) const = 0;
+
+  // The arena the track is bounded to.
+  virtual const Arena& arena() const = 0;
+
+  // Upper bound on instantaneous speed: for any t and dt > 0,
+  // Distance(PositionAt(t), PositionAt(t + dt)) <= max_speed_mps() * dt.
+  // The property tests in tests/mobility_test.cc hold every model to this.
+  virtual double max_speed_mps() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// --- Random waypoint ---
+//
+// The classic pedestrian model: pick a uniform destination, walk to it at a
+// uniform speed, pause, repeat.
+
+struct RandomWaypointParams {
+  Arena arena;
+  double min_speed_mps = 0.7;        // slow walk
+  double max_speed_mps = 2.0;        // brisk walk
+  Duration max_pause = 5 * kSecond;  // uniform pause in [0, max_pause]
+  Duration duration = 120 * kSecond;
+};
+
+// --- Manhattan grid ---
+//
+// An urban street grid: the walker moves along streets spaced block_m
+// apart, and at each intersection turns left or right with probability
+// turn_probability each (else continues straight), occasionally stopping
+// as if at a light.  Headings that would leave the arena are re-drawn from
+// the legal set, so a corner never teleports the walker.
+
+struct ManhattanGridParams {
+  Arena arena;
+  double block_m = 100.0;
+  double speed_mps = 12.0;  // city driving
+  double turn_probability = 0.25;
+  double stop_probability = 0.15;    // chance of stopping at an intersection
+  Duration max_stop = 4 * kSecond;   // uniform stop in [0, max_stop]
+  Duration duration = 120 * kSecond;
+};
+
+// --- Gauss-Markov ---
+//
+// Speed and heading evolve as first-order autoregressive processes:
+// alpha = 1 keeps the previous velocity (straight line), alpha = 0 is
+// memoryless Brownian wandering.  Near an arena edge the mean heading
+// steers back toward the center, the standard boundary treatment.
+
+struct GaussMarkovParams {
+  Arena arena;
+  double mean_speed_mps = 1.5;
+  double max_speed_mps = 3.0;  // speeds are clamped to [0, max]
+  double alpha = 0.75;         // memory
+  double speed_sigma = 0.5;
+  double heading_sigma_rad = 0.6;
+  Duration step = kSecond;  // AR update period
+  Duration duration = 120 * kSecond;
+};
+
+// --- Waypoint trace ---
+//
+// Replays the embedded vehicular trace table: a ~10-minute synthetic city
+// drive (depart, cruise an avenue, stop at lights, cross town, loiter,
+// return) recorded as (seconds, x, y) waypoints.  time_scale stretches the
+// schedule (2.0 = half speed), space_scale the geometry; the model is
+// deterministic regardless of seed.
+
+struct WaypointTraceParams {
+  double time_scale = 1.0;
+  double space_scale = 1.0;
+};
+
+// One precomputed leg of a track: linear motion from |from| at time
+// |begin| to |to| at time |end| (a pause when from == to).
+struct TrackLeg {
+  Time begin = 0;
+  Time end = 0;
+  Vec2 from;
+  Vec2 to;
+};
+
+// Shared interpolating base: concrete models precompute legs_ in their
+// constructor and inherit PositionAt.
+class LegTrackModel : public MobilityModel {
+ public:
+  Vec2 PositionAt(Time t) const override;
+
+ protected:
+  std::vector<TrackLeg> legs_;
+};
+
+class RandomWaypoint final : public LegTrackModel {
+ public:
+  RandomWaypoint(const RandomWaypointParams& params, uint64_t seed);
+
+  const Arena& arena() const override { return params_.arena; }
+  double max_speed_mps() const override { return params_.max_speed_mps; }
+  const char* name() const override { return "random_waypoint"; }
+
+ private:
+  RandomWaypointParams params_;
+};
+
+class ManhattanGrid final : public LegTrackModel {
+ public:
+  ManhattanGrid(const ManhattanGridParams& params, uint64_t seed);
+
+  const Arena& arena() const override { return params_.arena; }
+  double max_speed_mps() const override { return params_.speed_mps; }
+  const char* name() const override { return "manhattan_grid"; }
+
+ private:
+  ManhattanGridParams params_;
+};
+
+class GaussMarkov final : public LegTrackModel {
+ public:
+  GaussMarkov(const GaussMarkovParams& params, uint64_t seed);
+
+  const Arena& arena() const override { return params_.arena; }
+  double max_speed_mps() const override { return params_.max_speed_mps; }
+  const char* name() const override { return "gauss_markov"; }
+
+ private:
+  GaussMarkovParams params_;
+};
+
+class WaypointTrace final : public LegTrackModel {
+ public:
+  explicit WaypointTrace(const WaypointTraceParams& params = {});
+
+  const Arena& arena() const override { return arena_; }
+  double max_speed_mps() const override { return max_speed_mps_; }
+  const char* name() const override { return "waypoint_trace"; }
+
+ private:
+  Arena arena_;
+  double max_speed_mps_ = 0.0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_MOBILITY_MOBILITY_MODEL_H_

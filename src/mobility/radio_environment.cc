@@ -1,0 +1,132 @@
+#include "src/mobility/radio_environment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/random.h"
+
+namespace odyssey {
+namespace {
+
+// Corner-hash mixing constants (distinct odd multipliers per axis).
+constexpr uint64_t kNoiseGammaX = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kNoiseGammaY = 0xc2b2ae3d27d4eb4fULL;
+
+}  // namespace
+
+const char* BaseStationLayoutName(BaseStationLayout layout) {
+  switch (layout) {
+    case BaseStationLayout::kSingleCell:
+      return "single_cell";
+    case BaseStationLayout::kCellGrid:
+      return "cell_grid";
+    case BaseStationLayout::kCorridor:
+      return "corridor";
+  }
+  return "unknown";
+}
+
+const std::vector<BandwidthTier>& WaveLanTiers() {
+  static const std::vector<BandwidthTier> kTiers = {
+      {16.0, 256.0 * 1024.0, 8 * kMillisecond},   // full-rate WaveLAN, ~2 Mb/s
+      {11.0, 128.0 * 1024.0, 12 * kMillisecond},  // ~1 Mb/s
+      {7.0, 64.0 * 1024.0, 18 * kMillisecond},
+      {4.0, 32.0 * 1024.0, 30 * kMillisecond},
+      {2.0, 12.0 * 1024.0, 45 * kMillisecond},  // cell edge
+  };
+  return kTiers;
+}
+
+const BandwidthTier& DeadZoneTier() {
+  static const BandwidthTier kDead = {-1e9, 0.0, 60 * kMillisecond};
+  return kDead;
+}
+
+RadioEnvironment::RadioEnvironment(BaseStationLayout layout, const Arena& arena,
+                                   const RadioParams& params, uint64_t seed)
+    : params_(params), seed_(seed) {
+  const double spacing = std::max(params_.station_spacing_m, 1.0);
+  switch (layout) {
+    case BaseStationLayout::kSingleCell:
+      stations_.push_back(Vec2{arena.width_m / 2.0, arena.height_m / 2.0});
+      break;
+    case BaseStationLayout::kCellGrid: {
+      const int cols = std::max(1, static_cast<int>(std::ceil(arena.width_m / spacing)));
+      const int rows = std::max(1, static_cast<int>(std::ceil(arena.height_m / spacing)));
+      for (int row = 0; row < rows; ++row) {
+        for (int col = 0; col < cols; ++col) {
+          stations_.push_back(Vec2{(col + 0.5) * arena.width_m / cols,
+                                   (row + 0.5) * arena.height_m / rows});
+        }
+      }
+      break;
+    }
+    case BaseStationLayout::kCorridor: {
+      const int cols = std::max(2, static_cast<int>(std::ceil(arena.width_m / spacing)));
+      for (int col = 0; col < cols; ++col) {
+        stations_.push_back(Vec2{(col + 0.5) * arena.width_m / cols, arena.height_m / 2.0});
+      }
+      break;
+    }
+  }
+}
+
+double RadioEnvironment::CornerNoise(int64_t i, int64_t j) const {
+  SplitMix64 mix(seed_ ^ (static_cast<uint64_t>(i) * kNoiseGammaX) ^
+                 (static_cast<uint64_t>(j) * kNoiseGammaY));
+  // Sum of three uniforms, centered and scaled: approximately normal with
+  // unit standard deviation, bounded to [-3, 3], and fully determined by
+  // (seed, corner) — no engine state leaks between corners.
+  double sum = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    sum += static_cast<double>(mix.Next() >> 11) * 0x1.0p-53;
+  }
+  return (sum - 1.5) * 2.0;
+}
+
+double RadioEnvironment::ShadowingDbAt(const Vec2& position) const {
+  const double cell = std::max(params_.shadowing_cell_m, 1e-3);
+  const double gx = position.x / cell;
+  const double gy = position.y / cell;
+  const double fi = std::floor(gx);
+  const double fj = std::floor(gy);
+  const auto i = static_cast<int64_t>(fi);
+  const auto j = static_cast<int64_t>(fj);
+  double tx = gx - fi;
+  double ty = gy - fj;
+  // Smoothstep fade keeps the field C1-continuous across cell borders.
+  tx = tx * tx * (3.0 - 2.0 * tx);
+  ty = ty * ty * (3.0 - 2.0 * ty);
+  const double n00 = CornerNoise(i, j);
+  const double n10 = CornerNoise(i + 1, j);
+  const double n01 = CornerNoise(i, j + 1);
+  const double n11 = CornerNoise(i + 1, j + 1);
+  const double nx0 = n00 + (n10 - n00) * tx;
+  const double nx1 = n01 + (n11 - n01) * tx;
+  return params_.shadowing_sigma_db * (nx0 + (nx1 - nx0) * ty);
+}
+
+double RadioEnvironment::SnrDbAt(const Vec2& position) const {
+  double best_rx_dbm = -1e12;
+  for (const Vec2& station : stations_) {
+    const double distance =
+        std::max(Distance(position, station), params_.reference_distance_m);
+    const double loss =
+        params_.reference_loss_db +
+        10.0 * params_.path_loss_exponent * std::log10(distance / params_.reference_distance_m);
+    best_rx_dbm = std::max(best_rx_dbm, params_.tx_power_dbm - loss);
+  }
+  return best_rx_dbm + ShadowingDbAt(position) - params_.noise_floor_dbm;
+}
+
+const BandwidthTier& RadioEnvironment::TierAt(const Vec2& position) const {
+  const double snr = SnrDbAt(position);
+  for (const BandwidthTier& tier : WaveLanTiers()) {
+    if (snr >= tier.min_snr_db) {
+      return tier;
+    }
+  }
+  return DeadZoneTier();
+}
+
+}  // namespace odyssey

@@ -1,0 +1,90 @@
+// The signal model: position -> strongest base station -> log-distance path
+// loss with deterministic spatially-correlated shadowing -> SNR -> a stepped
+// bandwidth tier (WaveLAN-like 2 Mb/s stepping down to a dead zone).
+//
+// Everything is a pure function of (layout, arena, params, seed, position):
+// shadowing is value noise over a fixed grid of SplitMix64-hashed corners,
+// so the same coordinates always see the same fade and two workers sampling
+// the same environment agree bit for bit.
+
+#ifndef SRC_MOBILITY_RADIO_ENVIRONMENT_H_
+#define SRC_MOBILITY_RADIO_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mobility/mobility_model.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+// How base stations cover the arena.
+enum class BaseStationLayout : int {
+  kSingleCell = 0,  // one station at the arena center
+  kCellGrid = 1,    // stations on a grid, one per ~station_spacing_m cell
+  kCorridor = 2,    // a line of stations along the arena's horizontal axis
+};
+
+inline constexpr int kBaseStationLayouts = 3;
+
+const char* BaseStationLayoutName(BaseStationLayout layout);
+
+struct RadioParams {
+  double tx_power_dbm = 20.0;
+  double reference_loss_db = 40.0;  // path loss at the reference distance
+  double reference_distance_m = 1.0;
+  double path_loss_exponent = 3.0;
+  double shadowing_sigma_db = 6.0;
+  double shadowing_cell_m = 40.0;  // spatial correlation scale of the fading
+  double noise_floor_dbm = -92.0;
+  double station_spacing_m = 320.0;  // kCellGrid / kCorridor coverage pitch
+};
+
+// One rung of the bandwidth ladder: the rate and latency granted while the
+// SNR is at least min_snr_db (and below the next rung up).
+struct BandwidthTier {
+  double min_snr_db = 0.0;
+  double bandwidth_bps = 0.0;  // bytes/second, like TraceSegment
+  Duration latency = 0;
+
+  bool operator==(const BandwidthTier&) const = default;
+};
+
+// The WaveLAN-like ladder, best tier first: 256 KB/s (~2 Mb/s) at high SNR
+// stepping down to 12 KB/s at the cell edge.  Positions below the last
+// rung's threshold fall into DeadZoneTier().
+const std::vector<BandwidthTier>& WaveLanTiers();
+
+// The no-coverage tier: zero bandwidth (a radio shadow).
+const BandwidthTier& DeadZoneTier();
+
+class RadioEnvironment {
+ public:
+  RadioEnvironment(BaseStationLayout layout, const Arena& arena, const RadioParams& params,
+                   uint64_t seed);
+
+  const std::vector<Vec2>& stations() const { return stations_; }
+
+  // Deterministic shadowing in dB at |position| (zero-mean, roughly
+  // shadowing_sigma_db standard deviation, smooth over shadowing_cell_m).
+  double ShadowingDbAt(const Vec2& position) const;
+
+  // SNR via the strongest station: tx power minus log-distance path loss,
+  // plus shadowing, over the noise floor.
+  double SnrDbAt(const Vec2& position) const;
+
+  // The bandwidth tier granted at |position| (DeadZoneTier() when the SNR
+  // is below every rung).
+  const BandwidthTier& TierAt(const Vec2& position) const;
+
+ private:
+  double CornerNoise(int64_t i, int64_t j) const;
+
+  RadioParams params_;
+  uint64_t seed_ = 0;
+  std::vector<Vec2> stations_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_MOBILITY_RADIO_ENVIRONMENT_H_

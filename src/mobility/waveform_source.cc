@@ -1,0 +1,130 @@
+#include "src/mobility/waveform_source.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace odyssey {
+namespace {
+
+// Stream tag separating the waveform pipeline's seed derivations from every
+// other consumer of a trial seed.
+constexpr uint64_t kWaveformTag = 0x6f64796d6f62ULL;  // "odymob"
+
+}  // namespace
+
+MobilityWaveformSource::MobilityWaveformSource(const MobilityModel* model,
+                                               const RadioEnvironment* environment)
+    : model_(model), environment_(environment) {}
+
+ReplayTrace MobilityWaveformSource::Sample(const WaveformSourceOptions& options) const {
+  ReplayTrace trace;
+  if (options.duration <= 0) {
+    return trace;
+  }
+  const Duration period = options.sample_period < 1 ? 1 : options.sample_period;
+  TraceSegment current;
+  bool have_segment = false;
+  Time t = 0;
+  while (t < options.duration) {
+    const Duration span = std::min(period, options.duration - t);
+    const BandwidthTier& tier = environment_->TierAt(model_->PositionAt(t));
+    if (have_segment && tier.bandwidth_bps == current.bandwidth_bps &&
+        tier.latency == current.latency) {
+      current.duration += span;
+    } else {
+      if (have_segment) {
+        trace.Append(current);
+      }
+      current = TraceSegment{span, tier.bandwidth_bps, tier.latency};
+      have_segment = true;
+    }
+    t += span;
+  }
+  if (have_segment) {
+    trace.Append(current);
+  }
+  if (options.ensure_live_tail && !trace.empty() &&
+      trace.segments().back().bandwidth_bps <= 0.0) {
+    // Track crawled to a stop inside a shadow: grant the cell-edge tier so
+    // in-flight transfers can drain (see WaveformSourceOptions).
+    const BandwidthTier& edge = WaveLanTiers().back();
+    std::vector<TraceSegment> segments = trace.segments();
+    segments.back().bandwidth_bps = edge.bandwidth_bps;
+    segments.back().latency = edge.latency;
+    trace = ReplayTrace(std::move(segments));
+  }
+  return trace;
+}
+
+const char* MobilityModelKindName(MobilityModelKind kind) {
+  switch (kind) {
+    case MobilityModelKind::kRandomWaypoint:
+      return "random_waypoint";
+    case MobilityModelKind::kManhattanGrid:
+      return "manhattan_grid";
+    case MobilityModelKind::kGaussMarkov:
+      return "gauss_markov";
+    case MobilityModelKind::kWaypointTrace:
+      return "waypoint_trace";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<MobilityModel> MakeMobilityModel(const MobilityScenarioSpec& spec,
+                                                 uint64_t seed) {
+  const double scale = spec.speed_scale > 0.0 ? spec.speed_scale : 1.0;
+  switch (spec.model) {
+    case MobilityModelKind::kRandomWaypoint: {
+      RandomWaypointParams params;
+      params.arena = spec.arena;
+      params.min_speed_mps = 0.7 * scale;
+      params.max_speed_mps = 2.0 * scale;
+      params.duration = spec.duration;
+      return std::make_unique<RandomWaypoint>(params, seed);
+    }
+    case MobilityModelKind::kManhattanGrid: {
+      ManhattanGridParams params;
+      params.arena = spec.arena;
+      params.speed_mps = 12.0 * scale;
+      params.duration = spec.duration;
+      return std::make_unique<ManhattanGrid>(params, seed);
+    }
+    case MobilityModelKind::kGaussMarkov: {
+      GaussMarkovParams params;
+      params.arena = spec.arena;
+      params.mean_speed_mps = 1.5 * scale;
+      params.max_speed_mps = 3.0 * scale;
+      params.speed_sigma = 0.5 * scale;
+      params.alpha = spec.memory;
+      params.duration = spec.duration;
+      return std::make_unique<GaussMarkov>(params, seed);
+    }
+    case MobilityModelKind::kWaypointTrace: {
+      WaypointTraceParams params;
+      params.time_scale = 1.0 / scale;
+      return std::make_unique<WaypointTrace>(params);
+    }
+  }
+  return nullptr;
+}
+
+ReplayTrace MakeMobilityWaveform(const MobilityScenarioSpec& spec, uint64_t seed) {
+  SplitMix64 mix(seed ^ kWaveformTag);
+  const uint64_t model_seed = mix.Next();
+  const uint64_t radio_seed = mix.Next();
+  const std::unique_ptr<MobilityModel> model = MakeMobilityModel(spec, model_seed);
+  // Stations cover the model's arena (kWaypointTrace fixes its own geometry).
+  const RadioEnvironment environment(spec.layout, model->arena(), spec.radio, radio_seed);
+  const MobilityWaveformSource source(model.get(), &environment);
+  WaveformSourceOptions options;
+  options.duration = spec.duration;
+  options.sample_period = spec.sample_period;
+  options.ensure_live_tail = spec.ensure_live_tail;
+  return source.Sample(options);
+}
+
+}  // namespace odyssey

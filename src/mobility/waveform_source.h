@@ -1,0 +1,90 @@
+// MobilityWaveformSource: samples a (model, radio environment) pair into the
+// piecewise-constant ReplayTrace representation the rest of the system
+// already consumes — the Modulator, the estimator, and all six wardens run
+// unmodified over a motion-generated waveform.
+//
+// MobilityScenarioSpec + MakeMobilityWaveform is the one-call entry point
+// the campaign variants, the fuzzer's mobility dimension, and the examples
+// share: a spec plus a seed deterministically yields a waveform.
+
+#ifndef SRC_MOBILITY_WAVEFORM_SOURCE_H_
+#define SRC_MOBILITY_WAVEFORM_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/mobility/mobility_model.h"
+#include "src/mobility/radio_environment.h"
+#include "src/sim/time.h"
+#include "src/tracemod/replay_trace.h"
+
+namespace odyssey {
+
+struct WaveformSourceOptions {
+  Duration duration = 120 * kSecond;
+  Duration sample_period = 500 * kMillisecond;
+  // When true and the sampled waveform ends inside a radio shadow, the final
+  // segment's parameters are replaced with the lowest live tier.  The
+  // Modulator holds the final segment forever, so a dead tail would strand
+  // every transfer still in flight at the end of the trace; the fuzzer's
+  // drain guarantee (and the hand-rolled generator's "final segment has
+  // positive bandwidth" rule) depend on this.
+  bool ensure_live_tail = true;
+};
+
+class MobilityWaveformSource {
+ public:
+  // Neither pointer is owned; both must outlive the source.
+  MobilityWaveformSource(const MobilityModel* model, const RadioEnvironment* environment);
+
+  // Samples position -> tier every sample_period and merges runs of equal
+  // parameters into segments.  Segment durations sum to exactly
+  // options.duration.
+  ReplayTrace Sample(const WaveformSourceOptions& options) const;
+
+ private:
+  const MobilityModel* model_;
+  const RadioEnvironment* environment_;
+};
+
+// --- Named specs: the shared entry point ---
+
+enum class MobilityModelKind : int {
+  kRandomWaypoint = 0,
+  kManhattanGrid = 1,
+  kGaussMarkov = 2,
+  kWaypointTrace = 3,
+};
+
+inline constexpr int kMobilityModelKinds = 4;
+
+const char* MobilityModelKindName(MobilityModelKind kind);
+
+// A complete mobility scenario: which model moves through which coverage
+// layout, and how the pipeline is sampled.  speed_scale multiplies the
+// model's default speeds (pedestrian defaults; ~3x is a jog, ~8x a drive);
+// for kWaypointTrace it compresses the embedded drive's schedule instead.
+// kWaypointTrace ignores |arena| (the embedded trace fixes its own).
+struct MobilityScenarioSpec {
+  MobilityModelKind model = MobilityModelKind::kRandomWaypoint;
+  BaseStationLayout layout = BaseStationLayout::kSingleCell;
+  Arena arena;
+  double speed_scale = 1.0;
+  double memory = 0.75;  // Gauss-Markov alpha (ignored by the other models)
+  Duration duration = 120 * kSecond;
+  Duration sample_period = 500 * kMillisecond;
+  RadioParams radio;
+  bool ensure_live_tail = true;
+};
+
+// Builds the spec's model from a SplitMix64-derived stream of |seed|.
+std::unique_ptr<MobilityModel> MakeMobilityModel(const MobilityScenarioSpec& spec,
+                                                 uint64_t seed);
+
+// The full pipeline: model -> radio environment (stations covering the
+// model's arena) -> sampled waveform.  A pure function of (spec, seed).
+ReplayTrace MakeMobilityWaveform(const MobilityScenarioSpec& spec, uint64_t seed);
+
+}  // namespace odyssey
+
+#endif  // SRC_MOBILITY_WAVEFORM_SOURCE_H_

@@ -1,5 +1,6 @@
 #include "src/tracemod/replay_trace.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -38,6 +39,23 @@ TraceSegment ReplayTrace::At(Time t) const {
     }
   }
   return segments_.back();
+}
+
+double ReplayTrace::IntegralBytes(Time until) const {
+  double bytes = 0.0;
+  Time t = 0;
+  for (const auto& segment : segments_) {
+    if (t >= until) {
+      return bytes;
+    }
+    const Duration span = std::min(segment.duration, until - t);
+    bytes += segment.bandwidth_bps * DurationToSeconds(span);
+    t += span;
+  }
+  if (t < until && !segments_.empty()) {
+    bytes += segments_.back().bandwidth_bps * DurationToSeconds(until - t);
+  }
+  return bytes;
 }
 
 ReplayTrace ReplayTrace::WithPriming(Duration lead) const {

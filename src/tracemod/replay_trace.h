@@ -52,6 +52,14 @@ class ReplayTrace {
   // of Figure 8.
   double BandwidthAt(Time t) const { return At(t).bandwidth_bps; }
 
+  // Integral of the nominal bandwidth over [0, until], in bytes — the upper
+  // bound on what a link modulated by this trace can deliver.  The final
+  // segment persists past the end of the trace (the At() rule), zero-width
+  // segments contribute nothing, and zero-bandwidth shadows integrate to
+  // zero.  This is the one audited integration path shared by the fuzzer's
+  // byte-conservation oracle and mobility-generated waveforms.
+  double IntegralBytes(Time until) const;
+
   // Returns a trace shifted in time by prefixing a segment that repeats the
   // first segment's parameters for |lead| microseconds.  Used to implement
   // the paper's 30-second priming period before observation starts.

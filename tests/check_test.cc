@@ -89,6 +89,72 @@ TEST(FuzzScenarioTest, IntegrateCapacityBytesMatchesHandComputation) {
   EXPECT_DOUBLE_EQ(IntegrateCapacityBytes(scenario, 20 * kSecond), 30000.0);
 }
 
+// --- The mobility dimension (ScenarioOptions::mobility) ---
+
+TEST(FuzzScenarioTest, MobilityOffMatchesDefaultGenerator) {
+  // The flag must be invisible when off: historical seeds keep producing
+  // byte-identical scenarios.
+  ScenarioOptions options;
+  options.mobility = false;
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    EXPECT_EQ(GenerateScenario(seed, options).Describe(), GenerateScenario(seed).Describe())
+        << "seed " << seed;
+  }
+}
+
+TEST(FuzzScenarioTest, MobilityGenerationIsDeterministic) {
+  ScenarioOptions options;
+  options.mobility = true;
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    EXPECT_EQ(GenerateScenario(seed, options).Describe(),
+              GenerateScenario(seed, options).Describe())
+        << "seed " << seed;
+  }
+}
+
+TEST(FuzzScenarioTest, MobilityScenariosHonorDrainGuarantee) {
+  ScenarioOptions options;
+  options.mobility = true;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const FuzzScenario scenario = GenerateScenario(seed, options);
+    ASSERT_FALSE(scenario.segments.empty()) << "seed " << seed;
+    EXPECT_GT(scenario.segments.back().bandwidth_bps, 0.0) << "seed " << seed;
+    for (const FuzzSegment& segment : scenario.segments) {
+      EXPECT_GT(segment.duration, 0) << "seed " << seed;
+      EXPECT_GE(segment.bandwidth_bps, 0.0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FuzzScenarioTest, MobilityProducesShadowsTheHandRolledDrawCannot) {
+  // The hand-rolled draw caps zero-bandwidth segments at 3 s; a dead zone
+  // crossed at walking pace lasts far longer.  Finding one proves the
+  // mobility waveforms actually reach the runner with shapes the original
+  // generator never produced.
+  ScenarioOptions options;
+  options.mobility = true;
+  bool long_shadow = false;
+  for (uint64_t seed = 1; seed <= 200 && !long_shadow; ++seed) {
+    for (const FuzzSegment& segment : GenerateScenario(seed, options).segments) {
+      if (segment.bandwidth_bps == 0.0 && segment.duration > 3 * kSecond) {
+        long_shadow = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(long_shadow) << "no mobility scenario produced a shadow beyond the 3 s cap";
+}
+
+TEST(FuzzRunnerTest, MobilitySeedsAreViolationFree) {
+  ScenarioOptions options;
+  options.mobility = true;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const FuzzRunResult result = RunFuzzScenario(GenerateScenario(seed, options));
+    EXPECT_TRUE(result.ok()) << "seed " << seed << "\n"
+                             << FormatViolations(result.violations);
+  }
+}
+
 // --- Runner determinism and clean mainline ---
 
 TEST(FuzzRunnerTest, RunIsDeterministic) {

@@ -101,7 +101,7 @@ TEST(ScenarioRegistryTest, FindVariant) {
 TEST(ScenarioRegistryTest, BuiltinsRegisterCleanly) {
   ScenarioRegistry registry;
   RegisterBuiltinScenarios(&registry);
-  EXPECT_EQ(registry.size(), 9u);  // one per figure/ablation/extension
+  EXPECT_EQ(registry.size(), 11u);  // one per figure/ablation/extension + mobility pair
   for (const std::string& name : registry.scenario_names()) {
     const Scenario* scenario = registry.Find(name);
     ASSERT_NE(scenario, nullptr);

@@ -1,0 +1,276 @@
+// Property and golden tests for src/mobility (DESIGN.md §14).
+//
+// The contracts under test are the ones the rest of the system leans on:
+// every model is a pure function of (seed, params, virtual time) — bit
+// identical across runs and across RunIndexedTasks worker counts — moves no
+// faster than max_speed_mps(), and never leaves its arena; the radio
+// pipeline is deterministic and monotone in distance (with shadowing off);
+// and sampled waveforms keep the drain guarantee the fuzzer documents.
+//
+// To regenerate the golden waveform after an intentional pipeline change:
+//   ODY_REGEN_GOLDEN=1 ./mobility_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/worker_pool.h"
+#include "src/mobility/mobility_model.h"
+#include "src/mobility/radio_environment.h"
+#include "src/mobility/waveform_source.h"
+#include "src/tracemod/replay_trace.h"
+
+namespace odyssey {
+namespace {
+
+constexpr uint64_t kSeeds[] = {1, 2, 3, 17, 1997, 0xdeadbeefull};
+
+// Builds every model kind at |seed| with default parameters.
+std::vector<std::unique_ptr<MobilityModel>> AllModels(uint64_t seed) {
+  std::vector<std::unique_ptr<MobilityModel>> models;
+  models.push_back(std::make_unique<RandomWaypoint>(RandomWaypointParams{}, seed));
+  models.push_back(std::make_unique<ManhattanGrid>(ManhattanGridParams{}, seed));
+  models.push_back(std::make_unique<GaussMarkov>(GaussMarkovParams{}, seed));
+  models.push_back(std::make_unique<WaypointTrace>());
+  return models;
+}
+
+// --- Determinism ---
+
+TEST(MobilityModelTest, TracksAreBitIdenticalAcrossConstructions) {
+  for (const uint64_t seed : kSeeds) {
+    const auto first = AllModels(seed);
+    const auto second = AllModels(seed);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      for (Time t = 0; t <= 130 * kSecond; t += 173 * kMillisecond) {
+        const Vec2 a = first[i]->PositionAt(t);
+        const Vec2 b = second[i]->PositionAt(t);
+        EXPECT_EQ(a.x, b.x) << first[i]->name() << " seed " << seed << " t " << t;
+        EXPECT_EQ(a.y, b.y) << first[i]->name() << " seed " << seed << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(MobilityModelTest, DifferentSeedsGiveDifferentTracks) {
+  const RandomWaypoint a(RandomWaypointParams{}, 1);
+  const RandomWaypoint b(RandomWaypointParams{}, 2);
+  bool differs = false;
+  for (Time t = 0; t <= 120 * kSecond && !differs; t += kSecond) {
+    differs = Distance(a.PositionAt(t), b.PositionAt(t)) > 1e-9;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MobilityWaveformTest, WaveformIsBitIdenticalAcrossJobCounts) {
+  // The campaign runner fans trials across a worker pool; a waveform built
+  // on any worker must serialize byte-identically to one built serially.
+  MobilityScenarioSpec spec;
+  spec.layout = BaseStationLayout::kCellGrid;
+  std::vector<std::string> serial(std::size(kSeeds));
+  for (size_t i = 0; i < std::size(kSeeds); ++i) {
+    serial[i] = MakeMobilityWaveform(spec, kSeeds[i]).Serialize();
+  }
+  std::vector<std::string> pooled(std::size(kSeeds));
+  RunIndexedTasks(4, std::size(kSeeds), [&](size_t i) {  // ody_lint: owned-capture
+    pooled[i] = MakeMobilityWaveform(spec, kSeeds[i]).Serialize();
+  });
+  EXPECT_EQ(serial, pooled);
+}
+
+// --- Physical plausibility ---
+
+TEST(MobilityModelTest, PositionsAreContinuousUnderMaxSpeed) {
+  // No teleports: between consecutive samples the displacement is bounded
+  // by max_speed * dt.  Leg end times are rounded to whole microseconds
+  // (floor), so a leg's realized speed can exceed nominal by up to one
+  // microsecond's worth — the 1e-3 relative slack covers that with room.
+  constexpr Duration kDt = 100 * kMillisecond;
+  for (const uint64_t seed : kSeeds) {
+    for (const auto& model : AllModels(seed)) {
+      const double bound = model->max_speed_mps() * DurationToSeconds(kDt) * 1.001 + 1e-9;
+      Vec2 prev = model->PositionAt(0);
+      for (Time t = kDt; t <= 130 * kSecond; t += kDt) {
+        const Vec2 next = model->PositionAt(t);
+        EXPECT_LE(Distance(prev, next), bound)
+            << model->name() << " seed " << seed << " t " << t;
+        prev = next;
+      }
+    }
+  }
+}
+
+TEST(MobilityModelTest, PositionsStayInsideArena) {
+  for (const uint64_t seed : kSeeds) {
+    for (const auto& model : AllModels(seed)) {
+      const Arena& arena = model->arena();
+      for (Time t = 0; t <= 130 * kSecond; t += 250 * kMillisecond) {
+        const Vec2 p = model->PositionAt(t);
+        EXPECT_GE(p.x, 0.0) << model->name() << " seed " << seed << " t " << t;
+        EXPECT_LE(p.x, arena.width_m) << model->name() << " seed " << seed << " t " << t;
+        EXPECT_GE(p.y, 0.0) << model->name() << " seed " << seed << " t " << t;
+        EXPECT_LE(p.y, arena.height_m) << model->name() << " seed " << seed << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(MobilityModelTest, PositionIsTotalBeyondTrackEnds) {
+  const RandomWaypoint model(RandomWaypointParams{}, 7);
+  const Vec2 start = model.PositionAt(0);
+  const Vec2 before = model.PositionAt(-5 * kSecond);
+  EXPECT_EQ(before.x, start.x);
+  EXPECT_EQ(before.y, start.y);
+  // Legs are generated until they cover the nominal duration, so the track
+  // ends at the final leg's boundary, somewhere past 120 s; after that the
+  // model parks at the final position forever.
+  const Vec2 parked = model.PositionAt(1000 * kSecond);
+  const Vec2 later = model.PositionAt(100000 * kSecond);
+  EXPECT_EQ(later.x, parked.x);
+  EXPECT_EQ(later.y, parked.y);
+}
+
+// --- Radio environment ---
+
+TEST(RadioEnvironmentTest, SnrFallsWithDistanceWithoutShadowing) {
+  RadioParams params;
+  params.shadowing_sigma_db = 0.0;
+  const Arena arena;
+  const RadioEnvironment env(BaseStationLayout::kSingleCell, arena, params, 1);
+  ASSERT_EQ(env.stations().size(), 1u);
+  const Vec2 station = env.stations()[0];
+  double prev_snr = env.SnrDbAt(station);
+  for (double d = 10.0; d <= 490.0; d += 20.0) {
+    const double snr = env.SnrDbAt(Vec2{station.x + d, station.y});
+    EXPECT_LT(snr, prev_snr) << "distance " << d;
+    prev_snr = snr;
+  }
+}
+
+TEST(RadioEnvironmentTest, TiersStepDownToDeadZone) {
+  RadioParams params;
+  params.shadowing_sigma_db = 0.0;
+  const Arena arena{4000.0, 4000.0};
+  const RadioEnvironment env(BaseStationLayout::kSingleCell, arena, params, 1);
+  const Vec2 station = env.stations()[0];
+  // At the station: the top tier.  Far enough out: the dead zone.
+  EXPECT_EQ(env.TierAt(station), WaveLanTiers().front());
+  EXPECT_EQ(env.TierAt(Vec2{0.0, 0.0}), DeadZoneTier());
+  // The granted bandwidth is monotone non-increasing along a ray.
+  double prev_bw = env.TierAt(station).bandwidth_bps;
+  for (double d = 5.0; d <= 1995.0; d += 10.0) {
+    const double bw = env.TierAt(Vec2{station.x + d, station.y}).bandwidth_bps;
+    EXPECT_LE(bw, prev_bw) << "distance " << d;
+    prev_bw = bw;
+  }
+}
+
+TEST(RadioEnvironmentTest, ShadowingIsDeterministicPerSeed) {
+  const Arena arena;
+  const RadioParams params;
+  const RadioEnvironment a(BaseStationLayout::kSingleCell, arena, params, 42);
+  const RadioEnvironment b(BaseStationLayout::kSingleCell, arena, params, 42);
+  const RadioEnvironment c(BaseStationLayout::kSingleCell, arena, params, 43);
+  bool differs = false;
+  for (double x = 0.0; x <= 1000.0; x += 37.0) {
+    for (double y = 0.0; y <= 1000.0; y += 41.0) {
+      const Vec2 p{x, y};
+      EXPECT_EQ(a.ShadowingDbAt(p), b.ShadowingDbAt(p)) << x << "," << y;
+      differs = differs || a.ShadowingDbAt(p) != c.ShadowingDbAt(p);
+    }
+  }
+  EXPECT_TRUE(differs) << "seed does not influence shadowing";
+}
+
+TEST(RadioEnvironmentTest, LayoutsCoverTheArena) {
+  const Arena arena;
+  const RadioParams params;
+  const RadioEnvironment single(BaseStationLayout::kSingleCell, arena, params, 1);
+  EXPECT_EQ(single.stations().size(), 1u);
+  const RadioEnvironment grid(BaseStationLayout::kCellGrid, arena, params, 1);
+  EXPECT_GT(grid.stations().size(), 1u);
+  const RadioEnvironment corridor(BaseStationLayout::kCorridor, arena, params, 1);
+  EXPECT_GE(corridor.stations().size(), 2u);
+  for (const Vec2& station : corridor.stations()) {
+    EXPECT_EQ(station.y, arena.height_m / 2.0);
+  }
+}
+
+// --- Waveform sampling ---
+
+TEST(MobilityWaveformTest, SegmentsSumExactlyToDurationWithLiveTail) {
+  for (const uint64_t seed : kSeeds) {
+    for (int model = 0; model < kMobilityModelKinds; ++model) {
+      for (int layout = 0; layout < kBaseStationLayouts; ++layout) {
+        MobilityScenarioSpec spec;
+        spec.model = static_cast<MobilityModelKind>(model);
+        spec.layout = static_cast<BaseStationLayout>(layout);
+        const ReplayTrace waveform = MakeMobilityWaveform(spec, seed);
+        ASSERT_FALSE(waveform.empty());
+        EXPECT_EQ(waveform.TotalDuration(), spec.duration)
+            << MobilityModelKindName(spec.model) << "/" << BaseStationLayoutName(spec.layout)
+            << " seed " << seed;
+        EXPECT_GT(waveform.segments().back().bandwidth_bps, 0.0)
+            << MobilityModelKindName(spec.model) << "/" << BaseStationLayoutName(spec.layout)
+            << " seed " << seed;
+        for (const TraceSegment& segment : waveform.segments()) {
+          EXPECT_GT(segment.duration, 0);
+          EXPECT_GE(segment.bandwidth_bps, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(MobilityWaveformTest, AdjacentSegmentsDiffer) {
+  // The sampler merges runs of equal parameters, so no two neighbours may
+  // share both bandwidth and latency (the live-tail patch may only alter
+  // the final segment, which keeps the property).
+  MobilityScenarioSpec spec;
+  spec.layout = BaseStationLayout::kCellGrid;
+  for (const uint64_t seed : kSeeds) {
+    const ReplayTrace waveform = MakeMobilityWaveform(spec, seed);
+    const std::vector<TraceSegment>& segments = waveform.segments();
+    for (size_t i = 0; i + 2 < segments.size(); ++i) {
+      const bool same_bandwidth = segments[i].bandwidth_bps == segments[i + 1].bandwidth_bps;
+      EXPECT_FALSE(same_bandwidth && segments[i].latency == segments[i + 1].latency)
+          << "seed " << seed << " segment " << i;
+    }
+  }
+}
+
+// --- Golden waveform ---
+
+const char* GoldenPath() { return ODYSSEY_GOLDEN_DIR "/mobility_rwp_seed1.txt"; }
+
+TEST(MobilityGoldenTest, RandomWaypointSeed1MatchesCheckedInWaveform) {
+  // The default spec (random waypoint, single cell) at seed 1: any change
+  // to the motion models, the radio pipeline, or the sampler shows up here
+  // as a precise textual diff.
+  const std::string current = MakeMobilityWaveform(MobilityScenarioSpec{}, 1).Serialize();
+
+  if (std::getenv("ODY_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << current;
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << GoldenPath()
+                         << "; regenerate with ODY_REGEN_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), current)
+      << "(if the change is intentional, regenerate with ODY_REGEN_GOLDEN=1 ./mobility_test)";
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -39,6 +39,52 @@ TEST(ReplayTraceTest, TotalDurationSumsSegments) {
   EXPECT_EQ(trace.TotalDuration(), 15 * kSecond);
 }
 
+TEST(ReplayTraceTest, IntegralBytesSumsSegmentAreas) {
+  ReplayTrace trace;
+  trace.Append(10 * kSecond, 100.0, 0);
+  trace.Append(20 * kSecond, 200.0, 0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(5 * kSecond), 500.0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(10 * kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(30 * kSecond), 1000.0 + 4000.0);
+}
+
+TEST(ReplayTraceTest, IntegralBytesFinalSegmentPersists) {
+  // Past the end of the trace the final segment's bandwidth keeps accruing,
+  // matching the At() rule and the modulation daemon's behaviour.
+  ReplayTrace trace;
+  trace.Append(10 * kSecond, 100.0, 0);
+  trace.Append(10 * kSecond, 50.0, 0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(40 * kSecond), 1000.0 + 500.0 + 20.0 * 50.0);
+}
+
+TEST(ReplayTraceTest, IntegralBytesZeroWidthSegmentsContributeNothing) {
+  ReplayTrace trace;
+  trace.Append(kSecond, 100.0, 0);
+  trace.Append(0, 1.0e9, 0);  // zero width: no area regardless of bandwidth
+  trace.Append(kSecond, 100.0, 0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(2 * kSecond), 200.0);
+  // A zero-width *final* segment still persists past the end (At() rule).
+  ReplayTrace tail;
+  tail.Append(kSecond, 100.0, 0);
+  tail.Append(0, 10.0, 0);
+  EXPECT_DOUBLE_EQ(tail.IntegralBytes(2 * kSecond), 100.0 + 10.0);
+}
+
+TEST(ReplayTraceTest, IntegralBytesZeroBandwidthShadowIsFlat) {
+  ReplayTrace trace;
+  trace.Append(kSecond, 100.0, 0);
+  trace.Append(5 * kSecond, 0.0, 0);  // radio shadow
+  trace.Append(kSecond, 100.0, 0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(6 * kSecond), 100.0);
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(7 * kSecond), 200.0);
+}
+
+TEST(ReplayTraceTest, IntegralBytesEmptyTraceIsZero) {
+  ReplayTrace trace;
+  EXPECT_DOUBLE_EQ(trace.IntegralBytes(100 * kSecond), 0.0);
+}
+
 TEST(ReplayTraceTest, WithPrimingPrefixesFirstSegment) {
   ReplayTrace trace = MakeStepUp();
   ReplayTrace primed = trace.WithPriming(30 * kSecond);

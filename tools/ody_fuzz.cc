@@ -1,7 +1,7 @@
 // ody_fuzz: the deterministic simulation fuzzer's fleet driver.
 //
 // Usage:
-//   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N]
+//   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N] [--mobility]
 //            [--selftest-mutation] [--selftest-tiebreak] [--no-shrink]
 //            [--repro-out=PATH] [--trace-out=PATH] [--verbose]
 //
@@ -9,8 +9,11 @@
 // with the same O(1) stream jump the bench campaigns use), executes each
 // against a fresh Odyssey stack under the invariant oracles, and reports
 // every violation.  --max-apps raises the scenario generator's population
-// bound (log-uniform above the default 8; see ScenarioOptions).  Output is
-// a pure function of (--runs, --seed, --max-apps, --selftest-mutation,
+// bound (log-uniform above the default 8; see ScenarioOptions), and
+// --mobility arms the scenario generator's mobility dimension (about half
+// the runs take a motion-generated waveform from src/mobility).  Output is
+// a pure function of (--runs, --seed, --max-apps, --mobility,
+// --selftest-mutation,
 // --selftest-tiebreak): --jobs only changes wall-clock time, never a byte
 // of stdout or the artifacts — results land in per-run slots and are
 // printed in plan order after the pool drains.
@@ -60,6 +63,8 @@ struct Options {
   // ScenarioOptions::max_apps: at the default 8 scenarios are byte-identical
   // to the historical generator; larger values sweep large-N populations.
   int max_apps = 8;
+  // ScenarioOptions::mobility: arms the motion-generated waveform dimension.
+  bool mobility = false;
   bool selftest_mutation = false;
   bool selftest_tiebreak = false;
   bool shrink = true;
@@ -101,7 +106,7 @@ bool ParseInt(const std::string& text, int* out) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N]\n"
+               "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N] [--mobility]\n"
                "                [--selftest-mutation] [--selftest-tiebreak] [--no-shrink]\n"
                "                [--repro-out=PATH] [--trace-out=PATH] [--verbose]\n");
   return 2;
@@ -131,6 +136,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->repro_out = value;
     } else if (FlagValue(arg, "trace-out", &value)) {
       options->trace_out = value;
+    } else if (arg == "--mobility") {
+      options->mobility = true;
     } else if (arg == "--selftest-mutation") {
       options->selftest_mutation = true;
     } else if (arg == "--selftest-tiebreak") {
@@ -175,6 +182,7 @@ int main(int argc, char** argv) {
   run_options.selftest_tiebreak = options.selftest_tiebreak;
   odyssey::ScenarioOptions scenario_options;
   scenario_options.max_apps = options.max_apps;
+  scenario_options.mobility = options.mobility;
 
   // Fleet execution: every run writes only its own slot, so the report
   // below is independent of worker count and completion order.
@@ -188,8 +196,9 @@ int main(int argc, char** argv) {
     results[i] = RunFuzzScenario(GenerateScenario(seeds[i], scenario_options), run_options);
   });
 
-  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s%s\n", options.runs,
+  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s%s%s\n", options.runs,
               static_cast<unsigned long long>(options.seed), options.max_apps,
+              options.mobility ? ", mobility dimension on" : "",
               options.selftest_mutation ? ", selftest mutation armed" : "",
               options.selftest_tiebreak ? ", selftest tiebreak armed" : "");
 

@@ -47,7 +47,9 @@ RULES = {
     ),
     "unseeded-random": (
         "randomness outside src/sim/random.h; all streams must derive from "
-        "the trial's seed"
+        "the trial's seed (src/mobility is stricter still: no <random> "
+        "distributions and no literal-seeded generators — models take "
+        "explicit SplitMix64-derived seeds)"
     ),
     "float-equal": (
         "exact floating-point comparison; use a tolerance or integer units"
@@ -94,6 +96,14 @@ LIBRARY_DIRS = ("src",)
 SIMULATED_DIRS = ("src/sim", "src/net", "src/estimator")
 # The one blessed home for entropy.
 RANDOM_HOME = "src/sim/random.h"
+# The mobility models carry a stronger contract than the rest of src/: a
+# track must be a pure function of the explicit (seed, params) arguments, so
+# even the blessed Rng is off-limits when seeded with a literal (every trial
+# would replay the same track regardless of its seed), and <random>
+# distributions are banned outright (their sampling algorithms are
+# implementation-defined, which breaks bit-identical tracks across
+# platforms).
+MOBILITY_DIRS = ("src/mobility",)
 # The one blessed home for threads (see worker_pool.h's contract).
 THREAD_HOME = ("src/harness/worker_pool.h", "src/harness/worker_pool.cc")
 # The campaign engine: jobs-invariance requires it to stay shared-nothing.
@@ -233,6 +243,13 @@ _RANDOM_RE = re.compile(
     r"mt19937(?:_64)?\b|minstd_rand0?\b|ranlux(?:24|48)(?:_base)?\b|knuth_b\b)"
 )
 
+# The extra patterns applied under MOBILITY_DIRS: any <random> distribution
+# template, and an Rng/SplitMix64 constructed from an integer literal.
+_MOBILITY_RANDOM_RE = re.compile(
+    r"(\b\w+_distribution\s*<"
+    r"|\b(?:Rng|SplitMix64)(?:\s+\w+)?\s*[({]\s*\d[0-9'a-fA-FxX]*[uUlL]*\s*[)}])"
+)
+
 _COUT_RE = re.compile(r"(std::cout|\bprintf\s*\(|\bfprintf\s*\(\s*stdout\b|\bputs\s*\()")
 
 _FLOAT_LITERAL = r"[-+]?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fFlL]?"
@@ -258,12 +275,23 @@ def check_unseeded_random(sf: SourceFile) -> list[Violation]:
     if not _in_dirs(sf.relpath, LIBRARY_DIRS) or sf.relpath == RANDOM_HOME:
         return []
     out = []
+    mobility = _in_dirs(sf.relpath, MOBILITY_DIRS)
     for idx, line in enumerate(sf.code_lines, start=1):
         m = _RANDOM_RE.search(line)
         if m:
             out.append(Violation(sf.relpath, idx, "unseeded-random",
                                  f"'{m.group(0).strip()}' bypasses the seeded Rng in "
                                  "src/sim/random.h"))
+            continue
+        if mobility:
+            m = _MOBILITY_RANDOM_RE.search(line)
+            if m:
+                out.append(Violation(sf.relpath, idx, "unseeded-random",
+                                     f"'{m.group(0).strip()}' in a mobility model; a track "
+                                     "must be a pure function of the explicit trial seed — "
+                                     "derive every stream via SplitMix64 from the (seed, "
+                                     "params) arguments, never from a literal seed or a "
+                                     "<random> distribution"))
     return out
 
 

@@ -69,6 +69,24 @@ class OdyLintTest(unittest.TestCase):
         rel = self.place("unseeded_random_bad.cc", "src/sim/random.h")
         self.assertNotIn("unseeded-random", self.rules_found(rel))
 
+    def test_mobility_random_strictness_flagged(self):
+        rel = self.place("mobility_random_bad.cc", "src/mobility/mobility_random_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "unseeded-random"]
+        # The distribution, the literal-seeded Rng, and the literal-seeded
+        # SplitMix64 each fire; the seed-derived Good() shape stays clean.
+        self.assertEqual([v.line for v in violations], [11, 12, 13])
+
+    def test_mobility_random_strictness_scoped_to_mobility(self):
+        # The same file placed elsewhere in src/ only obeys the tree-wide
+        # rule, which none of these patterns trip.
+        rel = self.place("mobility_random_bad.cc", "src/core/mobility_random_bad.cc")
+        self.assertNotIn("unseeded-random", self.rules_found(rel))
+
+    def test_mobility_random_strictness_suppressed(self):
+        rel = self.place("mobility_random_suppressed.cc",
+                        "src/mobility/mobility_random_suppressed.cc")
+        self.assertNotIn("unseeded-random", self.rules_found(rel))
+
     # --- float-equal ---
 
     def test_float_equal_flagged(self):

@@ -1,0 +1,23 @@
+// Fixture: entropy misuse specific to the mobility models — a <random>
+// distribution (implementation-defined sampling) and literal-seeded
+// generators (the track would ignore the trial seed).
+#include <random>
+
+#include "src/sim/random.h"
+
+namespace odyssey {
+
+double Bad(Rng& rng) {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  Rng fixed(42);
+  SplitMix64 mix(0x1234u);
+  return uniform(rng) + fixed.NextDouble() + static_cast<double>(mix.Next());
+}
+
+double Good(uint64_t seed) {
+  // Deriving from the explicit seed is the blessed shape.
+  Rng rng(SplitMix64(seed).Next());
+  return rng.NextDouble();
+}
+
+}  // namespace odyssey

@@ -1,0 +1,13 @@
+// Fixture: line suppressions silence the mobility-specific patterns.
+#include "src/sim/random.h"
+
+namespace odyssey {
+
+double Suppressed() {
+  Rng fixed(42);  // ody-lint: allow(unseeded-random)
+  // ody-lint: allow(unseeded-random)
+  SplitMix64 mix(7u);
+  return fixed.NextDouble() + static_cast<double>(mix.Next());
+}
+
+}  // namespace odyssey
