@@ -137,6 +137,9 @@ std::string FuzzScenario::Describe() const {
   std::ostringstream out;
   out << "scenario seed=" << seed << " horizon=" << DurationToSeconds(horizon)
       << "s elements=" << ElementCount() << "\n";
+  if (fleet_nodes >= 2) {
+    out << "  fleet nodes=" << fleet_nodes << " servers=" << fleet_servers << "\n";
+  }
   for (const FuzzSegment& segment : segments) {
     out << "  segment " << DurationToSeconds(segment.duration) << "s "
         << segment.bandwidth_bps / 1024.0 << " KB/s latency "
@@ -257,6 +260,15 @@ FuzzScenario GenerateScenario(uint64_t seed, const ScenarioOptions& options) {
   const int fault_count = static_cast<int>(rng.UniformInt(kMaxFaults + 1));
   for (int i = 0; i < fault_count; ++i) {
     scenario.faults.push_back(GenerateFault(rng, scenario.horizon));
+  }
+
+  // Fleet dimension: drawn last, after every historical draw, so with the
+  // option off the stream above is bit-identical to the historical
+  // generator.  With it on, about half the scenarios run multi-node.
+  const bool fleet_dimension = options.fleet && rng.NextDouble() < 0.5;
+  if (fleet_dimension) {
+    scenario.fleet_nodes = 2 + static_cast<int>(rng.UniformInt(7));
+    scenario.fleet_servers = 1 + static_cast<int>(rng.UniformInt(2));
   }
 
   return scenario;

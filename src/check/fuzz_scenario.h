@@ -99,6 +99,12 @@ struct FuzzScenario {
   std::vector<FuzzApp> apps;
   std::vector<FuzzFault> faults;
 
+  // Fleet dimension (ScenarioOptions::fleet): when >= 2, the scenario runs
+  // on the multi-node rig (src/fleet) with this many client nodes sharing
+  // |fleet_servers| server groups.  0 selects the classic single-node rig.
+  int fleet_nodes = 0;
+  int fleet_servers = 0;
+
   // Number of shrinkable elements: segments + apps + ops + faults.  The
   // shrinker minimizes this count; "minimal reproducer" is measured in it.
   size_t ElementCount() const;
@@ -128,6 +134,14 @@ struct ScenarioOptions {
   // final segment).  At the default false the generator stream is
   // untouched: historical seeds keep producing byte-identical scenarios.
   bool mobility = false;
+
+  // Fleet dimension: when true, roughly half the scenarios run on the
+  // multi-node rig — 2-8 client nodes (each a full viceroy + warden stack
+  // behind its own scaled waveform) sharing 1-2 server groups through the
+  // cross-node estimate aggregation protocol.  Like |mobility|, the extra
+  // draws happen after every historical draw, so at the default false the
+  // generator stream is untouched and scenarios stay byte-identical.
+  bool fleet = false;
 };
 
 // Synthesizes a schedulable scenario from |seed| alone.  Guarantees: at

@@ -167,7 +167,7 @@ void OracleSet::Sample() {
     Report("byte-conservation", 0, detail.str());
   }
 
-  if (!strategy_->HasEstimate()) {
+  if (strategy_ == nullptr || !strategy_->HasEstimate()) {
     return;
   }
   const SupplyModelInterface& model = strategy_->supply_model();

@@ -70,7 +70,9 @@ class OracleSet {
 
   // Audits the stack owned by the runner.  All pointers are borrowed and
   // must outlive the oracle set.  |scenario| supplies the nominal waveform
-  // for the byte-conservation bound.
+  // for the byte-conservation bound.  |strategy| may be null (fleet nodes
+  // running laissez-faire or blind optimism); the supply/fair-share audits
+  // are skipped and the strategy-independent oracles still run.
   OracleSet(const FuzzScenario& scenario, Simulation* sim, Viceroy* viceroy,
             CentralizedStrategy* strategy, Link* link);
 

@@ -36,6 +36,9 @@ Endpoint* OdysseyClient::OpenConnection(AppId app, const std::string& service_na
   endpoint->set_retry_policy(retry_policy_);
   endpoint->set_fault_injector(fault_injector_);
   viceroy_.AttachConnection(app, endpoint);
+  if (connection_observer_) {
+    connection_observer_(endpoint, service_name);
+  }
   return endpoint;
 }
 

@@ -21,6 +21,7 @@
 #ifndef SRC_CORE_ODYSSEY_CLIENT_H_
 #define SRC_CORE_ODYSSEY_CLIENT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,6 +76,14 @@ class OdysseyClient {
   // Routes all connection traffic through |injector| (null detaches).  The
   // injector must outlive the client's traffic.
   void set_fault_injector(FaultInjector* injector);
+
+  // Observes every connection the client opens (explicitly or on behalf of
+  // a warden), after it is attached to the viceroy.  The fleet layer uses
+  // this to map connections onto shared-server groups by service name.
+  using ConnectionObserver = std::function<void(Endpoint* endpoint, const std::string& service)>;
+  void set_connection_observer(ConnectionObserver observer) {
+    connection_observer_ = std::move(observer);
+  }
 
   // --- The Odyssey API (Figure 3) ---
 
@@ -151,6 +160,7 @@ class OdysseyClient {
   Simulation* sim_;
   Link* link_;
   Viceroy viceroy_;
+  ConnectionObserver connection_observer_;
   RetryPolicy retry_policy_;
   FaultInjector* fault_injector_ = nullptr;
   ObjectNamespace namespace_;

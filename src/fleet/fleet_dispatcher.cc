@@ -1,0 +1,79 @@
+#include "src/fleet/fleet_dispatcher.h"
+
+#include <utility>
+
+namespace odyssey {
+
+void FleetDispatcher::RegisterNode(FleetNodeId node, const ReplayTrace* waveform,
+                                   FaultInjector* injector, Handler handler) {
+  nodes_[node] = Node{waveform, injector, std::move(handler)};
+}
+
+bool FleetDispatcher::Send(FleetNodeId from, FleetNodeId to, const FleetMessage& message) {
+  const auto sender = nodes_.find(from);
+  const auto receiver = nodes_.find(to);
+  if (sender == nodes_.end() || receiver == nodes_.end()) {
+    return false;
+  }
+  ++messages_sent_;
+  const Time now = sim_->now();
+  FaultInjector* out = sender->second.injector;
+  if (out != nullptr && (out->InOutage(now) || out->ShouldDropMessage())) {
+    ++messages_dropped_;
+    return false;
+  }
+  // One-way delay: the sender's uplink parameters at the send instant.  A
+  // zero-bandwidth radio shadow transmits nothing, so the message is lost
+  // rather than queued — the same fate app traffic meets on a dead link.
+  TraceSegment segment;
+  if (sender->second.waveform != nullptr && !sender->second.waveform->empty()) {
+    segment = sender->second.waveform->At(now);
+    if (segment.bandwidth_bps <= 0.0) {
+      ++messages_dropped_;
+      return false;
+    }
+  } else {
+    segment.bandwidth_bps = 0.0;  // ideal link: no serialization term
+    segment.latency = 0;
+  }
+  Duration delay = segment.latency;
+  if (segment.bandwidth_bps > 0.0) {
+    delay += SecondsToDuration(kMessageBytes / segment.bandwidth_bps);
+  }
+  // |message| is POD and copied by value into the event; nothing of the
+  // sender escapes into the delivery.
+  sim_->Post(delay, [this, to, message] { Deliver(to, message); });
+  return true;
+}
+
+int FleetDispatcher::Broadcast(FleetNodeId from, const FleetMessage& message) {
+  int sent = 0;
+  for (const auto& entry : nodes_) {
+    if (entry.first == from) {
+      continue;
+    }
+    if (Send(from, entry.first, message)) {
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+void FleetDispatcher::Deliver(FleetNodeId to, const FleetMessage& message) {
+  const auto it = nodes_.find(to);
+  if (it == nodes_.end()) {
+    return;
+  }
+  // A receiver inside an outage window is off the air: the message is lost
+  // in flight, exactly as the link would lose an RPC leg.
+  if (it->second.injector != nullptr && it->second.injector->InOutage(sim_->now())) {
+    ++messages_dropped_;
+    return;
+  }
+  ++messages_delivered_;
+  if (it->second.handler) {
+    it->second.handler(message);
+  }
+}
+
+}  // namespace odyssey

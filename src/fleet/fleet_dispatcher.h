@@ -1,0 +1,87 @@
+// The virtual-time message bus between fleet nodes (DESIGN.md §15).
+//
+// Inter-viceroy control traffic rides the same waveforms and faults as app
+// traffic: a send consults the sender's nominal link waveform (ReplayTrace)
+// for one-way latency and serialization delay, and the sender's/receiver's
+// FaultInjector for outages and probabilistic drops.  All delivery happens
+// on the shared Simulation's event queue, so a fleet of N nodes remains a
+// single-threaded, bit-reproducible discrete-event program.
+//
+// Determinism argument:
+//   * A send's fate and delay are pure functions of (send time, sender
+//     waveform, armed fault plan and its private seeded stream).
+//   * Broadcast offers messages to peers in ascending node id, so the
+//     injector's probabilistic stream is consumed in a fixed order.
+//   * Same-timestamp deliveries pop in scheduling order (the event queue's
+//     deterministic tie-break), and receivers only fold messages into
+//     seq-keyed tables (see FleetAggregator), so even reordered deliveries
+//     cannot change the merged state.
+
+#ifndef SRC_FLEET_FLEET_DISPATCHER_H_
+#define SRC_FLEET_FLEET_DISPATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/fleet/fleet_message.h"
+#include "src/net/fault_injector.h"
+#include "src/sim/simulation.h"
+#include "src/tracemod/replay_trace.h"
+
+namespace odyssey {
+
+class FleetDispatcher {
+ public:
+  using Handler = std::function<void(const FleetMessage&)>;
+
+  // Modeled size of one serialized control message; with the calibrated
+  // waveforms (8-240 KB/s) serialization costs 0.4-12 ms per message.
+  static constexpr double kMessageBytes = 96.0;
+
+  explicit FleetDispatcher(Simulation* sim) : sim_(sim) {}
+
+  FleetDispatcher(const FleetDispatcher&) = delete;
+  FleetDispatcher& operator=(const FleetDispatcher&) = delete;
+
+  // Registers a node.  |waveform| is the node's nominal link waveform
+  // (borrowed; may be null for an ideal zero-delay link), |injector| the
+  // node's fault injector (borrowed; may be null for a fault-free link),
+  // and |handler| receives every message delivered to the node.
+  void RegisterNode(FleetNodeId node, const ReplayTrace* waveform, FaultInjector* injector,
+                    Handler handler);
+
+  // Offers one message from |from| to |to|.  Returns false when the message
+  // is lost at the sender (outage, probabilistic drop, or a zero-bandwidth
+  // radio shadow at the send instant); a loss at the receiver is only
+  // discovered at delivery time and counted in messages_dropped().
+  bool Send(FleetNodeId from, FleetNodeId to, const FleetMessage& message);
+
+  // Offers |message| to every other registered node, in ascending node id.
+  // Returns the number of sends that left the sender.
+  int Broadcast(FleetNodeId from, const FleetMessage& message);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    const ReplayTrace* waveform = nullptr;
+    FaultInjector* injector = nullptr;
+    Handler handler;
+  };
+
+  void Deliver(FleetNodeId to, const FleetMessage& message);
+
+  Simulation* sim_;
+  std::map<FleetNodeId, Node> nodes_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_FLEET_FLEET_DISPATCHER_H_

@@ -1,0 +1,63 @@
+// Wire schema of the odyfleet control plane (DESIGN.md §15).
+//
+// Every message the FleetDispatcher carries between viceroy nodes is a
+// plain-old-data struct: trivially copyable, standard layout, no pointers,
+// no owning containers.  PODness is what makes the bus deterministic — a
+// message is copied by value into the delivery event, so reordering or
+// dropping deliveries can never alias sender state — and it is enforced
+// both by the static_asserts below and by ody_lint's fleet-pod-message
+// rule (tools/ody_lint).
+
+#ifndef SRC_FLEET_FLEET_MESSAGE_H_
+#define SRC_FLEET_FLEET_MESSAGE_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+// A node's identity on the fleet bus.  Dense, assigned by the rig at
+// composition time, starting at 0.
+using FleetNodeId = uint32_t;
+
+// A shared server's identity.  Dense per scenario; the rig maps each
+// warden/service name onto one of these groups.
+using FleetServerId = uint32_t;
+
+enum class FleetMessageKind : uint32_t {
+  // Discovery: "I talk to this server".  Carries no estimate; it only
+  // establishes per-server membership so peers learn who shares a server.
+  kAnnounce = 0,
+  // Aggregation: the origin's latest local view of one server's supply.
+  kEstimate = 1,
+};
+
+struct FleetMessage {
+  FleetMessageKind kind = FleetMessageKind::kEstimate;
+  FleetNodeId origin = 0;
+  FleetServerId server = 0;
+  // Per-origin monotone sequence number.  The aggregator keeps only the
+  // highest-seq report per (origin, server), which makes the merged view a
+  // pure function of the delivered message *set* rather than the arrival
+  // order — the determinism-under-reordering argument of DESIGN.md §15.
+  uint64_t seq = 0;
+  // Virtual send time; the staleness-weighting input of the merge.
+  Time sent_at = 0;
+  // The origin's local total-supply estimate, bytes/second.
+  double supply_bps = 0.0;
+  // The origin's recent usage rate against this server, bytes/second.
+  double usage_bps = 0.0;
+  // The origin's count of recently active connections to this server.
+  int32_t active = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<FleetMessage>,
+              "fleet messages are copied by value into delivery events");
+static_assert(std::is_standard_layout_v<FleetMessage>,
+              "fleet messages are a wire schema, not a class hierarchy");
+
+}  // namespace odyssey
+
+#endif  // SRC_FLEET_FLEET_MESSAGE_H_

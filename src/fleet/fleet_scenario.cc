@@ -1,0 +1,598 @@
+#include "src/fleet/fleet_scenario.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/check/fuzz_scenario.h"
+#include "src/check/oracles.h"
+#include "src/core/contract.h"
+#include "src/core/odyssey_client.h"
+#include "src/core/resource.h"
+#include "src/fleet/fleet_aggregator.h"
+#include "src/fleet/fleet_dispatcher.h"
+#include "src/fleet/fleet_oracle.h"
+#include "src/fleet/fleet_supply_model.h"
+#include "src/metrics/experiment.h"
+#include "src/mobility/waveform_source.h"
+#include "src/net/fault_injector.h"
+#include "src/net/link.h"
+#include "src/net/modulator.h"
+#include "src/servers/file_server.h"
+#include "src/servers/telemetry_server.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+#include "src/strategies/blind_optimism.h"
+#include "src/strategies/centralized.h"
+#include "src/strategies/laissez_faire.h"
+#include "src/tracemod/replay_trace.h"
+#include "src/wardens/file_warden.h"
+#include "src/wardens/telemetry_warden.h"
+
+namespace odyssey {
+namespace {
+
+// Per-node stepped waveform, in KB/s per application; every quarter-horizon
+// transition pushes availability outside the apps' [0.7x, 1.3x] windows.
+constexpr double kFleetWaveKbps[] = {80.0, 220.0, 40.0, 140.0};
+
+constexpr Duration kFeedPeriod = 50 * kMillisecond;
+constexpr Duration kFairnessPeriod = 500 * kMillisecond;
+constexpr Duration kOraclePeriod = 100 * kMillisecond;
+constexpr Duration kDrainGrace = 2 * kSecond;
+constexpr Duration kReadPeriod = 1 * kSecond;
+// The convergence tail: no fault may touch a fleet message after
+// horizon - kConvergenceTail (matches the fleet fuzz runner's constant).
+constexpr Duration kConvergenceTail = 4 * kSecond;
+constexpr double kConvergenceTolerance = 0.01;
+
+enum class FleetStrategyKind { kOdyssey, kLaissezFaire, kBlindOptimism };
+
+const char* FleetStrategyName(FleetStrategyKind kind) {
+  switch (kind) {
+    case FleetStrategyKind::kOdyssey:
+      return "odyssey";
+    case FleetStrategyKind::kLaissezFaire:
+      return "laissez";
+    case FleetStrategyKind::kBlindOptimism:
+      return "blind";
+  }
+  return "?";
+}
+
+struct FleetParams {
+  int nodes = 2;
+  int servers = 2;
+  FleetStrategyKind strategy = FleetStrategyKind::kOdyssey;
+  bool mobility = false;
+  Duration horizon = 8 * kSecond;
+  int apps_per_node = 2;
+};
+
+// Stable service -> server-group mapping for warden-opened connections
+// (FNV-1a 64, same scheme as the fleet fuzz runner); explicit "fleet-s<k>"
+// services parse their suffix directly.
+FleetServerId ServerGroupOf(const std::string& service, int servers) {
+  constexpr char kPrefix[] = "fleet-s";
+  if (service.rfind(kPrefix, 0) == 0) {
+    return static_cast<FleetServerId>(
+        std::stoul(service.substr(sizeof(kPrefix) - 1)) % static_cast<unsigned long>(servers));
+  }
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : service) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<FleetServerId>(h % static_cast<uint64_t>(servers));
+}
+
+// The node's waveform: fixed quarters scaled by a per-node factor in
+// [0.6, 1.4), or a motion-generated trace (model rotated per node).  Either
+// way a pure function of (params, seed, node).
+ReplayTrace NodeWaveform(const FleetParams& params, uint64_t seed, int node) {
+  SplitMix64 mix(seed ^ (0x746965725f666cULL + static_cast<uint64_t>(node) * 0x9e3779b97f4a7c15ULL));
+  if (params.mobility) {
+    MobilityScenarioSpec spec;
+    spec.model = static_cast<MobilityModelKind>(node % kMobilityModelKinds);
+    spec.layout = (node % 2 == 0) ? BaseStationLayout::kSingleCell : BaseStationLayout::kCellGrid;
+    spec.speed_scale = 1.0 + static_cast<double>(node % 3);
+    spec.duration = params.horizon + kDrainGrace;
+    spec.ensure_live_tail = true;
+    return MakeMobilityWaveform(spec, mix.Next());
+  }
+  const double factor = 0.6 + static_cast<double>(mix.Next() >> 11) * 0x1.0p-53 * 0.8;
+  const double per_app = static_cast<double>(params.apps_per_node);
+  ReplayTrace trace;
+  for (const double kbps : kFleetWaveKbps) {
+    trace.Append(params.horizon / 4, kbps * 1024.0 * factor * per_app, 10 * kMillisecond);
+  }
+  return trace;
+}
+
+// The FuzzScenario handed to each node's OracleSet: segments mirror the
+// node's waveform so the byte-conservation bound is the true capacity
+// integral of that node's link.
+FuzzScenario MirrorScenario(const ReplayTrace& waveform, Duration horizon, uint64_t seed) {
+  FuzzScenario scenario;
+  scenario.seed = seed;
+  scenario.horizon = horizon;
+  for (const TraceSegment& segment : waveform.segments()) {
+    scenario.segments.push_back(FuzzSegment{segment.duration, segment.bandwidth_bps, segment.latency});
+  }
+  return scenario;
+}
+
+struct AppState {
+  AppId id = 0;
+  RequestId request = 0;  // current registration; 0 = none
+  int server = 0;         // server group this app's connection maps to
+  Endpoint* endpoint = nullptr;
+  double weight = 1.0;    // synthetic-feed share of the node waveform
+};
+
+// One client node of the fleet rig.  Declaration order is destruction
+// order in reverse: the oracle first, then the client (which detaches every
+// endpoint from the strategy), then the aggregator the fleet model borrows.
+struct FleetRigNode {
+  FuzzScenario scenario;
+  ReplayTrace waveform;
+  FaultPlan plan;
+  std::unique_ptr<Link> link;
+  std::unique_ptr<Modulator> modulator;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FleetAggregator> aggregator;
+  FleetSupplyModel* model = nullptr;        // owned by the strategy (odyssey only)
+  CentralizedStrategy* centralized = nullptr;  // owned by the client (odyssey only)
+  std::unique_ptr<OdysseyClient> client;
+  std::unique_ptr<OracleSet> oracle;
+  std::vector<AppState> apps;
+  uint64_t tick = 0;
+};
+
+class FleetRig {
+ public:
+  FleetRig(const FleetParams& params, uint64_t seed, TraceRecorder* trace)
+      : params_(params), seed_(seed), sim_(seed) {
+    ODY_ASSERT(params.servers >= 1 && params.servers <= 8, "fleet rig server count out of range");
+    sim_.set_trace(trace);
+  }
+
+  TrialMetrics Run() {
+    // Wall timing feeds only the stripped wall_* metrics, never the trial.
+    // ody-lint: allow(fleet-pod-message)
+    const auto wall_start = std::chrono::steady_clock::now();
+    Build();
+    Start();
+    sim_.RunUntil(params_.horizon + kDrainGrace);
+    Finish();
+    // ody-lint: allow(fleet-pod-message)
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+    return Metrics(wall.count());
+  }
+
+ private:
+  void Build() {
+    file_server_ = std::make_unique<FileServer>(&sim_.rng());
+    file_server_->Publish("doc/0", 32.0 * 1024.0);
+    telemetry_server_ = std::make_unique<TelemetryServer>(&sim_);
+    telemetry_server_->CreateFeed("feed0", 200 * kMillisecond, 100.0, 5.0);
+    dispatcher_ = std::make_unique<FleetDispatcher>(&sim_);
+
+    nodes_.reserve(static_cast<size_t>(params_.nodes));
+    for (int i = 0; i < params_.nodes; ++i) {
+      BuildNode(i);
+    }
+    for (int i = 0; i < params_.nodes; ++i) {
+      FleetAggregator* aggregator = nodes_[static_cast<size_t>(i)]->aggregator.get();
+      dispatcher_->RegisterNode(
+          static_cast<FleetNodeId>(i), &nodes_[static_cast<size_t>(i)]->waveform,
+          nodes_[static_cast<size_t>(i)]->injector.get(),
+          [aggregator](const FleetMessage& message) {  // ody_lint: owned-capture
+            aggregator->OnMessage(message);
+          });
+    }
+
+    std::vector<FleetOracleSet::NodeBinding> bindings;
+    bindings.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      bindings.push_back(FleetOracleSet::NodeBinding{static_cast<FleetNodeId>(i),
+                                                     nodes_[i]->model, nodes_[i]->aggregator.get()});
+    }
+    fleet_oracle_ = std::make_unique<FleetOracleSet>(&sim_, std::move(bindings), params_.servers);
+  }
+
+  void BuildNode(int index) {
+    auto node = std::make_unique<FleetRigNode>();
+    node->waveform = NodeWaveform(params_, seed_, index);
+    node->scenario = MirrorScenario(node->waveform, params_.horizon, seed_);
+    // Every fourth node (offset 1) rides out a mid-run outage, ending well
+    // before the convergence tail.
+    if (index % 4 == 1) {
+      node->plan.WithSeed(SplitMix64(seed_ ^ (0x6f7574ULL + static_cast<uint64_t>(index))).Next());
+      node->plan.WithOutage(params_.horizon / 4, 1 * kSecond);
+    }
+    const TraceSegment first = node->waveform.At(0);
+    node->link = std::make_unique<Link>(&sim_, first.bandwidth_bps, first.latency);
+    node->modulator = std::make_unique<Modulator>(&sim_, node->link.get());
+    node->injector = std::make_unique<FaultInjector>(&sim_, node->link.get());
+    if (!node->plan.empty()) {
+      node->injector->Arm(node->plan);
+    }
+    node->aggregator = std::make_unique<FleetAggregator>(&sim_, dispatcher_.get(),
+                                                         static_cast<FleetNodeId>(index), seed_);
+
+    std::unique_ptr<BandwidthStrategy> strategy;
+    switch (params_.strategy) {
+      case FleetStrategyKind::kOdyssey: {
+        auto model = std::make_unique<FleetSupplyModel>(node->aggregator.get());
+        node->model = model.get();
+        auto centralized = std::make_unique<CentralizedStrategy>(&sim_, std::move(model));
+        node->centralized = centralized.get();
+        strategy = std::move(centralized);
+        break;
+      }
+      case FleetStrategyKind::kLaissezFaire:
+        strategy = std::make_unique<LaissezFaireStrategy>();
+        break;
+      case FleetStrategyKind::kBlindOptimism:
+        strategy = std::make_unique<BlindOptimismStrategy>(node->modulator.get());
+        break;
+    }
+    node->client = std::make_unique<OdysseyClient>(&sim_, node->link.get(), std::move(strategy),
+                                                   kUpcallLatency);
+    if (node->model != nullptr) {
+      FleetSupplyModel* model = node->model;
+      const int servers = params_.servers;
+      node->client->set_connection_observer(
+          [model, servers](Endpoint* endpoint, const std::string& service) {
+            model->MapConnection(endpoint->id(), ServerGroupOf(service, servers));
+          });
+      node->aggregator->set_report_source(
+          [model, this] { return model->LocalReports(sim_.now()); });  // ody_lint: owned-capture
+    } else {
+      // Laissez-faire and blind optimism nodes still publish estimates so
+      // the discovery + convergence story covers every strategy: one report
+      // per server group, carrying the strategy's whole-link supply.
+      BandwidthStrategy* raw = &node->client->viceroy().strategy();
+      const int servers = params_.servers;
+      node->aggregator->set_report_source([raw, servers, this] {  // ody_lint: owned-capture
+        std::vector<FleetAggregator::LocalReport> reports;
+        if (!raw->HasEstimate()) {
+          return reports;
+        }
+        for (int s = 0; s < servers; ++s) {
+          FleetAggregator::LocalReport report;
+          report.server = static_cast<FleetServerId>(s);
+          report.supply_bps = raw->TotalSupply(sim_.now());
+          report.active = 1;
+          reports.push_back(report);
+        }
+        return reports;
+      });
+    }
+    node->client->InstallWarden(std::make_unique<FileWarden>(file_server_.get()));
+    node->client->InstallWarden(std::make_unique<TelemetryWarden>(telemetry_server_.get()));
+    node->client->set_fault_injector(node->injector.get());
+
+    node->oracle = std::make_unique<OracleSet>(node->scenario, &sim_, &node->client->viceroy(),
+                                               node->centralized, node->link.get());
+
+    SplitMix64 mix(seed_ ^ (0x61707073ULL + static_cast<uint64_t>(index)));
+    for (int a = 0; a < params_.apps_per_node; ++a) {
+      AppState app;
+      app.id = node->client->RegisterApplication("fleet" + std::to_string(index) + "-" +
+                                                 std::to_string(a));
+      app.server = a % params_.servers;
+      app.endpoint =
+          node->client->OpenConnection(app.id, "fleet-s" + std::to_string(app.server));
+      app.weight = 0.5 + static_cast<double>(mix.Next() >> 11) * 0x1.0p-53;
+      node->apps.push_back(app);
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  void Start() {
+    for (auto& node : nodes_) {
+      FleetRigNode* raw = node.get();
+      node->client->viceroy().upcalls().set_delivery_observer(
+          [raw](AppId app, uint64_t seq, RequestId request, ResourceId resource, double level,
+                Time posted_at) {
+            raw->oracle->OnUpcallDelivered(app, seq, request, resource, level, posted_at);
+          });
+      node->modulator->Replay(node->waveform);
+      node->aggregator->StopAt(params_.horizon);
+      node->aggregator->Start();
+      for (AppState& app : node->apps) {
+        RegisterWindow(raw, &app,
+                       node->client->CurrentLevel(app.id, ResourceId::kNetworkBandwidth));
+      }
+    }
+    OracleSet* lead = nodes_.front()->oracle.get();
+    sim_.set_step_observer([lead](Time when) { lead->OnStep(when); });  // ody_lint: owned-capture
+    // ody_lint: owned-capture
+    sim_.set_tie_observer([lead](Time when, uint64_t prev_seq, uint64_t seq) {
+      lead->OnTieBreak(when, prev_seq, seq);
+    });
+    sim_.Post(kFeedPeriod, [this] { Feed(); });
+    sim_.Post(kOraclePeriod, [this] { SampleOracles(); });
+    // Fairness sampling skips the first quarter (cold estimators).
+    sim_.PostAt(params_.horizon / 4, [this] { SampleFairness(); });
+    sim_.Post(kReadPeriod, [this] { ReadSweep(); });
+  }
+
+  void Finish() {
+    sim_.set_step_observer({});
+    sim_.set_tie_observer({});
+    const Time tail_start = params_.horizon - kConvergenceTail;
+    bool quiescent = tail_start > 0;
+    const Time end = params_.horizon + kDrainGrace;
+    for (const auto& node : nodes_) {
+      quiescent = quiescent && FaultPlanQuietAfter(node->plan, tail_start) &&
+                  WaveformLiveThroughout(node->waveform, tail_start, end);
+    }
+    for (auto& node : nodes_) {
+      node->client->viceroy().upcalls().set_delivery_observer({});
+      node->oracle->Finish();
+    }
+    fleet_oracle_->Finish(quiescent, kConvergenceTolerance);
+  }
+
+  void RegisterWindow(FleetRigNode* node, AppState* app, double level) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      ResourceDescriptor descriptor;
+      descriptor.resource = ResourceId::kNetworkBandwidth;
+      descriptor.lower = level * 0.7;
+      descriptor.upper = std::max(level * 1.3, descriptor.lower + 1.0);
+      descriptor.handler = [this, node, app](RequestId, ResourceId resource, double new_level) {
+        if (resource != ResourceId::kNetworkBandwidth) {
+          return;
+        }
+        app->request = 0;  // the delivered upcall consumed the registration
+        RegisterWindow(node, app, new_level);
+      };
+      const RequestResult result = node->client->Request(app->id, descriptor);
+      if (result.ok()) {
+        app->request = result.id;
+        ++windows_registered_;
+        node->oracle->OnWindowRegistered(app->id, result.id, descriptor.lower, descriptor.upper);
+        return;
+      }
+      level = result.current_level;
+    }
+  }
+
+  // Synthetic passive observations, as in the scale rig: each app's
+  // connection reports its weighted share of the node waveform once per
+  // feed period, with a round trip every tenth tick.
+  void Feed() {
+    const Time now = sim_.now();
+    if (now >= params_.horizon) {
+      return;
+    }
+    const double period_s = DurationToSeconds(kFeedPeriod);
+    for (auto& node : nodes_) {
+      const double rate =
+          node->waveform.BandwidthAt(now) / static_cast<double>(params_.apps_per_node);
+      int i = 0;
+      for (AppState& app : node->apps) {
+        app.endpoint->log().RecordThroughput(now, rate * app.weight * period_s, kFeedPeriod);
+        if (static_cast<int>(node->tick % 10) == i % 10) {
+          app.endpoint->log().RecordRoundTrip(
+              now, 10 * kMillisecond + static_cast<Duration>(i) * 100);
+        }
+        ++i;
+      }
+      ++node->tick;
+    }
+    sim_.Post(kFeedPeriod, [this] { Feed(); });
+  }
+
+  // Real bytes through the warden path: each node's first app re-reads the
+  // shared document once a second, so RPC retries and outage handling stay
+  // exercised alongside the synthetic feed.
+  void ReadSweep() {
+    if (sim_.now() >= params_.horizon) {
+      return;
+    }
+    for (auto& node : nodes_) {
+      node->client->Read(node->apps.front().id, std::string(kOdysseyRoot) + "files/doc/0",
+                         [](Status, std::string) {});
+    }
+    sim_.Post(kReadPeriod, [this] { ReadSweep(); });
+  }
+
+  void SampleOracles() {
+    if (sim_.now() > params_.horizon) {
+      return;
+    }
+    for (auto& node : nodes_) {
+      node->oracle->Sample();
+    }
+    fleet_oracle_->Sample();
+    sim_.Post(kOraclePeriod, [this] { SampleOracles(); });
+  }
+
+  // Fairness across the fleet, per server: each node's claim on server s is
+  // the sum of its mapped apps' current levels.  Jain index over the claims
+  // measures fairness; summed claims over the server's capacity share
+  // (total fleet nominal bandwidth / servers) measures overclaim.
+  void SampleFairness() {
+    const Time now = sim_.now();
+    if (now > params_.horizon) {
+      return;
+    }
+    double fleet_nominal = 0.0;
+    for (const auto& node : nodes_) {
+      fleet_nominal += node->waveform.BandwidthAt(now);
+    }
+    const double server_capacity = fleet_nominal / static_cast<double>(params_.servers);
+    for (int s = 0; s < params_.servers; ++s) {
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (const auto& node : nodes_) {
+        double claim = 0.0;
+        for (const AppState& app : node->apps) {
+          if (app.server == s) {
+            claim += node->client->CurrentLevel(app.id, ResourceId::kNetworkBandwidth);
+          }
+        }
+        sum += claim;
+        sum_sq += claim * claim;
+      }
+      auto& stats = fairness_[static_cast<size_t>(s)];
+      if (sum_sq > 0.0) {
+        stats.jain_sum += (sum * sum) / (static_cast<double>(nodes_.size()) * sum_sq);
+        ++stats.jain_samples;
+      }
+      if (server_capacity > 0.0) {
+        stats.overclaim_max = std::max(stats.overclaim_max, sum / server_capacity);
+        stats.overclaim_sum += sum / server_capacity;
+        ++stats.overclaim_samples;
+      }
+    }
+    sim_.Post(kFairnessPeriod, [this] { SampleFairness(); });
+  }
+
+  TrialMetrics Metrics(double wall_seconds) {
+    const double events = static_cast<double>(sim_.events_processed());
+    double upcalls = 0.0;
+    double latency_mean_sum = 0.0;
+    double latency_max_ms = 0.0;
+    uint64_t violations = fleet_oracle_->violation_count();
+    for (const auto& node : nodes_) {
+      const UpcallDispatcher& dispatcher = node->client->viceroy().upcalls();
+      upcalls += static_cast<double>(dispatcher.delivered_count());
+      latency_mean_sum += dispatcher.latency_mean_us() / 1000.0;
+      latency_max_ms = std::max(latency_max_ms, DurationToMillis(dispatcher.latency_max()));
+      violations += node->oracle->violation_count();
+    }
+    TrialMetrics metrics{
+        {"sim_events", events, MetricDirection::kEither},
+        {"upcalls", upcalls, MetricDirection::kEither},
+        {"windows_registered", static_cast<double>(windows_registered_),
+         MetricDirection::kEither},
+        {"upcall_latency_mean_ms", latency_mean_sum / static_cast<double>(nodes_.size()),
+         MetricDirection::kLowerIsBetter},
+        {"upcall_latency_max_ms", latency_max_ms, MetricDirection::kLowerIsBetter},
+        {"fleet_msgs", static_cast<double>(dispatcher_->messages_delivered()),
+         MetricDirection::kEither},
+        {"agg_spread_pct", fleet_oracle_->final_spread_pct(), MetricDirection::kLowerIsBetter},
+        {"oracle_violations", static_cast<double>(violations), MetricDirection::kLowerIsBetter},
+    };
+    for (int s = 0; s < params_.servers; ++s) {
+      const auto& stats = fairness_[static_cast<size_t>(s)];
+      metrics.push_back({"fairness_s" + std::to_string(s),
+                         stats.jain_samples > 0
+                             ? stats.jain_sum / static_cast<double>(stats.jain_samples)
+                             : 0.0,
+                         MetricDirection::kHigherIsBetter});
+      metrics.push_back({"overclaim_peak_s" + std::to_string(s), stats.overclaim_max,
+                         MetricDirection::kLowerIsBetter});
+      metrics.push_back({"overclaim_mean_s" + std::to_string(s),
+                         stats.overclaim_samples > 0
+                             ? stats.overclaim_sum / static_cast<double>(stats.overclaim_samples)
+                             : 0.0,
+                         MetricDirection::kLowerIsBetter});
+    }
+    // wall_* metrics depend on the machine and are stripped by
+    // `ody_bench run --strip-wall-out` before CI's byte comparison.
+    metrics.push_back({"wall_seconds", wall_seconds, MetricDirection::kEither});
+    metrics.push_back({"wall_events_per_sec", wall_seconds > 0.0 ? events / wall_seconds : 0.0,
+                       MetricDirection::kHigherIsBetter});
+    return metrics;
+  }
+
+  struct FairnessStats {
+    double jain_sum = 0.0;
+    int jain_samples = 0;
+    double overclaim_max = 0.0;
+    double overclaim_sum = 0.0;
+    int overclaim_samples = 0;
+  };
+
+  const FleetParams params_;
+  const uint64_t seed_;
+  Simulation sim_;
+  std::unique_ptr<FileServer> file_server_;
+  std::unique_ptr<TelemetryServer> telemetry_server_;
+  std::unique_ptr<FleetDispatcher> dispatcher_;
+  std::vector<std::unique_ptr<FleetRigNode>> nodes_;
+  std::unique_ptr<FleetOracleSet> fleet_oracle_;
+  // Indexed by server group; the rig caps servers well below this.
+  FairnessStats fairness_[8] = {};
+  uint64_t windows_registered_ = 0;
+};
+
+TrialMetrics RunFleetTrial(const FleetParams& params, uint64_t seed, TraceRecorder* trace) {
+  FleetRig rig(params, seed, trace);
+  return rig.Run();
+}
+
+}  // namespace
+
+void RegisterFleetScenarios(ScenarioRegistry* registry) {
+  Scenario scenario;
+  scenario.name = "fleet_share";
+  scenario.description =
+      "N viceroys sharing M servers through fleet estimate aggregation, per strategy and "
+      "waveform family, with all fuzzing oracles on";
+
+  const auto add = [&scenario](const FleetParams& params) {
+    const std::string name = "n" + std::to_string(params.nodes) + "_" +
+                             FleetStrategyName(params.strategy) + "_" +
+                             (params.mobility ? "mob" : "fixed");
+    scenario.variants.push_back(ScenarioVariant{
+        name, [params](uint64_t seed, TraceRecorder* trace) {
+          return RunFleetTrial(params, seed, trace);
+        }});
+  };
+
+  for (const int nodes : {2, 8, 32, 128}) {
+    for (const FleetStrategyKind strategy :
+         {FleetStrategyKind::kOdyssey, FleetStrategyKind::kLaissezFaire,
+          FleetStrategyKind::kBlindOptimism}) {
+      for (const bool mobility : {false, true}) {
+        FleetParams params;
+        params.nodes = nodes;
+        params.strategy = strategy;
+        params.mobility = mobility;
+        add(params);
+      }
+    }
+  }
+
+  const Status status = registry->Register(std::move(scenario));
+  ODY_ASSERT(status.ok(), "fleet scenario registration failed");
+}
+
+CampaignSpec FleetCampaign() {
+  CampaignSpec spec;
+  spec.name = "tier_fleet";
+  spec.description =
+      "fleet sharing: per-server fairness, overclaim and aggregation convergence for N in "
+      "{2, 8, 32, 128} nodes under centralized, laissez-faire and blind-optimism management";
+  const auto sweep = [&spec](int nodes, int trials) {
+    for (const char* strategy : {"odyssey", "laissez", "blind"}) {
+      for (const char* wave : {"fixed", "mob"}) {
+        spec.sweeps.push_back(SweepSpec{
+            "fleet_share",
+            {"n" + std::to_string(nodes) + "_" + std::string(strategy) + "_" + wave},
+            trials});
+      }
+    }
+  };
+  sweep(2, 2);
+  sweep(8, 1);
+  sweep(32, 1);
+  sweep(128, 1);
+  return spec;
+}
+
+}  // namespace odyssey

@@ -1,0 +1,37 @@
+// The tier_fleet campaign: N client nodes — each a full viceroy + warden
+// stack behind its own waveform-modulated link — sharing M servers through
+// the fleet estimate-aggregation protocol, under all fuzzing oracles.
+//
+// Each variant crosses a fleet size (N in {2, 8, 32, 128}) with a
+// bandwidth-management strategy (odyssey = centralized arbitration against
+// the fleet-merged *server* supply, laissez = per-node laissez-faire,
+// blind = per-node blind optimism) and a waveform family (fixed steps or
+// motion-generated mobility traces).  The headline figures are the
+// per-server fairness (Jain index across nodes' claims) and overclaim
+// (summed claims over the server's capacity share): centralized fleet
+// arbitration keeps claims near the per-server fair share while the
+// strategies that ignore their peers oversubscribe the shared servers.
+//
+// Like tier_scale this lives beside odyssey_check, keeping the OracleSet
+// armed per node throughout (oracle_violations gates at zero).
+
+#ifndef SRC_FLEET_FLEET_SCENARIO_H_
+#define SRC_FLEET_FLEET_SCENARIO_H_
+
+#include "src/harness/campaign.h"
+#include "src/harness/scenario_registry.h"
+
+namespace odyssey {
+
+// Registers the "fleet_share" scenario (variants n<N>_<strategy>_<wave>).
+// Asserts that registration succeeds, like RegisterScaleScenarios.
+void RegisterFleetScenarios(ScenarioRegistry* registry);
+
+// The tier_fleet campaign spec.  Callers that can run it (ody_bench, the
+// fleet tests) append it to the built-in list after registering the fleet
+// scenarios.
+CampaignSpec FleetCampaign();
+
+}  // namespace odyssey
+
+#endif  // SRC_FLEET_FLEET_SCENARIO_H_

@@ -1,6 +1,7 @@
 #include "src/strategies/centralized.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/core/contract.h"
 #include "src/trace/trace_macros.h"
@@ -33,6 +34,10 @@ CentralizedStrategy::CentralizedStrategy(Simulation* sim, const SupplyModelConfi
     fast_model_ = static_cast<SupplyModel*>(model_.get());
   }
 }
+
+CentralizedStrategy::CentralizedStrategy(Simulation* sim,
+                                         std::unique_ptr<SupplyModelInterface> model)
+    : sim_(sim), model_(std::move(model)) {}
 
 CentralizedStrategy::~CentralizedStrategy() {
   for (auto& [connection, endpoint] : endpoints_) {

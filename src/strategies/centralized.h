@@ -36,6 +36,10 @@ class CentralizedStrategy : public BandwidthStrategy, public LogListener {
   // hints (forcing the viceroy's full scan).
   explicit CentralizedStrategy(Simulation* sim, const SupplyModelConfig& config = {},
                                SupplyModelKind kind = SupplyModelKind::kIncremental);
+  // Injects a caller-built supply model (e.g. the fleet-aggregated model
+  // from src/fleet).  Hints are inexact for injected models, so the viceroy
+  // falls back to its full-scan re-evaluation for candidate discovery.
+  CentralizedStrategy(Simulation* sim, std::unique_ptr<SupplyModelInterface> model);
   ~CentralizedStrategy() override;
 
   // BandwidthStrategy:

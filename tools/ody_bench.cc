@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/check/scale_scenario.h"
+#include "src/fleet/fleet_scenario.h"
 #include "src/harness/bench_artifact.h"
 #include "src/harness/builtin_scenarios.h"
 #include "src/harness/campaign.h"
@@ -97,17 +98,20 @@ bool WriteFile(const std::string& path, const std::string& text) {
   return true;
 }
 
-// Everything ody_bench can run: the built-in campaigns plus tier_scale,
-// whose scenario lives in odyssey_check (see scale_scenario.h).
+// Everything ody_bench can run: the built-in campaigns plus tier_scale
+// (scale_scenario.h, in odyssey_check) and tier_fleet (fleet_scenario.h,
+// in odyssey_fleet).
 std::vector<CampaignSpec> AllCampaigns() {
   std::vector<CampaignSpec> campaigns = odyssey::BuiltinCampaigns();
   campaigns.push_back(odyssey::ScaleCampaign());
+  campaigns.push_back(odyssey::FleetCampaign());
   return campaigns;
 }
 
 void RegisterAllScenarios(ScenarioRegistry* registry) {
   odyssey::RegisterBuiltinScenarios(registry);
   odyssey::RegisterScaleScenarios(registry);
+  odyssey::RegisterFleetScenarios(registry);
 }
 
 int ListCommand() {

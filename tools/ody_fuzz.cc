@@ -2,8 +2,8 @@
 //
 // Usage:
 //   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N] [--mobility]
-//            [--selftest-mutation] [--selftest-tiebreak] [--no-shrink]
-//            [--repro-out=PATH] [--trace-out=PATH] [--verbose]
+//            [--fleet] [--selftest-mutation] [--selftest-tiebreak]
+//            [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] [--verbose]
 //
 // Synthesizes N scenarios from a single campaign seed (trial seeds derived
 // with the same O(1) stream jump the bench campaigns use), executes each
@@ -11,8 +11,11 @@
 // every violation.  --max-apps raises the scenario generator's population
 // bound (log-uniform above the default 8; see ScenarioOptions), and
 // --mobility arms the scenario generator's mobility dimension (about half
-// the runs take a motion-generated waveform from src/mobility).  Output is
-// a pure function of (--runs, --seed, --max-apps, --mobility,
+// the runs take a motion-generated waveform from src/mobility), and --fleet
+// arms the fleet dimension (about half the runs become 2-8 client nodes
+// sharing 1-2 server groups through the estimate-aggregation protocol, run
+// on the multi-node rig with the fleet oracles armed).  Output is
+// a pure function of (--runs, --seed, --max-apps, --mobility, --fleet,
 // --selftest-mutation,
 // --selftest-tiebreak): --jobs only changes wall-clock time, never a byte
 // of stdout or the artifacts — results land in per-run slots and are
@@ -41,6 +44,7 @@
 #include "src/check/fuzz_scenario.h"
 #include "src/check/oracles.h"
 #include "src/check/shrink.h"
+#include "src/fleet/fleet_fuzz.h"
 #include "src/harness/campaign.h"
 #include "src/harness/worker_pool.h"
 
@@ -65,6 +69,8 @@ struct Options {
   int max_apps = 8;
   // ScenarioOptions::mobility: arms the motion-generated waveform dimension.
   bool mobility = false;
+  // ScenarioOptions::fleet: arms the multi-node fleet dimension.
+  bool fleet = false;
   bool selftest_mutation = false;
   bool selftest_tiebreak = false;
   bool shrink = true;
@@ -107,8 +113,8 @@ bool ParseInt(const std::string& text, int* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N] [--mobility]\n"
-               "                [--selftest-mutation] [--selftest-tiebreak] [--no-shrink]\n"
-               "                [--repro-out=PATH] [--trace-out=PATH] [--verbose]\n");
+               "                [--fleet] [--selftest-mutation] [--selftest-tiebreak]\n"
+               "                [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] [--verbose]\n");
   return 2;
 }
 
@@ -138,6 +144,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->trace_out = value;
     } else if (arg == "--mobility") {
       options->mobility = true;
+    } else if (arg == "--fleet") {
+      options->fleet = true;
     } else if (arg == "--selftest-mutation") {
       options->selftest_mutation = true;
     } else if (arg == "--selftest-tiebreak") {
@@ -183,6 +191,14 @@ int main(int argc, char** argv) {
   odyssey::ScenarioOptions scenario_options;
   scenario_options.max_apps = options.max_apps;
   scenario_options.mobility = options.mobility;
+  scenario_options.fleet = options.fleet;
+
+  // A fleet-dimension scenario runs on the multi-node rig; everything else
+  // takes the classic single-node runner.
+  const auto run_scenario = [&run_options](const FuzzScenario& scenario) {
+    return scenario.fleet_nodes >= 2 ? odyssey::RunFleetFuzzScenario(scenario, run_options)
+                                     : RunFuzzScenario(scenario, run_options);
+  };
 
   // Fleet execution: every run writes only its own slot, so the report
   // below is independent of worker count and completion order.
@@ -193,12 +209,13 @@ int main(int argc, char** argv) {
     seeds[i] = DeriveTrialSeed(options.seed, static_cast<uint64_t>(i));
   }
   odyssey::RunIndexedTasks(options.jobs, count, [&](size_t i) {
-    results[i] = RunFuzzScenario(GenerateScenario(seeds[i], scenario_options), run_options);
+    results[i] = run_scenario(GenerateScenario(seeds[i], scenario_options));
   });
 
-  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s%s%s\n", options.runs,
+  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s%s%s%s\n", options.runs,
               static_cast<unsigned long long>(options.seed), options.max_apps,
               options.mobility ? ", mobility dimension on" : "",
+              options.fleet ? ", fleet dimension on" : "",
               options.selftest_mutation ? ", selftest mutation armed" : "",
               options.selftest_tiebreak ? ", selftest tiebreak armed" : "");
 
@@ -253,21 +270,42 @@ int main(int argc, char** argv) {
                                    : results[first_failure].violations.front().oracle;
     std::printf("shrinking run %zu (oracle \"%s\", %zu elements)...\n", first_failure,
                 oracle.c_str(), failing.ElementCount());
-    const ShrinkResult shrunk = ShrinkFailingScenario(failing, oracle, run_options);
+    const bool fleet_repro = failing.fleet_nodes >= 2;
+    const ShrinkResult shrunk =
+        fleet_repro ? odyssey::ShrinkWithPredicate(
+                          failing,
+                          [&run_options, &oracle](const FuzzScenario& candidate) {
+                            return odyssey::HasViolationOf(
+                                odyssey::RunFleetFuzzScenario(candidate, run_options), oracle);
+                          })
+                    : ShrinkFailingScenario(failing, oracle, run_options);
     std::printf("shrink: minimized to %zu elements (from %zu) in %d rounds, %d attempts\n",
                 shrunk.final_elements, shrunk.initial_elements, shrunk.rounds,
                 shrunk.attempts);
     std::printf("%s", shrunk.minimized.Describe().c_str());
-    if (WriteFile(options.repro_out, odyssey::EmitReproSnippet(shrunk.minimized, oracle))) {
-      std::printf("repro snippet: %s\n", options.repro_out.c_str());
+    if (fleet_repro) {
+      // The repro-snippet and canonical-trace emitters reconstruct the
+      // single-node rig; a fleet reproducer is the scenario description
+      // itself (replayable via GenerateScenario is not possible after
+      // shrinking, so the description is the artifact).
+      if (WriteFile(options.repro_out, shrunk.minimized.Describe())) {
+        std::printf("fleet repro description: %s\n", options.repro_out.c_str());
+      } else {
+        std::fprintf(stderr, "ody_fuzz: cannot write %s\n", options.repro_out.c_str());
+      }
+      std::printf("canonical trace: single-node only, skipped for fleet scenario\n");
     } else {
-      std::fprintf(stderr, "ody_fuzz: cannot write %s\n", options.repro_out.c_str());
-    }
-    if (WriteFile(options.trace_out,
-                  odyssey::CanonicalTraceForScenario(shrunk.minimized, run_options))) {
-      std::printf("canonical trace: %s\n", options.trace_out.c_str());
-    } else {
-      std::fprintf(stderr, "ody_fuzz: cannot write %s\n", options.trace_out.c_str());
+      if (WriteFile(options.repro_out, odyssey::EmitReproSnippet(shrunk.minimized, oracle))) {
+        std::printf("repro snippet: %s\n", options.repro_out.c_str());
+      } else {
+        std::fprintf(stderr, "ody_fuzz: cannot write %s\n", options.repro_out.c_str());
+      }
+      if (WriteFile(options.trace_out,
+                    odyssey::CanonicalTraceForScenario(shrunk.minimized, run_options))) {
+        std::printf("canonical trace: %s\n", options.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "ody_fuzz: cannot write %s\n", options.trace_out.c_str());
+      }
     }
   }
   return 1;

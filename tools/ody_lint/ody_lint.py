@@ -85,6 +85,13 @@ RULES = {
         "annotate '// ody_lint: owned-capture' after proving the referents "
         "outlive every invocation"
     ),
+    "fleet-pod-message": (
+        "fleet wire payloads must stay POD and deterministic: no raw "
+        "pointers, references, or owning containers in a *Message struct "
+        "(each must static_assert trivial copyability), and src/fleet may "
+        "use no wall-clock calls or literal-seeded generators — every "
+        "stream derives from the explicit trial seed via SplitMix64"
+    ),
 }
 
 # Directories whose sources are scanned at all.
@@ -439,6 +446,88 @@ def check_test_no_wallclock(sf: SourceFile) -> list[Violation]:
                                  f"'{m.group(0)}' in a test; advance virtual time with "
                                  "Simulation::RunUntil instead of waiting on the real "
                                  "clock"))
+    return out
+
+
+# --- fleet-pod-message ------------------------------------------------------
+#
+# Fleet messages cross node boundaries by value on the virtual-time bus
+# (src/fleet/fleet_dispatcher.h): a payload smuggling a pointer would alias
+# one node's state from another (and chase freed memory on replay), and any
+# wall-clock read or unseeded entropy in the fleet layer would break the
+# bit-reproducibility the tier_fleet j1-vs-j4 gate proves.  So every struct
+# named *Message under src/fleet must hold only POD scalars and carry a
+# trivially-copyable static_assert, and fleet sources must seed every
+# stream from the explicit trial seed (mirroring the mobility contract:
+# literal-seeded Rng/SplitMix64 replays the same stream for every trial).
+
+FLEET_DIRS = ("src/fleet",)
+
+_FLEET_MESSAGE_STRUCT_RE = re.compile(r"\bstruct\s+(\w*Message)\b")
+_FLEET_NONPOD_MEMBER_RE = re.compile(
+    r"std::(?:string|vector|map|set|deque|list|function|unique_ptr|"
+    r"shared_ptr|weak_ptr|optional|variant|any)\b"
+)
+_FLEET_POINTER_MEMBER_RE = re.compile(r"[*&]\s*\w+\s*(?:=[^;]*)?;")
+_FLEET_LITERAL_SEED_RE = re.compile(
+    r"\b(?:Rng|SplitMix64)(?:\s+\w+)?\s*[({]\s*\d[0-9'a-fA-FxX]*[uUlL]*\s*[)}]"
+)
+
+
+def check_fleet_pod_message(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, FLEET_DIRS):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = _WALL_CLOCK_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "fleet-pod-message",
+                                 f"wall-clock call '{m.group(0).strip()}' in the fleet "
+                                 "layer; fleet runs must be bit-reproducible, so all "
+                                 "time flows from Simulation::now()"))
+        m = _FLEET_LITERAL_SEED_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "fleet-pod-message",
+                                 f"'{m.group(0).strip()}' seeds a stream from a "
+                                 "literal; derive it from the explicit trial seed "
+                                 "via SplitMix64"))
+
+    text = "\n".join(sf.code_lines)
+    for m in _FLEET_MESSAGE_STRUCT_RE.finditer(text):
+        name = m.group(1)
+        brace = text.find("{", m.end())
+        if brace < 0:
+            continue
+        depth = 0
+        end = -1
+        for j in range(brace, len(text)):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = j
+                    break
+        if end < 0:
+            continue
+        struct_line = text.count("\n", 0, brace) + 1
+        for offset, body_line in enumerate(text[brace:end].splitlines()):
+            line_no = struct_line + offset
+            if _FLEET_NONPOD_MEMBER_RE.search(body_line):
+                out.append(Violation(sf.relpath, line_no, "fleet-pod-message",
+                                     f"non-POD member in {name}; fleet payloads are "
+                                     "copied by value into delivery events and must "
+                                     "hold plain scalars only"))
+            elif _FLEET_POINTER_MEMBER_RE.search(body_line):
+                out.append(Violation(sf.relpath, line_no, "fleet-pod-message",
+                                     f"raw pointer or reference member in {name}; a "
+                                     "payload crossing nodes must not carry another "
+                                     "node's addresses"))
+        if not re.search(rf"static_assert\s*\(\s*std::is_trivially_copyable"
+                         rf"(?:_v)?\s*<\s*{re.escape(name)}\s*>", text):
+            out.append(Violation(sf.relpath, struct_line, "fleet-pod-message",
+                                 f"{name} lacks a static_assert(std::is_trivially_"
+                                 f"copyable_v<{name}>) beside its definition"))
     return out
 
 
@@ -798,6 +887,7 @@ CHECKS = [
     check_harness_thread,
     check_harness_global_state,
     check_test_no_wallclock,
+    check_fleet_pod_message,
     check_header_guard,
     check_include_order,
 ]

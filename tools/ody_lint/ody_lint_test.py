@@ -211,6 +211,29 @@ class OdyLintTest(unittest.TestCase):
                          "tests/test_wallclock_suppressed.cc")
         self.assertNotIn("test-no-wallclock", self.rules_found(rel))
 
+    # --- fleet-pod-message ---
+
+    def test_fleet_pod_message_flagged(self):
+        rel = self.place("fleet_message_bad.cc", "src/fleet/fleet_message_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "fleet-pod-message"]
+        # The missing static_assert (reported at the struct), the non-POD
+        # member, the raw pointer, the wall-clock read, and the
+        # literal-seeded stream each fire once.
+        self.assertEqual(sorted(v.line for v in violations), [9, 10, 11, 16, 17])
+        messages = " ".join(v.message for v in violations)
+        self.assertIn("static_assert", messages)
+        self.assertIn("non-POD", messages)
+        self.assertIn("raw pointer", messages)
+
+    def test_fleet_pod_message_scoped_to_fleet(self):
+        rel = self.place("fleet_message_bad.cc", "src/core/fleet_message_bad.cc")
+        self.assertNotIn("fleet-pod-message", self.rules_found(rel))
+
+    def test_fleet_pod_message_suppressed(self):
+        rel = self.place("fleet_message_suppressed.cc",
+                         "src/fleet/fleet_message_suppressed.cc")
+        self.assertNotIn("fleet-pod-message", self.rules_found(rel))
+
     # --- header-guard ---
 
     def test_header_guard_mismatch_flagged(self):
@@ -302,7 +325,7 @@ class OdyLintTest(unittest.TestCase):
 
     def test_list_rules_covers_all_checks(self):
         self.assertEqual(ody_lint.main(["--list-rules"]), 0)
-        self.assertEqual(len(ody_lint.RULES), 11)
+        self.assertEqual(len(ody_lint.RULES), 12)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,22 @@
+// Fixture: fleet-pod-message violations.  A message struct smuggling
+// non-POD payloads and missing its trivially-copyable assert, plus a fleet
+// source reading the wall clock and seeding a stream from a literal.
+#include <chrono>
+#include <string>
+
+namespace odyssey {
+
+struct BadFleetMessage {
+  std::string detail;          // non-POD payload
+  const char* note = nullptr;  // raw pointer payload
+  double supply_bps = 0.0;
+};
+
+inline double Sample() {
+  const auto start = std::chrono::steady_clock::now();
+  SplitMix64 mix(12345);
+  (void)start;
+  return static_cast<double>(mix.Next());
+}
+
+}  // namespace odyssey

@@ -1,0 +1,28 @@
+// Fixture: the same fleet-pod-message shapes silenced by a file-level
+// annotation, alongside the clean POD form the rule wants.
+// ody-lint: allow-file(fleet-pod-message)
+#include <chrono>
+#include <string>
+#include <type_traits>
+
+namespace odyssey {
+
+struct OkFleetMessage {
+  unsigned origin = 0;
+  double supply_bps = 0.0;
+};
+static_assert(std::is_trivially_copyable_v<OkFleetMessage>);
+
+struct LoggedFleetMessage {
+  std::string detail;
+  const char* note = nullptr;
+};
+
+inline double Sample() {
+  const auto start = std::chrono::steady_clock::now();
+  SplitMix64 mix(12345);
+  (void)start;
+  return static_cast<double>(mix.Next());
+}
+
+}  // namespace odyssey
