@@ -106,6 +106,9 @@ void FuzzDriver::DoRequest(double lo_frac, double hi_frac) {
     oracle_->OnWindowRegistered(app_id_, granted.id, lower, upper);
   } else {
     ++result_->requests_denied;
+    if (granted.admission.verdict == AdmissionVerdict::kRejected) {
+      ++result_->admission_rejects;
+    }
   }
 }
 

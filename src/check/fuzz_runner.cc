@@ -15,6 +15,7 @@
 #include "src/servers/file_server.h"
 #include "src/servers/telemetry_server.h"
 #include "src/strategies/centralized.h"
+#include "src/strategies/strategy_registry.h"
 #include "src/tracemod/replay_trace.h"
 #include "src/wardens/bitstream_warden.h"
 #include "src/wardens/file_warden.h"
@@ -31,7 +32,12 @@ namespace {
 struct Sampler {
   Simulation* sim = nullptr;
   OracleSet* oracle = nullptr;
+  // The audit surface, when the installed strategy exposes one; null for
+  // isolated-estimate strategies (laissez-faire, blind-optimism).
   CentralizedStrategy* strategy = nullptr;
+  // Always set: the strategy actually installed in the viceroy.
+  BandwidthStrategy* base = nullptr;
+  size_t app_count = 0;
   DifferentialLog* differential = nullptr;
   Time end = 0;
   Duration period = 0;
@@ -41,11 +47,21 @@ struct Sampler {
     if (differential != nullptr) {
       const Time now = sim->now();
       differential->samples.push_back(static_cast<double>(now));
-      differential->samples.push_back(strategy->TotalSupply(now));
-      differential->samples.push_back(
-          static_cast<double>(strategy->supply_model().ActiveConnectionCount(now)));
-      for (const ConnectionId connection : strategy->AttachedConnections()) {
-        differential->samples.push_back(strategy->ConnectionAvailability(connection, now));
+      if (strategy != nullptr) {
+        differential->samples.push_back(strategy->TotalSupply(now));
+        differential->samples.push_back(
+            static_cast<double>(strategy->supply_model().ActiveConnectionCount(now)));
+        for (const ConnectionId connection : strategy->AttachedConnections()) {
+          differential->samples.push_back(strategy->ConnectionAvailability(connection, now));
+        }
+      } else {
+        // No per-connection surface; sample the per-app figures the viceroy
+        // itself consults (apps register 1..N in driver order).
+        differential->samples.push_back(base->TotalSupply(now));
+        differential->samples.push_back(base->HasEstimate() ? 1.0 : 0.0);
+        for (size_t i = 1; i <= app_count; ++i) {
+          differential->samples.push_back(base->AvailabilityFor(static_cast<AppId>(i), now));
+        }
       }
     }
     if (sim->now() < end) {
@@ -84,10 +100,20 @@ FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions
   TelemetryServer telemetry_server(&sim);
   telemetry_server.CreateFeed(kFuzzFeed, 200 * kMillisecond, 100.0, 5.0);
 
-  auto strategy = std::make_unique<CentralizedStrategy>(
-      &sim, SupplyModelConfig{},
-      options.reference_stack ? SupplyModelKind::kNaive : SupplyModelKind::kIncremental);
-  CentralizedStrategy* strategy_ptr = strategy.get();
+  // The strategy comes from the registry so the fuzz dimension and the
+  // conformance kit cover exactly what production scenarios can select.
+  // The reference stack pairs the scenario's strategy with the naive
+  // supply model and the full-scan viceroy.
+  const std::string strategy_name = scenario.strategy.empty() ? "odyssey" : scenario.strategy;
+  StrategyContext context;
+  context.sim = &sim;
+  context.modulator = &modulator;
+  context.supply_kind =
+      options.reference_stack ? SupplyModelKind::kNaive : SupplyModelKind::kIncremental;
+  std::unique_ptr<BandwidthStrategy> strategy =
+      StrategyRegistry::Builtin().Create(strategy_name, std::move(context));
+  CentralizedStrategy* strategy_ptr = strategy->audit_surface();
+  BandwidthStrategy* strategy_base = strategy.get();
   OdysseyClient client(&sim, &link, std::move(strategy), kUpcallLatency);
   if (options.reference_stack) {
     client.viceroy().set_reevaluate_mode(ReevaluateMode::kFullScan);
@@ -142,7 +168,9 @@ FuzzRunResult RunFuzzScenario(const FuzzScenario& scenario, const FuzzRunOptions
 #endif
 
   const Time end = scenario.horizon + options.drain_grace;
-  Sampler sampler{&sim, &oracle, strategy_ptr, options.differential, end, options.oracle_period};
+  Sampler sampler{&sim,           &oracle, strategy_ptr,         strategy_base,
+                  scenario.apps.size(),    options.differential, end,
+                  options.oracle_period};
   // The sampler stops rescheduling at |end| and the sim drains before it
   // leaves scope.
   sim.Schedule(options.oracle_period, [&sampler] { sampler.Tick(); });  // ody_lint: owned-capture

@@ -92,6 +92,9 @@ struct FuzzRunResult {
   uint64_t upcalls_delivered = 0;
   uint64_t requests_granted = 0;
   uint64_t requests_denied = 0;
+  // Denials where an admission-controlling strategy rejected the window
+  // (subset of requests_denied; 0 for strategies without admission).
+  uint64_t admission_rejects = 0;
   uint64_t cancels_ok = 0;
   uint64_t tsops_issued = 0;
   uint64_t tie_pairs_audited = 0;  // same-timestamp pairs the auditor saw

@@ -7,6 +7,7 @@
 #include "src/mobility/radio_environment.h"
 #include "src/mobility/waveform_source.h"
 #include "src/sim/random.h"
+#include "src/strategies/strategy_registry.h"
 #include "src/tracemod/replay_trace.h"
 
 namespace odyssey {
@@ -140,6 +141,9 @@ std::string FuzzScenario::Describe() const {
   if (fleet_nodes >= 2) {
     out << "  fleet nodes=" << fleet_nodes << " servers=" << fleet_servers << "\n";
   }
+  if (!strategy.empty()) {
+    out << "  strategy " << strategy << "\n";
+  }
   for (const FuzzSegment& segment : segments) {
     out << "  segment " << DurationToSeconds(segment.duration) << "s "
         << segment.bandwidth_bps / 1024.0 << " KB/s latency "
@@ -269,6 +273,14 @@ FuzzScenario GenerateScenario(uint64_t seed, const ScenarioOptions& options) {
   if (fleet_dimension) {
     scenario.fleet_nodes = 2 + static_cast<int>(rng.UniformInt(7));
     scenario.fleet_servers = 1 + static_cast<int>(rng.UniformInt(2));
+  }
+
+  // Strategy dimension: drawn after everything else (same append-only
+  // pattern as fleet), uniform over the builtin registry in registration
+  // order, so the chosen name is a pure function of the seed.
+  if (options.strategies) {
+    const std::vector<std::string> names = StrategyRegistry::Builtin().Names();
+    scenario.strategy = names[rng.UniformInt(names.size())];
   }
 
   return scenario;

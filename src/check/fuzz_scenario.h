@@ -105,6 +105,11 @@ struct FuzzScenario {
   int fleet_nodes = 0;
   int fleet_servers = 0;
 
+  // Strategy dimension (ScenarioOptions::strategies): the registry name of
+  // the bandwidth strategy the rig installs.  Empty means the seed default
+  // ("odyssey"), keeping historical repro snippets valid.
+  std::string strategy;
+
   // Number of shrinkable elements: segments + apps + ops + faults.  The
   // shrinker minimizes this count; "minimal reproducer" is measured in it.
   size_t ElementCount() const;
@@ -142,6 +147,13 @@ struct ScenarioOptions {
   // draws happen after every historical draw, so at the default false the
   // generator stream is untouched and scenarios stay byte-identical.
   bool fleet = false;
+
+  // Strategy dimension: when true, every scenario draws its bandwidth
+  // strategy uniformly from the builtin StrategyRegistry, so the full
+  // oracle set sweeps the whole zoo.  Drawn after every other dimension
+  // (the documented append-only pattern), so at the default false the
+  // stream is untouched and scenarios stay byte-identical.
+  bool strategies = false;
 };
 
 // Synthesizes a schedulable scenario from |seed| alone.  Guarantees: at

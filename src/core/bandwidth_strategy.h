@@ -25,6 +25,9 @@
 
 namespace odyssey {
 
+class ArbitrationStrategy;
+class CentralizedStrategy;
+
 // A strategy's summary of which applications a re-evaluation pass must
 // look at, produced by TakeReevalHint() when estimates move.
 //
@@ -99,6 +102,18 @@ class BandwidthStrategy {
     (void)now;
     return {};
   }
+
+  // Admission-controlling strategies return themselves; the viceroy consults
+  // the returned interface before registering bandwidth windows.  Plain
+  // estimation strategies (the default) admit everything.
+  virtual ArbitrationStrategy* arbitration() { return nullptr; }
+
+  // The centralized-family surface the oracle set can audit (supply totals,
+  // per-connection availabilities, live-connection enumeration).  Strategies
+  // built on shared supply bookkeeping return the underlying
+  // CentralizedStrategy; isolated-estimate strategies return nullptr and the
+  // supply/fair-share oracles stay disarmed.
+  virtual CentralizedStrategy* audit_surface() { return nullptr; }
 
   // The viceroy installs a callback to be told estimates may have moved; it
   // then re-evaluates registered windows of tolerance.

@@ -38,4 +38,16 @@ const char* ResourceUnit(ResourceId resource) {
   return "?";
 }
 
+const char* AdmissionVerdictName(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::kAdmitted:
+      return "admit";
+    case AdmissionVerdict::kDegraded:
+      return "degrade";
+    case AdmissionVerdict::kRejected:
+      return "reject";
+  }
+  return "?";
+}
+
 }  // namespace odyssey

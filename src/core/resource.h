@@ -56,15 +56,44 @@ struct ResourceDescriptor {
   UpcallHandler handler;
 };
 
+// Verdict of the admission check a window registration passes through when
+// the installed bandwidth strategy implements QoS arbitration.  Strategies
+// without admission control admit everything, so kAdmitted is the default.
+enum class AdmissionVerdict {
+  kAdmitted = 0,  // window registered at the requested fidelity
+  kDegraded = 1,  // an existing window was pushed to a lower fidelity tier
+  kRejected = 2,  // registration refused; nothing was registered
+};
+
+// Human-readable verdict name ("admit" / "degrade" / "reject").
+const char* AdmissionVerdictName(AdmissionVerdict verdict);
+
+// Structured outcome of one admission decision.  |reason| is a static
+// string owned by the strategy ("ok", "over-committed", ...); |reason_code|
+// is its stable numeric twin so trace events (which carry doubles) can
+// record the decision.  |granted_level| is the availability the strategy
+// believes the admitted window will see — informational, not a reservation.
+struct AdmissionDecision {
+  AdmissionVerdict verdict = AdmissionVerdict::kAdmitted;
+  const char* reason = "ok";
+  int reason_code = 0;
+  double granted_level = 0.0;
+};
+
 // Result of a request() call.  On kOk, |id| identifies the registration; on
 // kOutOfBounds, |current_level| reports the available resource level so the
-// application can pick a new fidelity and try again (§4.2).
+// application can pick a new fidelity and try again (§4.2).  |admission|
+// reports the arbitration verdict: a request can fail either because the
+// current level sits outside the proposed window (the paper's Figure 3
+// semantics, verdict stays kAdmitted) or because an admission-controlling
+// strategy rejected it (verdict kRejected with a reason).
 struct [[nodiscard]] RequestResult {
   bool ok() const { return status_ok; }
 
   bool status_ok = false;
   RequestId id = 0;
   double current_level = 0.0;
+  AdmissionDecision admission;
 };
 
 }  // namespace odyssey

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/core/contract.h"
+#include "src/strategies/arbitration_strategy.h"
 #include "src/trace/trace_macros.h"
 
 namespace odyssey {
@@ -73,8 +74,24 @@ RequestResult Viceroy::Request(AppId app, const ResourceDescriptor& descriptor) 
                        static_cast<int>(descriptor.resource), "level", result.current_level);
     return result;
   }
+  // The level fits the window; an admission-controlling strategy now gets
+  // exactly one decision per registration attempt for bandwidth windows.
+  ArbitrationStrategy* broker = strategy_->arbitration();
+  if (broker != nullptr && descriptor.resource == ResourceId::kNetworkBandwidth) {
+    result.admission = broker->DecideAdmission(app, descriptor, sim_->now());
+    ODY_TRACE_INSTANT2(sim_->trace(), kViceroy, "admission_decision", sim_->now(), app, "verdict",
+                       static_cast<int>(result.admission.verdict), "reason",
+                       result.admission.reason_code);
+    if (result.admission.verdict == AdmissionVerdict::kRejected) {
+      result.status_ok = false;
+      return result;
+    }
+  }
   result.status_ok = true;
   result.id = requests_.Register(app, descriptor, WindowClassOf(app));
+  if (broker != nullptr) {
+    broker->OnWindowRegistered(app, result.id, descriptor);
+  }
   ODY_TRACE_INSTANT2(sim_->trace(), kViceroy, "request_granted", sim_->now(), app, "lower",
                      descriptor.lower, "upper", descriptor.upper);
   return result;
@@ -82,7 +99,13 @@ RequestResult Viceroy::Request(AppId app, const ResourceDescriptor& descriptor) 
 
 Status Viceroy::Cancel(RequestId id) {
   ODY_TRACE_INSTANT(sim_->trace(), kViceroy, "request_cancel", sim_->now(), id);
-  return requests_.Cancel(id);
+  const Status status = requests_.Cancel(id);
+  if (status.ok()) {
+    if (ArbitrationStrategy* broker = strategy_->arbitration()) {
+      broker->OnWindowCancelled(id);
+    }
+  }
+  return status;
 }
 
 double Viceroy::CurrentLevel(AppId app, ResourceId resource) const {
@@ -172,7 +195,13 @@ void Viceroy::EvaluateApp(AppId app, ResourceId resource, double level) {
   // Availability is a physical quantity (bytes/s, microseconds, kilobytes,
   // ...); a negative level means an estimator or accounting bug upstream.
   ODY_DCHECK(level >= 0.0, "negative resource availability");
+  ArbitrationStrategy* broker = strategy_->arbitration();
   for (const auto& entry : requests_.TakeViolated(resource, app, level)) {
+    // Windows of tolerance are one-shot: taking one out of the table to
+    // deliver its upcall releases any admission commitment behind it.
+    if (broker != nullptr) {
+      broker->OnWindowConsumed(entry.id);
+    }
     const uint64_t seq = upcalls_.Post(app, entry.id, resource, level, entry.descriptor.handler);
     ODY_DCHECK(seq > upcalls_.last_delivered_seq(app), "posted upcall not ahead of deliveries");
   }

@@ -20,6 +20,7 @@
 #include "src/servers/telemetry_server.h"
 #include "src/sim/random.h"
 #include "src/strategies/centralized.h"
+#include "src/strategies/strategy_registry.h"
 #include "src/tracemod/replay_trace.h"
 #include "src/wardens/bitstream_warden.h"
 #include "src/wardens/file_warden.h"
@@ -59,8 +60,8 @@ struct FleetNode {
   std::unique_ptr<Modulator> modulator;
   std::unique_ptr<FaultInjector> injector;
   std::unique_ptr<FleetAggregator> aggregator;
-  FleetSupplyModel* model = nullptr;       // owned by the strategy
-  CentralizedStrategy* strategy = nullptr;  // owned by the client
+  FleetSupplyModel* model = nullptr;        // owned by the strategy (centralized family)
+  CentralizedStrategy* strategy = nullptr;  // audit surface; null for isolated estimates
   std::unique_ptr<OdysseyClient> client;
   std::unique_ptr<OracleSet> oracle;
 };
@@ -132,20 +133,55 @@ FuzzRunResult RunFleetFuzzScenario(const FuzzScenario& scenario, const FuzzRunOp
 
     node->aggregator = std::make_unique<FleetAggregator>(
         &sim, &dispatcher, static_cast<FleetNodeId>(i), scenario.seed);
-    auto model = std::make_unique<FleetSupplyModel>(node->aggregator.get());
-    node->model = model.get();
-    auto strategy = std::make_unique<CentralizedStrategy>(&sim, std::move(model));
-    node->strategy = strategy.get();
+    // The node's strategy comes from the registry (the scenario's strategy
+    // dimension); centralized-family strategies get the fleet-aggregated
+    // supply model injected, so admission control and congestion-manager
+    // grouping compose with sharded aggregation.
+    const std::string strategy_name = scenario.strategy.empty() ? "odyssey" : scenario.strategy;
+    const StrategyInfo* info = StrategyRegistry::Builtin().Find(strategy_name);
+    ODY_ASSERT(info != nullptr, "unknown fleet strategy name");
+    StrategyContext context;
+    context.sim = &sim;
+    context.modulator = node->modulator.get();
+    if (info->audited) {
+      auto model = std::make_unique<FleetSupplyModel>(node->aggregator.get());
+      node->model = model.get();
+      context.injected_model = std::move(model);
+    }
+    std::unique_ptr<BandwidthStrategy> strategy =
+        StrategyRegistry::Builtin().Create(strategy_name, std::move(context));
+    node->strategy = strategy->audit_surface();
     node->client = std::make_unique<OdysseyClient>(&sim, node->link.get(), std::move(strategy),
                                                    kUpcallLatency);
 
-    FleetSupplyModel* model_ptr = node->model;
-    node->client->set_connection_observer(
-        [model_ptr, server_groups](Endpoint* endpoint, const std::string& service) {
-          model_ptr->MapConnection(endpoint->id(), ServerGroupOf(service, server_groups));
-        });
-    node->aggregator->set_report_source(
-        [model_ptr, &sim] { return model_ptr->LocalReports(sim.now()); });  // ody_lint: owned-capture
+    if (node->model != nullptr) {
+      FleetSupplyModel* model_ptr = node->model;
+      node->client->set_connection_observer(
+          [model_ptr, server_groups](Endpoint* endpoint, const std::string& service) {
+            model_ptr->MapConnection(endpoint->id(), ServerGroupOf(service, server_groups));
+          });
+      node->aggregator->set_report_source(
+          [model_ptr, &sim] { return model_ptr->LocalReports(sim.now()); });  // ody_lint: owned-capture
+    } else {
+      // Isolated-estimate strategies still publish whole-link estimates so
+      // discovery and convergence cover them (same as the fleet campaign
+      // rig): one report per server group at the strategy's total supply.
+      BandwidthStrategy* raw = &node->client->viceroy().strategy();
+      node->aggregator->set_report_source([raw, server_groups, &sim] {  // ody_lint: owned-capture
+        std::vector<FleetAggregator::LocalReport> reports;
+        if (!raw->HasEstimate()) {
+          return reports;
+        }
+        for (int s = 0; s < server_groups; ++s) {
+          FleetAggregator::LocalReport report;
+          report.server = static_cast<FleetServerId>(s);
+          report.supply_bps = raw->TotalSupply(sim.now());
+          report.active = 1;
+          reports.push_back(report);
+        }
+        return reports;
+      });
+    }
 
     node->client->InstallWarden(std::make_unique<VideoWarden>(&video_server));
     node->client->InstallWarden(std::make_unique<WebWarden>(&distillation_server));

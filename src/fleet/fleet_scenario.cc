@@ -29,8 +29,10 @@
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
+#include "src/strategies/admission_broker.h"
 #include "src/strategies/blind_optimism.h"
 #include "src/strategies/centralized.h"
+#include "src/strategies/congestion_manager.h"
 #include "src/strategies/laissez_faire.h"
 #include "src/tracemod/replay_trace.h"
 #include "src/wardens/file_warden.h"
@@ -53,7 +55,13 @@ constexpr Duration kReadPeriod = 1 * kSecond;
 constexpr Duration kConvergenceTail = 4 * kSecond;
 constexpr double kConvergenceTolerance = 0.01;
 
-enum class FleetStrategyKind { kOdyssey, kLaissezFaire, kBlindOptimism };
+enum class FleetStrategyKind {
+  kOdyssey,
+  kLaissezFaire,
+  kBlindOptimism,
+  kCongestionManager,
+  kAdmissionBroker,
+};
 
 const char* FleetStrategyName(FleetStrategyKind kind) {
   switch (kind) {
@@ -63,6 +71,10 @@ const char* FleetStrategyName(FleetStrategyKind kind) {
       return "laissez";
     case FleetStrategyKind::kBlindOptimism:
       return "blind";
+    case FleetStrategyKind::kCongestionManager:
+      return "cm";
+    case FleetStrategyKind::kAdmissionBroker:
+      return "broker";
   }
   return "?";
 }
@@ -244,6 +256,25 @@ class FleetRig {
       case FleetStrategyKind::kBlindOptimism:
         strategy = std::make_unique<BlindOptimismStrategy>(node->modulator.get());
         break;
+      case FleetStrategyKind::kCongestionManager: {
+        // Same sharded aggregation as odyssey, regrouped per server.
+        auto model = std::make_unique<FleetSupplyModel>(node->aggregator.get());
+        node->model = model.get();
+        auto cm = std::make_unique<CongestionManagerStrategy>(&sim_, std::move(model));
+        node->centralized = cm.get();
+        strategy = std::move(cm);
+        break;
+      }
+      case FleetStrategyKind::kAdmissionBroker: {
+        // Admission control composed over the fleet-aggregated estimator:
+        // the broker arbitrates registrations against cross-node supply.
+        auto model = std::make_unique<FleetSupplyModel>(node->aggregator.get());
+        node->model = model.get();
+        auto inner = std::make_unique<CentralizedStrategy>(&sim_, std::move(model));
+        node->centralized = inner.get();
+        strategy = std::make_unique<AdmissionBrokerStrategy>(&sim_, std::move(inner));
+        break;
+      }
     }
     node->client = std::make_unique<OdysseyClient>(&sim_, node->link.get(), std::move(strategy),
                                                    kUpcallLatency);
@@ -557,7 +588,8 @@ void RegisterFleetScenarios(ScenarioRegistry* registry) {
   for (const int nodes : {2, 8, 32, 128}) {
     for (const FleetStrategyKind strategy :
          {FleetStrategyKind::kOdyssey, FleetStrategyKind::kLaissezFaire,
-          FleetStrategyKind::kBlindOptimism}) {
+          FleetStrategyKind::kBlindOptimism, FleetStrategyKind::kCongestionManager,
+          FleetStrategyKind::kAdmissionBroker}) {
       for (const bool mobility : {false, true}) {
         FleetParams params;
         params.nodes = nodes;

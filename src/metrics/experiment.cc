@@ -15,6 +15,10 @@ const char* StrategyKindName(StrategyKind kind) {
       return "Laissez-Faire";
     case StrategyKind::kBlindOptimism:
       return "Blind-Optimism";
+    case StrategyKind::kCongestionManager:
+      return "Congestion-Manager";
+    case StrategyKind::kAdmissionBroker:
+      return "Admission-Broker";
   }
   return "Unknown";
 }
@@ -41,6 +45,18 @@ ExperimentRig::ExperimentRig(uint64_t seed, StrategyKind strategy)
     case StrategyKind::kBlindOptimism:
       bandwidth_strategy = std::make_unique<BlindOptimismStrategy>(&modulator_);
       break;
+    case StrategyKind::kCongestionManager: {
+      auto cm = std::make_unique<CongestionManagerStrategy>(&sim_);
+      centralized_ = cm.get();
+      bandwidth_strategy = std::move(cm);
+      break;
+    }
+    case StrategyKind::kAdmissionBroker: {
+      auto inner = std::make_unique<CentralizedStrategy>(&sim_);
+      centralized_ = inner.get();
+      bandwidth_strategy = std::make_unique<AdmissionBrokerStrategy>(&sim_, std::move(inner));
+      break;
+    }
   }
   client_ = std::make_unique<OdysseyClient>(&sim_, &link_, std::move(bandwidth_strategy),
                                             kUpcallLatency);

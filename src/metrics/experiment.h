@@ -16,8 +16,10 @@
 #include "src/servers/janus_server.h"
 #include "src/servers/video_server.h"
 #include "src/sim/simulation.h"
+#include "src/strategies/admission_broker.h"
 #include "src/strategies/blind_optimism.h"
 #include "src/strategies/centralized.h"
+#include "src/strategies/congestion_manager.h"
 #include "src/strategies/laissez_faire.h"
 #include "src/tracemod/waveforms.h"
 #include "src/wardens/bitstream_warden.h"
@@ -27,11 +29,15 @@
 
 namespace odyssey {
 
-// The three resource-management strategies compared in §6.2.3.
+// The resource-management strategies the experiment rig can install: the
+// three compared in §6.2.3 plus the two zoo strategies grown on top
+// (DESIGN.md §16).
 enum class StrategyKind {
-  kOdyssey,        // centralized (the real system)
-  kLaissezFaire,   // per-log isolation
-  kBlindOptimism,  // theoretical bandwidth at transitions
+  kOdyssey,            // centralized (the real system)
+  kLaissezFaire,       // per-log isolation
+  kBlindOptimism,      // theoretical bandwidth at transitions
+  kCongestionManager,  // per-server shared congestion state
+  kAdmissionBroker,    // QoS admission control over centralized
 };
 
 const char* StrategyKindName(StrategyKind kind);
@@ -69,8 +75,9 @@ class ExperimentRig {
   JanusServer& janus_server() { return janus_server_; }
   StrategyKind strategy_kind() const { return strategy_kind_; }
 
-  // The centralized strategy, if that is what the rig runs (for share
-  // probes in the agility experiments); null otherwise.
+  // The centralized-family audit surface, if the rig runs one (for share
+  // probes in the agility experiments); null otherwise.  For the admission
+  // broker this is the inner estimator.
   CentralizedStrategy* centralized() { return centralized_; }
 
  private:

@@ -1,0 +1,58 @@
+// ArbitrationStrategy: the admission-control face of a bandwidth strategy.
+//
+// The paper's viceroy admits every window of tolerance and lets upcalls do
+// the arbitration after the fact.  A strategy that implements this
+// interface participates *before* registration: the viceroy consults
+// DecideAdmission() for each bandwidth window that passes the Figure 3
+// level check, and only registers the window when the verdict is not
+// kRejected.  The window-lifecycle hooks keep the strategy's commitment
+// bookkeeping in step with the request table:
+//
+//   * OnWindowRegistered — the window was entered into the request table
+//     under |id|; an admission-controlling strategy records the
+//     commitment (the window's lower bound) it implicitly made.
+//   * OnWindowCancelled  — the application withdrew the window.
+//   * OnWindowConsumed   — the viceroy took the window out of the table to
+//     deliver an upcall (windows of tolerance are one-shot, §4.2); any
+//     commitment is released, because the application must re-register.
+//
+// The contract the conformance kit enforces: exactly one DecideAdmission()
+// call per registration attempt that passes the level check; a rejected
+// attempt registers nothing and delivers no upcalls; decisions are a pure
+// function of observed history, never wall-clock.
+
+#ifndef SRC_STRATEGIES_ARBITRATION_STRATEGY_H_
+#define SRC_STRATEGIES_ARBITRATION_STRATEGY_H_
+
+#include "src/core/bandwidth_strategy.h"
+#include "src/core/resource.h"
+#include "src/sim/time.h"
+
+namespace odyssey {
+
+class ArbitrationStrategy : public BandwidthStrategy {
+ public:
+  // Decides the fate of a bandwidth window |descriptor| proposed by |app|
+  // at |now|.  kAdmitted and kDegraded both let the registration proceed;
+  // kRejected refuses it (the caller reports the decision to the
+  // application and registers nothing).
+  virtual AdmissionDecision DecideAdmission(AppId app, const ResourceDescriptor& descriptor,
+                                            Time now) = 0;
+
+  // Window-lifecycle notifications (see file comment).  |id| values for
+  // resources other than bandwidth may also be reported; strategies ignore
+  // ids they never admitted.
+  virtual void OnWindowRegistered(AppId app, RequestId id, const ResourceDescriptor& descriptor) {
+    (void)app;
+    (void)id;
+    (void)descriptor;
+  }
+  virtual void OnWindowCancelled(RequestId id) { (void)id; }
+  virtual void OnWindowConsumed(RequestId id) { (void)id; }
+
+  ArbitrationStrategy* arbitration() override { return this; }
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_STRATEGIES_ARBITRATION_STRATEGY_H_

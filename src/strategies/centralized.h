@@ -59,14 +59,29 @@ class CentralizedStrategy : public BandwidthStrategy, public LogListener {
   void OnThroughput(ConnectionId connection, const ThroughputObservation& obs) override;
   void OnFailure(ConnectionId connection, const FailureObservation& obs) override;
 
-  // Share estimate for one connection (Figure 9's lower curve).
-  double ConnectionAvailability(ConnectionId connection, Time now) const;
+  // Share estimate for one connection (Figure 9's lower curve).  Virtual so
+  // derived strategies that redistribute shares (congestion-manager) audit
+  // under the same fair-share oracle.
+  virtual double ConnectionAvailability(ConnectionId connection, Time now) const;
 
   // Every currently attached connection, in id order.  The fuzzing oracles
   // iterate these to audit the fair-share lower bound per connection.
   std::vector<ConnectionId> AttachedConnections() const;
 
   const SupplyModelInterface& supply_model() const { return *model_; }
+
+  CentralizedStrategy* audit_surface() override { return this; }
+
+ protected:
+  // Derived strategies (congestion-manager) reuse the attach/detach
+  // bookkeeping and the supply model but regroup shares; they read these
+  // directly rather than duplicating the maps.
+  const std::map<ConnectionId, AppId>& owners() const { return owner_; }
+  const std::map<AppId, std::vector<ConnectionId>>& app_connections() const {
+    return app_connections_;
+  }
+  const SupplyModelInterface* model() const { return model_.get(); }
+  Simulation* simulation() const { return sim_; }
 
  private:
   // Moves one app between connection-count buckets of the histogram.

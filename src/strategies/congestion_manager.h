@@ -1,0 +1,74 @@
+// Congestion-manager bandwidth strategy.
+//
+// Models the Congestion Manager's core idea (Andersen et al., "System
+// Support for Bandwidth Management and Content Adaptation"): all flows from
+// one client to the same server share congestion state, instead of each
+// connection probing for bandwidth independently.  The strategy derives the
+// server of a connection from the endpoint's service name (the prefix
+// before ':', so "video:bigbuck" and "video:sintel" share the "video"
+// server) and allocates hierarchically:
+//
+//   server  — the per-server budget is the sum of the supply model's
+//             per-connection availabilities across the server's flows,
+//             i.e. the congestion window the client has collectively
+//             earned against that server;
+//   flow    — the budget is split equally among the server's flows (the
+//             CM's scheduler default), replacing the per-connection
+//             independent estimates;
+//   app     — an application's availability is the sum of its flows'
+//             shares, in ascending connection-id order.
+//
+// With one flow per server the split is a no-op and the strategy is
+// bit-identical to the seed CentralizedStrategy — the differential test
+// pins that.  Equal-split shares never drop below the model's fair-share
+// floor (each per-flow availability the budget sums is itself >= the
+// floor), so the fair-share oracle stays armed.  Redistribution breaks the
+// incremental idle-level bookkeeping, so reevaluation hints are inexact
+// and the viceroy full-scans — same upcalls, linear scan.
+
+#ifndef SRC_STRATEGIES_CONGESTION_MANAGER_H_
+#define SRC_STRATEGIES_CONGESTION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/strategies/centralized.h"
+
+namespace odyssey {
+
+class CongestionManagerStrategy : public CentralizedStrategy {
+ public:
+  explicit CongestionManagerStrategy(Simulation* sim, const SupplyModelConfig& config = {},
+                                     SupplyModelKind kind = SupplyModelKind::kIncremental)
+      : CentralizedStrategy(sim, config, kind) {}
+  // Injected supply model (fleet-aggregated); see CentralizedStrategy.
+  CongestionManagerStrategy(Simulation* sim, std::unique_ptr<SupplyModelInterface> model)
+      : CentralizedStrategy(sim, std::move(model)) {}
+
+  std::string name() const override { return "congestion-manager"; }
+
+  void AttachConnection(AppId app, Endpoint* endpoint) override;
+  void DetachConnection(Endpoint* endpoint) override;
+
+  double AvailabilityFor(AppId app, Time now) const override;
+  double ConnectionAvailability(ConnectionId connection, Time now) const override;
+  ReevalHint TakeReevalHint(Time now) override;
+
+  // The server group a connection belongs to ("" if unknown), and the
+  // flows of one server in ascending id order.  Exposed for tests.
+  std::string ServerOf(ConnectionId connection) const;
+  std::vector<ConnectionId> FlowsOf(const std::string& server) const;
+
+  // The server key for a service name: the prefix before ':'.
+  static std::string ServerKeyOf(const std::string& service);
+
+ private:
+  std::map<ConnectionId, std::string> server_of_;          // flow -> server key
+  std::map<std::string, std::vector<ConnectionId>> flows_;  // server -> flows, ascending
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_STRATEGIES_CONGESTION_MANAGER_H_

@@ -1,0 +1,118 @@
+// Differential tests pinning the congestion manager's hierarchical
+// allocation to the per-connection reference.
+//
+// The congestion manager changes arbitration only where the hierarchy is
+// non-trivial: two or more flows sharing one server.  On scenarios where
+// every server carries exactly one flow, its server budget is a single
+// per-connection availability and the equal split divides by one, so it
+// must be *bit-identical* to the seed centralized strategy — every
+// delivered upcall, every sampled supply and availability double, every
+// delivered byte (scale_differential_test.cc's standard of proof, applied
+// across the strategy boundary instead of the supply-model one).
+//
+// Single-flow-per-server scenarios are built two ways: fixed workloads from
+// the conformance kit, and fuzzer-generated scenarios rewritten so each app
+// takes a distinct warden — every warden opens one connection to its own
+// service, so distinct wardens mean distinct servers with one flow each.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/check/fuzz_runner.h"
+#include "src/check/fuzz_scenario.h"
+#include "src/harness/campaign.h"
+#include "tests/strategy_conformance.h"
+
+namespace odyssey {
+namespace {
+
+// Runs |scenario| once per strategy and requires bit-identical logs.
+void ExpectIdenticalRuns(FuzzScenario scenario) {
+  scenario.strategy = "odyssey";
+  DifferentialLog reference;
+  FuzzRunOptions options;
+  options.differential = &reference;
+  const FuzzRunResult reference_result = RunFuzzScenario(scenario, options);
+
+  scenario.strategy = "congestion-manager";
+  DifferentialLog hierarchical;
+  options.differential = &hierarchical;
+  const FuzzRunResult hierarchical_result = RunFuzzScenario(scenario, options);
+
+  EXPECT_EQ(reference_result.violation_count, 0u);
+  EXPECT_EQ(hierarchical_result.violation_count, 0u);
+  ASSERT_EQ(hierarchical.upcalls.size(), reference.upcalls.size()) << scenario.Describe();
+  for (size_t i = 0; i < reference.upcalls.size(); ++i) {
+    EXPECT_EQ(hierarchical.upcalls[i], reference.upcalls[i])
+        << "upcall " << i << " diverged\n"
+        << scenario.Describe();
+  }
+  ASSERT_EQ(hierarchical.samples.size(), reference.samples.size()) << scenario.Describe();
+  for (size_t i = 0; i < reference.samples.size(); ++i) {
+    // Exact floating-point equality: a 1-leaf hierarchy sums one term and
+    // divides by one, both of which are exact.
+    EXPECT_EQ(hierarchical.samples[i], reference.samples[i])
+        << "sample " << i << " diverged\n"
+        << scenario.Describe();
+  }
+  EXPECT_EQ(hierarchical_result.bytes_delivered, reference_result.bytes_delivered);
+  EXPECT_EQ(hierarchical_result.upcalls_delivered, reference_result.upcalls_delivered);
+  EXPECT_EQ(hierarchical_result.requests_granted, reference_result.requests_granted);
+}
+
+// Rewrites |scenario| so every app takes a distinct warden (and therefore a
+// distinct server); apps beyond the six warden kinds are dropped.
+FuzzScenario SingleFlowPerServer(FuzzScenario scenario) {
+  if (scenario.apps.size() > static_cast<size_t>(kFuzzWardenKinds)) {
+    scenario.apps.resize(kFuzzWardenKinds);
+  }
+  for (size_t i = 0; i < scenario.apps.size(); ++i) {
+    scenario.apps[i].warden = static_cast<FuzzWardenKind>(i);
+  }
+  return scenario;
+}
+
+TEST(StrategyDifferentialTest, FixedWorkloadsBitIdentical) {
+  ExpectIdenticalRuns(SingleFlowPerServer(conformance::ConformanceWorkload("")));
+  ExpectIdenticalRuns(conformance::DegenerateWorkload(""));
+}
+
+TEST(StrategyDifferentialTest, FuzzedSingleFlowScenariosBitIdentical) {
+  constexpr int kRuns = 60;
+  constexpr uint64_t kSweepSeed = 0x0dfaceb0c1997ULL;
+  for (int i = 0; i < kRuns; ++i) {
+    const uint64_t seed = DeriveTrialSeed(kSweepSeed, static_cast<uint64_t>(i));
+    ExpectIdenticalRuns(SingleFlowPerServer(GenerateScenario(seed)));
+  }
+}
+
+TEST(StrategyDifferentialTest, SharedServerScenariosDiverge) {
+  // Control: with several flows on one server the hierarchy is real, and
+  // the two strategies must NOT be byte-for-byte the same arbiter.  Two
+  // bitstream apps share the "bitstream" service, so the congestion
+  // manager pools their estimates where the reference keeps them separate.
+  FuzzScenario scenario = conformance::ConformanceWorkload("");
+  for (FuzzApp& app : scenario.apps) {
+    app.warden = FuzzWardenKind::kBitstream;
+  }
+
+  scenario.strategy = "odyssey";
+  DifferentialLog reference;
+  FuzzRunOptions options;
+  options.differential = &reference;
+  RunFuzzScenario(scenario, options);
+
+  scenario.strategy = "congestion-manager";
+  DifferentialLog hierarchical;
+  options.differential = &hierarchical;
+  RunFuzzScenario(scenario, options);
+
+  EXPECT_NE(hierarchical.samples, reference.samples);
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/check/scale_scenario.h"
+#include "src/check/zoo_scenario.h"
 #include "src/fleet/fleet_scenario.h"
 #include "src/harness/bench_artifact.h"
 #include "src/harness/builtin_scenarios.h"
@@ -99,12 +100,13 @@ bool WriteFile(const std::string& path, const std::string& text) {
 }
 
 // Everything ody_bench can run: the built-in campaigns plus tier_scale
-// (scale_scenario.h, in odyssey_check) and tier_fleet (fleet_scenario.h,
-// in odyssey_fleet).
+// (scale_scenario.h, in odyssey_check), tier_fleet (fleet_scenario.h, in
+// odyssey_fleet) and tier_zoo (zoo_scenario.h, in odyssey_check).
 std::vector<CampaignSpec> AllCampaigns() {
   std::vector<CampaignSpec> campaigns = odyssey::BuiltinCampaigns();
   campaigns.push_back(odyssey::ScaleCampaign());
   campaigns.push_back(odyssey::FleetCampaign());
+  campaigns.push_back(odyssey::ZooCampaign());
   return campaigns;
 }
 
@@ -112,6 +114,7 @@ void RegisterAllScenarios(ScenarioRegistry* registry) {
   odyssey::RegisterBuiltinScenarios(registry);
   odyssey::RegisterScaleScenarios(registry);
   odyssey::RegisterFleetScenarios(registry);
+  odyssey::RegisterZooScenarios(registry);
 }
 
 int ListCommand() {

@@ -2,8 +2,9 @@
 //
 // Usage:
 //   ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N] [--mobility]
-//            [--fleet] [--selftest-mutation] [--selftest-tiebreak]
-//            [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] [--verbose]
+//            [--fleet] [--strategy=NAME|random] [--selftest-mutation]
+//            [--selftest-tiebreak] [--no-shrink] [--repro-out=PATH]
+//            [--trace-out=PATH] [--verbose]
 //
 // Synthesizes N scenarios from a single campaign seed (trial seeds derived
 // with the same O(1) stream jump the bench campaigns use), executes each
@@ -14,9 +15,12 @@
 // the runs take a motion-generated waveform from src/mobility), and --fleet
 // arms the fleet dimension (about half the runs become 2-8 client nodes
 // sharing 1-2 server groups through the estimate-aggregation protocol, run
-// on the multi-node rig with the fleet oracles armed).  Output is
+// on the multi-node rig with the fleet oracles armed).  --strategy=random
+// arms the strategy dimension (every scenario draws its bandwidth strategy
+// from the builtin StrategyRegistry); --strategy=NAME pins every scenario
+// to one registered strategy instead.  Output is
 // a pure function of (--runs, --seed, --max-apps, --mobility, --fleet,
-// --selftest-mutation,
+// --strategy, --selftest-mutation,
 // --selftest-tiebreak): --jobs only changes wall-clock time, never a byte
 // of stdout or the artifacts — results land in per-run slots and are
 // printed in plan order after the pool drains.
@@ -47,6 +51,7 @@
 #include "src/fleet/fleet_fuzz.h"
 #include "src/harness/campaign.h"
 #include "src/harness/worker_pool.h"
+#include "src/strategies/strategy_registry.h"
 
 namespace {
 
@@ -71,6 +76,9 @@ struct Options {
   bool mobility = false;
   // ScenarioOptions::fleet: arms the multi-node fleet dimension.
   bool fleet = false;
+  // Strategy dimension: "random" arms ScenarioOptions::strategies; any
+  // other non-empty value pins every scenario to that registry name.
+  std::string strategy;
   bool selftest_mutation = false;
   bool selftest_tiebreak = false;
   bool shrink = true;
@@ -113,8 +121,9 @@ bool ParseInt(const std::string& text, int* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: ody_fuzz --runs=N [--jobs=M] [--seed=U64] [--max-apps=N] [--mobility]\n"
-               "                [--fleet] [--selftest-mutation] [--selftest-tiebreak]\n"
-               "                [--no-shrink] [--repro-out=PATH] [--trace-out=PATH] [--verbose]\n");
+               "                [--fleet] [--strategy=NAME|random] [--selftest-mutation]\n"
+               "                [--selftest-tiebreak] [--no-shrink] [--repro-out=PATH]\n"
+               "                [--trace-out=PATH] [--verbose]\n");
   return 2;
 }
 
@@ -138,6 +147,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       if (!ParseInt(value, &options->max_apps) || options->max_apps <= 0) {
         return false;
       }
+    } else if (FlagValue(arg, "strategy", &value)) {
+      options->strategy = value;
     } else if (FlagValue(arg, "repro-out", &value)) {
       options->repro_out = value;
     } else if (FlagValue(arg, "trace-out", &value)) {
@@ -192,6 +203,18 @@ int main(int argc, char** argv) {
   scenario_options.max_apps = options.max_apps;
   scenario_options.mobility = options.mobility;
   scenario_options.fleet = options.fleet;
+  const bool random_strategy = options.strategy == "random";
+  scenario_options.strategies = random_strategy;
+  const std::string pinned_strategy = random_strategy ? std::string() : options.strategy;
+  if (!pinned_strategy.empty() &&
+      odyssey::StrategyRegistry::Builtin().Find(pinned_strategy) == nullptr) {
+    std::fprintf(stderr, "ody_fuzz: unknown --strategy \"%s\" (registered:", pinned_strategy.c_str());
+    for (const std::string& name : odyssey::StrategyRegistry::Builtin().Names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
 
   // A fleet-dimension scenario runs on the multi-node rig; everything else
   // takes the classic single-node runner.
@@ -208,14 +231,24 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < count; ++i) {
     seeds[i] = DeriveTrialSeed(options.seed, static_cast<uint64_t>(i));
   }
-  odyssey::RunIndexedTasks(options.jobs, count, [&](size_t i) {
-    results[i] = run_scenario(GenerateScenario(seeds[i], scenario_options));
-  });
+  // A pinned strategy overrides the generated scenario after synthesis, so
+  // the rest of the description stays byte-identical to the unpinned run.
+  const auto generate = [&scenario_options, &pinned_strategy](uint64_t seed) {
+    FuzzScenario scenario = GenerateScenario(seed, scenario_options);
+    if (!pinned_strategy.empty()) {
+      scenario.strategy = pinned_strategy;
+    }
+    return scenario;
+  };
+  odyssey::RunIndexedTasks(options.jobs, count,
+                           [&](size_t i) { results[i] = run_scenario(generate(seeds[i])); });
 
-  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s%s%s%s\n", options.runs,
+  std::printf("ody_fuzz: %d runs, seed %llu, max apps %d%s%s%s%s%s%s\n", options.runs,
               static_cast<unsigned long long>(options.seed), options.max_apps,
               options.mobility ? ", mobility dimension on" : "",
               options.fleet ? ", fleet dimension on" : "",
+              random_strategy ? ", strategy dimension on" : "",
+              pinned_strategy.empty() ? "" : (", strategy " + pinned_strategy).c_str(),
               options.selftest_mutation ? ", selftest mutation armed" : "",
               options.selftest_tiebreak ? ", selftest tiebreak armed" : "");
 
@@ -264,7 +297,7 @@ int main(int argc, char** argv) {
   }
 
   if (options.shrink) {
-    const FuzzScenario failing = GenerateScenario(seeds[first_failure], scenario_options);
+    const FuzzScenario failing = generate(seeds[first_failure]);
     const std::string oracle = results[first_failure].violations.empty()
                                    ? std::string()
                                    : results[first_failure].violations.front().oracle;

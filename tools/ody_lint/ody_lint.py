@@ -92,6 +92,15 @@ RULES = {
         "use no wall-clock calls or literal-seeded generators — every "
         "stream derives from the explicit trial seed via SplitMix64"
     ),
+    "strategy-isolation": (
+        "a bandwidth strategy reaching around its interface: wall-clock "
+        "reads (time flows in as Time arguments or Simulation::now()), "
+        "estimator-internal includes (ewma/sliding_max/usage_meter — "
+        "consume estimation via supply_model.h or "
+        "connection_estimator.h), or writes into the observation logs "
+        "(RecordThroughput/RecordRoundTrip belong to the RPC layer; "
+        "strategies read estimates, never feed them)"
+    ),
 }
 
 # Directories whose sources are scanned at all.
@@ -531,6 +540,56 @@ def check_fleet_pod_message(sf: SourceFile) -> list[Violation]:
     return out
 
 
+# --- strategy-isolation -----------------------------------------------------
+#
+# The strategy zoo's conformance kit proves behavioral properties (bit-
+# identical reruns, degenerate-input equivalence) that hold only if every
+# strategy is a pure function of what the interface hands it: Time arguments
+# and the estimation surface.  A strategy reading a real clock, reaching
+# into the estimator's internal machinery, or feeding observations back into
+# the logs it is supposed to consume would pass the interface's type checks
+# while silently breaking determinism or double-counting traffic.
+
+STRATEGY_DIRS = ("src/strategies",)
+
+# The estimation machinery strategies may NOT include directly; the blessed
+# surfaces are supply_model.h and connection_estimator.h.
+_STRATEGY_INTERNAL_INCLUDE_RE = re.compile(
+    r'#\s*include\s+"src/estimator/(?:ewma|sliding_max|usage_meter)\.h"'
+)
+
+# Observation writes: the RPC layer records, strategies only read.
+_STRATEGY_MUTATION_RE = re.compile(r"\b(RecordThroughput|RecordRoundTrip)\s*\(")
+
+
+def check_strategy_isolation(sf: SourceFile) -> list[Violation]:
+    if not _in_dirs(sf.relpath, STRATEGY_DIRS):
+        return []
+    out = []
+    # Includes are string literals, blanked in code_lines: scan raw lines.
+    for idx, line in enumerate(sf.lines, start=1):
+        m = _STRATEGY_INTERNAL_INCLUDE_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "strategy-isolation",
+                                 f"'{m.group(0).strip()}' reaches into the estimator's "
+                                 "internals; strategies consume estimation through "
+                                 "src/estimator/supply_model.h or "
+                                 "src/estimator/connection_estimator.h"))
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = _WALL_CLOCK_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "strategy-isolation",
+                                 f"wall-clock call '{m.group(0).strip()}' in a strategy; "
+                                 "time flows in as Time arguments or Simulation::now()"))
+        m = _STRATEGY_MUTATION_RE.search(line)
+        if m:
+            out.append(Violation(sf.relpath, idx, "strategy-isolation",
+                                 f"'{m.group(1)}' mutates an observation log from a "
+                                 "strategy; recording belongs to the RPC layer, "
+                                 "strategies read estimates only"))
+    return out
+
+
 # --- escape-capture (cross-file, two passes) --------------------------------
 #
 # The two lifetime bugs this repo has actually shipped (the OdysseyClient
@@ -888,6 +947,7 @@ CHECKS = [
     check_harness_global_state,
     check_test_no_wallclock,
     check_fleet_pod_message,
+    check_strategy_isolation,
     check_header_guard,
     check_include_order,
 ]

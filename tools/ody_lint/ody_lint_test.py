@@ -234,6 +234,30 @@ class OdyLintTest(unittest.TestCase):
                          "src/fleet/fleet_message_suppressed.cc")
         self.assertNotIn("fleet-pod-message", self.rules_found(rel))
 
+    # --- strategy-isolation ---
+
+    def test_strategy_isolation_flagged(self):
+        rel = self.place("strategy_isolation_bad.cc",
+                         "src/strategies/strategy_isolation_bad.cc")
+        violations = [v for v in self.lint(rel) if v.rule == "strategy-isolation"]
+        # The two internal includes, the wall-clock read, and the two
+        # observation writes each fire once.
+        self.assertEqual(sorted(v.line for v in violations), [2, 3, 8, 9, 10])
+        messages = " ".join(v.message for v in violations)
+        self.assertIn("estimator's", messages)
+        self.assertIn("wall-clock", messages)
+        self.assertIn("RecordThroughput", messages)
+
+    def test_strategy_isolation_scoped_to_strategies(self):
+        rel = self.place("strategy_isolation_bad.cc",
+                         "src/core/strategy_isolation_bad.cc")
+        self.assertNotIn("strategy-isolation", self.rules_found(rel))
+
+    def test_strategy_isolation_suppressed(self):
+        rel = self.place("strategy_isolation_suppressed.cc",
+                         "src/strategies/strategy_isolation_suppressed.cc")
+        self.assertNotIn("strategy-isolation", self.rules_found(rel))
+
     # --- header-guard ---
 
     def test_header_guard_mismatch_flagged(self):
@@ -325,7 +349,7 @@ class OdyLintTest(unittest.TestCase):
 
     def test_list_rules_covers_all_checks(self):
         self.assertEqual(ody_lint.main(["--list-rules"]), 0)
-        self.assertEqual(len(ody_lint.RULES), 12)
+        self.assertEqual(len(ody_lint.RULES), 13)
 
 
 if __name__ == "__main__":

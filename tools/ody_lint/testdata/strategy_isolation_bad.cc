@@ -1,0 +1,13 @@
+// A strategy that breaks isolation every way the rule knows.
+#include "src/estimator/sliding_max.h"
+#include "src/estimator/usage_meter.h"
+
+namespace odyssey {
+
+void BadStrategyUpdate(Endpoint* endpoint) {
+  const auto wall = std::chrono::steady_clock::now();
+  endpoint->log().RecordThroughput(0, 1024.0, 50);
+  endpoint->log().RecordRoundTrip(0, 20);
+}
+
+}  // namespace odyssey

@@ -1,0 +1,12 @@
+// The same shapes, each carrying its justification annotation.
+#include "src/estimator/usage_meter.h"  // ody-lint: allow(strategy-isolation)
+
+namespace odyssey {
+
+void JustifiedUpdate(Endpoint* endpoint) {
+  // ody-lint: allow(strategy-isolation)
+  const auto wall = std::chrono::steady_clock::now();
+  endpoint->log().RecordThroughput(0, 1024.0, 50);  // ody-lint: allow(strategy-isolation)
+}
+
+}  // namespace odyssey
